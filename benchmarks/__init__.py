@@ -1,0 +1,3 @@
+"""Benchmark suite: one module per paper table/figure, plus ablations
+and kernel micro-benchmarks. Run with ``pytest benchmarks/ --benchmark-only``.
+"""

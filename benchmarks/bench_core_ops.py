@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the computational kernels.
+
+These are classic pytest-benchmark timings (multiple rounds) for the
+operations every algorithm is built from. They exist to catch
+performance regressions in the kernels — the experiment benches above
+time whole pipelines and would hide a 2x kernel slowdown in noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.init_kmeanspp import KMeansPlusPlus
+from repro.core.init_scalable import ScalableKMeans
+from repro.core.lloyd import lloyd
+from repro.linalg.distances import (
+    assign_labels,
+    min_sq_dists,
+    pairwise_sq_dists,
+    update_min_sq_dists,
+)
+
+N, D, K = 20_000, 42, 100
+
+
+@pytest.fixture(scope="module")
+def X() -> np.ndarray:
+    return np.random.default_rng(0).normal(size=(N, D))
+
+
+@pytest.fixture(scope="module")
+def C(X) -> np.ndarray:
+    return X[:K].copy()
+
+
+def test_pairwise_sq_dists(benchmark, X, C):
+    benchmark(pairwise_sq_dists, X, C)
+
+
+def test_min_sq_dists(benchmark, X, C):
+    benchmark(min_sq_dists, X, C)
+
+
+def test_update_min_sq_dists(benchmark, X, C):
+    base = min_sq_dists(X, C[:50])
+
+    def run():
+        update_min_sq_dists(X, C[50:], base.copy())
+
+    benchmark(run)
+
+
+def test_assign_labels(benchmark, X, C):
+    benchmark(assign_labels, X, C)
+
+
+def test_kmeanspp_seeding(benchmark, X):
+    benchmark.pedantic(
+        lambda: KMeansPlusPlus().run(X[:5000], 50, seed=0),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_scalable_seeding(benchmark, X):
+    benchmark.pedantic(
+        lambda: ScalableKMeans(oversampling_factor=2, n_rounds=5).run(
+            X[:5000], 50, seed=0
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_lloyd_ten_iterations(benchmark, X, C):
+    benchmark.pedantic(
+        lambda: lloyd(X, C, max_iter=10),
+        rounds=3,
+        iterations=1,
+    )

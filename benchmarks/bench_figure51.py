@@ -1,0 +1,18 @@
+"""Regenerate paper Figure 5.1: final cost vs rounds on the 10% KDD sample.
+
+Paper shape: cost decreases (in median) with the number of rounds; extra
+oversampling (l/k = 2, 4) helps most at small r, with diminishing returns
+past r ~ 8.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments.registry import run_experiment
+
+
+def test_figure51_rounds_sweep(benchmark, record_result):
+    result = run_once(benchmark, run_experiment, "figure51", scale="bench", seed=0)
+    record_result(result)
+    for k, by_label in result.data["series"].items():
+        for label, values in by_label.items():
+            # A handful of rounds must substantially reduce the r=1 cost.
+            assert min(values[1:]) < values[0], (k, label)

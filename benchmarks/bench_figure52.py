@@ -1,0 +1,21 @@
+"""Regenerate paper Figure 5.2: cost vs init rounds on GaussMixture.
+
+Paper shape: below the r*l >= k knee the (truncated) seed is
+substantially worse than k-means++; above it, comparable — "as soon as
+r*l >= k, the algorithm finds as good of an initial set as that found by
+k-means++".
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments.registry import run_experiment
+
+
+def test_figure52_gauss_sweep(benchmark, record_result):
+    result = run_once(benchmark, run_experiment, "figure52", scale="bench", seed=0)
+    record_result(result)
+    data = result.data
+    for R in (1.0, 10.0, 100.0):
+        series = data["series"][(R, "final")]
+        kmpp = data["kmpp"][R]["final"]
+        assert series["l/k=0.1"][0] > 1.2 * kmpp  # r*l << k
+        assert series["l/k=2"][-1] < 2.5 * kmpp  # r*l >> k

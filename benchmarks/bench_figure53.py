@@ -1,0 +1,18 @@
+"""Regenerate paper Figure 5.3: cost vs init rounds on Spam.
+
+Same protocol and expected shape as Figure 5.2, on the Spam dataset.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments.registry import run_experiment
+
+
+def test_figure53_spam_sweep(benchmark, record_result):
+    result = run_once(benchmark, run_experiment, "figure53", scale="bench", seed=0)
+    record_result(result)
+    data = result.data
+    k = 20
+    series = data["series"][(k, "final")]
+    kmpp = data["kmpp"][k]["final"]
+    assert series["l/k=0.1"][0] > 1.2 * kmpp
+    assert series["l/k=10"][-1] < 2.5 * kmpp

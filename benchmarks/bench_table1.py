@@ -1,0 +1,18 @@
+"""Regenerate paper Table 1: clustering cost on GaussMixture.
+
+Paper shape: seed cost km|| <= km++ (Random has no meaningful seed);
+final costs comparable for careful seedings; Random's final cost
+explodes with the separation R.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments.registry import run_experiment
+
+
+def test_table1_gauss_mixture(benchmark, record_result):
+    result = run_once(benchmark, run_experiment, "table1", scale="bench", seed=0)
+    record_result(result)
+    cells = result.data["cells"]
+    # Regression guards on the reproduced shape:
+    assert cells[("Random", 100.0)]["final"] > cells[("k-means++", 100.0)]["final"]
+    assert cells[("k-means|| l=2k r=5", 1.0)]["seed"] < 2.5 * cells[("k-means++", 1.0)]["seed"]

@@ -1,0 +1,17 @@
+"""Regenerate paper Table 2: clustering cost on Spam.
+
+Paper shape: km|| seed cost beats km++ at every k (its weighted
+reclustering discounts the capital-run outliers); finals comparable;
+Random an order of magnitude worse.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments.registry import run_experiment
+
+
+def test_table2_spam(benchmark, record_result):
+    result = run_once(benchmark, run_experiment, "table2", scale="bench", seed=0)
+    record_result(result)
+    cells = result.data["cells"]
+    assert cells[("k-means|| l=2k r=5", 50)]["seed"] < cells[("k-means++", 50)]["seed"]
+    assert cells[("Random", 50)]["final"] > cells[("k-means++", 50)]["final"]

@@ -1,0 +1,19 @@
+"""Regenerate paper Table 3: clustering cost on KDDCup1999.
+
+Paper shape: Random worse by orders of magnitude (its duplicate-heavy
+uniform seed cannot be repaired by a MapReduce Lloyd); Partition and all
+k-means|| settings land in the same band, with k-means|| competitive
+from tiny intermediate sets.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments.registry import run_experiment
+
+
+def test_table3_kdd_cost(benchmark, record_result):
+    result = run_once(benchmark, run_experiment, "table3", scale="bench", seed=0)
+    record_result(result)
+    cells = result.data["cells"]
+    k = min(k for (_, k) in cells)
+    assert cells[("Random", k)] > 50 * cells[("k-means|| l=2k", k)]
+    assert cells[("k-means|| l=2k", k)] < 2 * cells[("Partition", k)]

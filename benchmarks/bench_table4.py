@@ -1,0 +1,23 @@
+"""Regenerate paper Table 4: parallel running time on KDDCup1999.
+
+Algorithm-dependent quantities (Lloyd iterations, candidate counts,
+reclustering telemetry) are measured on the bench-scale runs; minutes are
+computed at paper scale (n = 4.8M) under the 2012-grid calibration.
+
+Paper shape: init time Random << km|| << Partition; total time Partition
+slowest and degrading with k; km|| l=0.1k pays for its 15 rounds.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments.registry import run_experiment
+
+
+def test_table4_kdd_time(benchmark, record_result):
+    result = run_once(benchmark, run_experiment, "table4", scale="bench", seed=0)
+    record_result(result)
+    cells, init = result.data["cells"], result.data["init"]
+    for pk in (500, 1000):
+        assert cells[("Partition", pk)] > cells[("k-means|| l=2k", pk)]
+        assert init[("Random", pk)] < init[("k-means|| l=2k", pk)] < init[("Partition", pk)]
+    assert cells[("Partition", 1000)] > 2 * cells[("Partition", 500)]
+    assert init[("k-means|| l=0.1k", 500)] > init[("k-means|| l=2k", 500)]

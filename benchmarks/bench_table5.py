@@ -1,0 +1,18 @@
+"""Regenerate paper Table 5: intermediate centers before reclustering.
+
+Paper shape: k-means|| candidate counts track ~1 + r*l (hundreds to a
+few thousand); Partition's intermediate set is 3*sqrt(nk)*ln k — orders
+of magnitude larger, which is exactly what its running time pays for.
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments.registry import run_experiment
+
+
+def test_table5_intermediate_centers(benchmark, record_result):
+    result = run_once(benchmark, run_experiment, "table5", scale="bench", seed=0)
+    record_result(result)
+    cells = result.data["cells"]
+    k = min(k for (_, k) in cells)
+    assert cells[("Partition", k)] > 2 * cells[("k-means|| l=10k", k)]
+    assert cells[("k-means|| l=10k", k)] > cells[("k-means|| l=0.5k", k)]

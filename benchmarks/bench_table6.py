@@ -1,0 +1,18 @@
+"""Regenerate paper Table 6: Lloyd iterations to convergence on Spam.
+
+Paper shape: km|| needs the fewest iterations, then km++, with Random
+far behind — "initial solution found by k-means|| leads to a faster
+convergence of the Lloyd's iteration".
+"""
+
+from benchmarks.conftest import run_once
+from repro.evaluation.experiments.registry import run_experiment
+
+
+def test_table6_lloyd_iterations(benchmark, record_result):
+    result = run_once(benchmark, run_experiment, "table6", scale="bench", seed=0)
+    record_result(result)
+    cells = result.data["cells"]
+    for k in (20, 50):
+        assert cells[("Random", k)] > cells[("k-means++", k)]
+        assert cells[("Random", k)] > cells[("k-means|| l=2k r=5", k)]

@@ -1,0 +1,70 @@
+"""Network-intrusion triage on KDDCup1999-style traffic.
+
+The scenario behind the paper's largest dataset: cluster millions of
+connection records at fine granularity (the paper uses k = 500-1000) so
+that analysts can triage *cluster prototypes* instead of raw traffic, and
+flag connections that sit far from every prototype.
+
+This example uses the synthetic KDD twin at laptop scale and shows:
+
+1. why seeding matters here — a uniform random seed lands almost entirely
+   inside the two flood attacks that dominate the traffic;
+2. clustering with ``k-means||`` and inspecting the prototypes;
+3. distance-to-nearest-prototype as an anomaly score.
+
+Run with::
+
+    python examples/network_intrusion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import KMeans
+from repro.data import make_kddcup
+from repro.data.kddcup import COMPONENT_SPECS
+
+
+def main() -> None:
+    dataset = make_kddcup(n=50_000, seed=7)
+    X = dataset.X[:, :41]  # drop the class-id column for clustering
+    names = [spec[0] for spec in COMPONENT_SPECS]
+    print(dataset.describe())
+    shares = np.bincount(dataset.labels, minlength=len(names)) / dataset.n
+    top = np.argsort(shares)[::-1][:3]
+    print("traffic mix:", ", ".join(f"{names[i]} {shares[i]:.1%}" for i in top))
+    print()
+
+    k = 60
+    # A random seed mostly duplicates flood records; k-means|| spends its
+    # centers where the potential actually is.
+    random_model = KMeans(n_clusters=k, init="random", max_iter=20, seed=1).fit(X)
+    scalable_model = KMeans(n_clusters=k, init="k-means||", max_iter=20, seed=1).fit(X)
+    print(f"final cost, random seed   : {random_model.inertia_:.3e}")
+    print(f"final cost, k-means|| seed: {scalable_model.inertia_:.3e}")
+    print()
+
+    # Triage view: the biggest clusters, with their dominant true component.
+    model = scalable_model
+    sizes = np.bincount(model.labels_, minlength=k)
+    print("largest prototypes (cluster -> size, dominant traffic type):")
+    for j in np.argsort(sizes)[::-1][:5]:
+        members = dataset.labels[model.labels_ == j]
+        dominant = names[int(np.bincount(members, minlength=len(names)).argmax())]
+        print(f"  cluster {j:>3}: {sizes[j]:>7,} records, mostly {dominant}")
+    print()
+
+    # Anomaly scoring: distance to the nearest prototype. Rare attack
+    # types should score far higher than flood traffic.
+    distances = model.transform(X).min(axis=1)
+    threshold = np.quantile(distances, 0.999)
+    flagged = distances > threshold
+    flagged_types = dataset.labels[flagged]
+    rare = [names[i] for i in np.unique(flagged_types) if shares[i] < 0.01]
+    print(f"anomaly threshold (99.9th pct distance): {threshold:.3g}")
+    print(f"flagged {int(flagged.sum())} records; rare types among them: {rare}")
+
+
+if __name__ == "__main__":
+    main()

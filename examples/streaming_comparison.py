@@ -1,0 +1,76 @@
+"""One-pass seeding shootout: Partition vs StreamKM++ vs k-means||.
+
+The paper positions k-means|| against the streaming lineage it grew out
+of: the Partition baseline of Ailon et al. (Section 4.2.1) and the
+related StreamKM++ coreset tree [1]. This example runs all three plus
+the sequential k-means++ gold standard on the same data and compares
+quality against intermediate-state size — Table 5's trade-off, live.
+
+Run with::
+
+    python examples/streaming_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import MiniBatchKMeans, PartitionInit, StreamKMPlusPlus
+from repro.core import KMeansPlusPlus, ScalableKMeans, lloyd
+from repro.data import make_gauss_mixture
+from repro.evaluation.tables import render_table
+
+
+def main() -> None:
+    dataset = make_gauss_mixture(n=20_000, d=15, k=50, R=10.0, seed=0)
+    X, k = dataset.X, 50
+    print(dataset.describe())
+    print(f"reference cost: {dataset.reference_cost():,.0f}")
+    print()
+
+    initializers = {
+        "k-means++ (sequential)": KMeansPlusPlus(),
+        "Partition": PartitionInit(),
+        "StreamKM++": StreamKMPlusPlus(),
+        "k-means|| l=2k r=5": ScalableKMeans(oversampling_factor=2.0, n_rounds=5),
+    }
+
+    rows = []
+    for name, init in initializers.items():
+        seed_costs, final_costs, candidates, passes = [], [], [], []
+        for seed in range(3):
+            result = init.run(X, k, seed=seed)
+            refined = lloyd(X, result.centers, max_iter=100, seed=seed)
+            seed_costs.append(result.seed_cost)
+            final_costs.append(refined.cost)
+            candidates.append(result.n_candidates)
+            passes.append(result.n_passes)
+        rows.append([
+            name,
+            float(np.median(seed_costs)),
+            float(np.median(final_costs)),
+            int(np.median(candidates)),
+            int(passes[0]),
+        ])
+
+    print(render_table(
+        "one-pass seeding comparison (median of 3 runs)",
+        ["method", "seed cost", "final cost", "intermediate pts", "data passes"],
+        rows,
+        note=(
+            "k-means|| matches the streaming methods' quality from an "
+            "intermediate set 1-2 orders of magnitude smaller, at r+2 passes."
+        ),
+    ))
+    print()
+
+    # Bonus: stochastic refinement instead of Lloyd (Sculley's mini-batch),
+    # seeded two ways — good seeds still matter for stochastic solvers.
+    for label, seeder in (("k-means++ seed", KMeansPlusPlus()),
+                          ("k-means|| seed", ScalableKMeans())):
+        model = MiniBatchKMeans(k, n_iter=150, init=seeder, seed=0).fit(X)
+        print(f"mini-batch k-means with {label}: final cost {model.inertia_:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

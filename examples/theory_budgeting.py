@@ -1,0 +1,64 @@
+"""Using the paper's theory to budget rounds — then checking it held.
+
+Section 6 proves the cost contracts by ``(1+alpha)/2`` per round plus an
+``8 phi*`` additive term (Theorem 2), which is where "O(log psi) rounds"
+comes from. This example uses :mod:`repro.theory` to *predict* how many
+rounds a workload needs, runs ``k-means||`` with that budget, and audits
+the outcome with :mod:`repro.core.diagnostics`.
+
+Run with::
+
+    python examples/theory_budgeting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ScalableKMeans, lloyd, potential
+from repro.core.diagnostics import approximation_ratio, diagnose
+from repro.data import make_gauss_mixture
+from repro.theory import alpha, corollary3_bound, rounds_for_target
+
+
+def main() -> None:
+    k = 40
+    dataset = make_gauss_mixture(n=8000, d=15, k=k, R=100.0, seed=0)
+    X = dataset.X
+    phi_star = dataset.reference_cost()  # generative centers ~ the optimum
+
+    # What the analysis predicts for l = 2k.
+    l = 2.0 * k
+    first = X[np.random.default_rng(0).integers(0, X.shape[0])]
+    psi = potential(X, first.reshape(1, -1))
+    a = alpha(l, k)
+    r_theory = rounds_for_target(psi, phi_star, l, k)
+    print(f"psi (one uniform center) = {psi:.4g}, phi* ~ {phi_star:.4g}")
+    print(f"alpha = {a:.3f}  ->  per-round contraction (1+alpha)/2 = {(1 + a) / 2:.3f}")
+    print(f"Corollary 3 says ~{r_theory} rounds reach the additive floor; "
+          f"bound there: {corollary3_bound(psi, phi_star, l, k, r_theory):.4g}")
+    print()
+
+    # Run with the theory budget and with the paper's practical r = 5.
+    for r in sorted({r_theory, 5}):
+        init = ScalableKMeans(oversampling_factor=2.0, n_rounds=r).run(X, k, seed=1)
+        refined = lloyd(X, init.centers, seed=1)
+        report = diagnose(X, refined.centers)
+        ratio = approximation_ratio(X, refined.centers, dataset.true_centers)
+        print(f"r={r:>2}: seed={init.seed_cost:.4g} final={refined.cost:.4g} "
+              f"approx-ratio vs truth={ratio:.2f}")
+        print(f"      diagnostics: {report.summary()}")
+        # Per-round cost trajectory vs the Corollary 3 envelope.
+        measured = init.round_costs()
+        bounds = [corollary3_bound(psi, phi_star, l, k, i) for i in range(len(measured))]
+        inside = sum(m <= b for m, b in zip(measured, bounds))
+        print(f"      round costs within the Corollary 3 envelope: "
+              f"{inside}/{len(measured)} rounds")
+    print()
+    print("Takeaway: the envelope is loose (it bounds expectations), but the")
+    print("geometric-drop prediction is visible round by round — and r = 5")
+    print("already sits at the additive floor, the paper's core observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy shim so ``pip install -e .`` works offline (no `wheel` available).
+
+All metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``setup.py develop`` editable path used when PEP 660 builds are
+impossible (as in the offline evaluation environment).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — a reproduction of *Scalable K-Means++* (Bahmani et al., VLDB 2012).
+
+The package implements the paper's ``k-means||`` initialization algorithm
+(:class:`repro.core.ScalableKMeans`), every baseline it is evaluated
+against (``k-means++``, ``Random``, the streaming ``Partition`` algorithm),
+the substrates those run on (weighted Lloyd's iteration, a simulated
+MapReduce runtime with an explicit cluster cost model, and synthetic
+versions of the paper's three datasets), and an experiment harness that
+regenerates every table and figure of the paper's Section 5.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import KMeans
+>>> X = np.random.default_rng(0).normal(size=(1000, 8))
+>>> model = KMeans(n_clusters=10, init="k-means||", seed=0).fit(X)
+>>> model.cluster_centers_.shape
+(10, 8)
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+paper-table reproductions.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    InitResult,
+    KMeans,
+    KMeansPlusPlus,
+    RandomInit,
+    ScalableKMeans,
+    kmeanspp_init,
+    lloyd,
+    potential,
+    random_init,
+    scalable_init,
+)
+from repro.exceptions import (
+    ConvergenceWarning,
+    EmptyClusterError,
+    InsufficientCentersError,
+    NotFittedError,
+    ReproError,
+    ValidationError,
+)
+
+__all__ = [
+    "__version__",
+    "KMeans",
+    "ScalableKMeans",
+    "KMeansPlusPlus",
+    "RandomInit",
+    "InitResult",
+    "potential",
+    "lloyd",
+    "scalable_init",
+    "kmeanspp_init",
+    "random_init",
+    "ReproError",
+    "ValidationError",
+    "NotFittedError",
+    "ConvergenceWarning",
+    "EmptyClusterError",
+    "InsufficientCentersError",
+]

@@ -1,0 +1,100 @@
+"""Mini-batch k-means (Sculley, WWW 2010 — the paper's reference [31]).
+
+An extension: the paper cites it as the other practical road to web-scale
+k-means ("modifications to k-means for batch optimizations"). Including it
+lets the ablation benches ask a question the paper leaves open: does a
+good seed (k-means||) still matter when the *refinement* is stochastic
+instead of full Lloyd? (Empirically: yes — see bench_ablations.)
+
+Implementation follows Sculley's Algorithm 1: per-center counts define a
+decaying learning rate ``eta = 1/c``, and each mini-batch applies a
+gradient step ``center <- (1 - eta) * center + eta * x``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.init_base import Initializer
+from repro.core.init_kmeanspp import KMeansPlusPlus
+from repro.exceptions import ValidationError
+from repro.linalg.distances import assign_labels
+from repro.types import ArrayLike, FloatArray, IntArray, SeedLike
+from repro.utils.rng import ensure_generator
+from repro.utils.validation import check_array, check_positive_int
+
+__all__ = ["MiniBatchKMeans"]
+
+
+class MiniBatchKMeans:
+    """Stochastic k-means refinement over mini-batches.
+
+    Parameters
+    ----------
+    n_clusters:
+        ``k``.
+    batch_size:
+        Points per stochastic step (Sculley suggests ~1000).
+    n_iter:
+        Number of mini-batch steps.
+    init:
+        Seeding strategy (any :class:`~repro.core.init_base.Initializer`);
+        defaults to ``k-means++`` as in the original.
+    seed:
+        RNG seed.
+
+    Attributes
+    ----------
+    cluster_centers_ / labels_ / inertia_:
+        As in :class:`repro.core.kmeans.KMeans`, populated by :meth:`fit`.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        batch_size: int = 1024,
+        n_iter: int = 100,
+        init: Initializer | None = None,
+        seed: SeedLike = None,
+    ):
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
+        self.batch_size = check_positive_int(batch_size, name="batch_size")
+        self.n_iter = check_positive_int(n_iter, name="n_iter")
+        self.init = init if init is not None else KMeansPlusPlus()
+        self.seed = seed
+        self.cluster_centers_: FloatArray | None = None
+        self.labels_: IntArray | None = None
+        self.inertia_: float | None = None
+
+    def fit(self, X: ArrayLike) -> "MiniBatchKMeans":
+        """Run ``n_iter`` mini-batch updates from a fresh seed."""
+        X = check_array(X, name="X", min_rows=self.n_clusters)
+        n = X.shape[0]
+        rng = ensure_generator(self.seed)
+        centers = self.init.run(X, self.n_clusters, seed=rng).centers.copy()
+        counts = np.zeros(self.n_clusters, dtype=np.float64)
+
+        batch = min(self.batch_size, n)
+        for _ in range(self.n_iter):
+            idx = rng.integers(0, n, size=batch)
+            points = X[idx]
+            labels = assign_labels(points, centers)
+            for j in np.unique(labels):
+                members = points[labels == j]
+                for x in members:
+                    counts[j] += 1.0
+                    eta = 1.0 / counts[j]
+                    centers[j] = (1.0 - eta) * centers[j] + eta * x
+
+        labels, d2 = assign_labels(X, centers, return_sq_dists=True)
+        self.cluster_centers_ = centers
+        self.labels_ = labels
+        self.inertia_ = float(d2.sum())
+        return self
+
+    def predict(self, X: ArrayLike) -> IntArray:
+        """Nearest fitted center for each row."""
+        if self.cluster_centers_ is None:
+            raise ValidationError("MiniBatchKMeans is not fitted; call fit(X) first")
+        return assign_labels(check_array(X), self.cluster_centers_)

@@ -1,0 +1,146 @@
+"""The ``Partition`` streaming baseline (Section 4.2.1; Ailon et al. [2]).
+
+The algorithm:
+
+1. divide the input into ``m`` equal-sized groups (``m = sqrt(n/k)``
+   minimizes memory and, in the parallel setting, running time);
+2. in each group, run ``k-means#`` — k rounds of D^2 sampling picking
+   ``3 ln k`` points per round — and weight the selected centers by the
+   number of group points assigned to them;
+3. run vanilla (weighted) ``k-means++`` on the union of all group centers
+   to reduce to ``k``.
+
+The union in step 3 has expected size ``3 sqrt(nk) ln k`` — three orders
+of magnitude larger than the ``r*l`` candidates of ``k-means||`` (Table 5)
+— and step 3 is sequential, which is why ``Partition``'s running time
+stops improving beyond ``m`` machines while ``k-means||`` keeps scaling
+(the discussion under Table 4).
+
+The implementation processes groups independently (they could run on
+separate machines; the simulated-cluster timing model in
+:mod:`repro.mapreduce.cluster` exploits exactly this independence).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.kmeans_sharp import KMeansSharp
+from repro.core.costs import potential
+from repro.core.init_base import Initializer
+from repro.core.init_kmeanspp import KMeansPlusPlus
+from repro.core.results import InitResult
+from repro.data.sampling import split_into_groups
+from repro.exceptions import ValidationError
+from repro.linalg.centroids import cluster_sizes
+from repro.linalg.distances import assign_labels
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import spawn_generators
+
+__all__ = ["PartitionInit", "default_n_groups"]
+
+
+def default_n_groups(n: int, k: int) -> int:
+    """The memory-optimal group count ``m = sqrt(n/k)`` (at least 1).
+
+    "Choosing m = sqrt(n/k) minimizes the amount of memory used by the
+    streaming algorithm ... [and] also optimizes the total running time"
+    (Section 4.2.1).
+    """
+    if n < 1 or k < 1:
+        raise ValidationError("n and k must be >= 1")
+    return max(1, int(round(math.sqrt(n / k))))
+
+
+class PartitionInit(Initializer):
+    """Streaming divide-and-conquer seeding (the paper's ``Partition``).
+
+    Parameters
+    ----------
+    n_groups:
+        Number of groups ``m``; ``None`` (default) uses ``sqrt(n/k)``.
+    multiplier:
+        Oversampling multiplier of the inner ``k-means#`` (3.0 in [2]).
+    shuffle:
+        Shuffle rows before grouping so groups are exchangeable even if
+        the input file is sorted (the streaming original gets this from
+        arbitrary arrival order).
+
+    Notes
+    -----
+    ``InitResult.n_candidates`` is the size of the intermediate weighted
+    set — the quantity Table 5 compares against ``k-means||``.
+    """
+
+    name = "partition"
+
+    def __init__(
+        self,
+        n_groups: int | None = None,
+        *,
+        multiplier: float = 3.0,
+        shuffle: bool = True,
+    ):
+        if n_groups is not None and n_groups < 1:
+            raise ValidationError(f"n_groups must be >= 1, got {n_groups}")
+        self.n_groups = n_groups
+        self.multiplier = float(multiplier)
+        self.shuffle = bool(shuffle)
+
+    def _run(self, X, k, weights, rng) -> InitResult:
+        n = X.shape[0]
+        if k > n:
+            raise ValidationError(f"k={k} exceeds the number of points n={n}")
+        if not np.allclose(weights, weights[0]):
+            raise ValidationError(
+                "PartitionInit models a raw point stream and does not accept "
+                "non-uniform input weights"
+            )
+        m = self.n_groups if self.n_groups is not None else default_n_groups(n, k)
+        m = min(m, max(1, n // max(1, k)))  # every group must hold >= k-ish points
+
+        sharp = KMeansSharp(multiplier=self.multiplier)
+        group_rngs = spawn_generators(rng, m + 1)
+        pieces: list[FloatArray] = []
+        piece_weights: list[np.ndarray] = []
+        # Step 1-2: independent per-group k-means# + weighting. Each group
+        # is logically its own machine.
+        for group, group_rng in zip(
+            split_into_groups(X, m, seed=group_rngs[0], shuffle=self.shuffle),
+            group_rngs[1:],
+        ):
+            k_group = min(k, group.shape[0])
+            result = sharp.run(group, k_group, seed=group_rng)
+            centers = result.centers
+            labels = assign_labels(group, centers)
+            w = cluster_sizes(labels, centers.shape[0])
+            keep = w > 0
+            pieces.append(centers[keep])
+            piece_weights.append(w[keep])
+
+        intermediate = np.vstack(pieces)
+        inter_weights = np.concatenate(piece_weights)
+
+        # Step 3: sequential weighted k-means++ down to k centers.
+        if intermediate.shape[0] <= k:
+            centers = intermediate.copy()
+        else:
+            centers = (
+                KMeansPlusPlus()
+                .run(intermediate, k, weights=inter_weights, seed=rng)
+                .centers
+            )
+
+        return InitResult(
+            method=self.name,
+            centers=centers,
+            seed_cost=potential(X, centers),
+            n_candidates=int(intermediate.shape[0]),
+            n_rounds=2,  # parallel group round + sequential reduction round
+            n_passes=1,  # a single pass over the raw data (streaming)
+            candidates=intermediate,
+            candidate_weights=inter_weights,
+            params={"k": k, "m": m, "multiplier": self.multiplier},
+        )

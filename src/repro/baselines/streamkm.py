@@ -1,0 +1,192 @@
+"""StreamKM++ (Ackermann et al. [1]) — coreset-tree streaming k-means.
+
+Related work the paper cites ("another streaming algorithm based on
+k-means++ [that] performs well while making a single pass"); implemented
+here as an *extension* so the benchmark suite can situate ``k-means||``
+against the full streaming landscape, not just ``Partition``.
+
+The structure follows the merge-and-reduce paradigm:
+
+* the stream is consumed in *buckets* of ``coreset_size`` points;
+* a full bucket is reduced to a weighted coreset of ``coreset_size``
+  representatives chosen by D^2 sampling (the "coreset tree" of the
+  original collapses to exactly this operation when reduced pairwise);
+* two coresets at the same level merge (union of ``2 * coreset_size``
+  weighted points) and reduce again — standard binary-counter bucketing,
+  so at any moment only ``O(log(n / coreset_size))`` coresets are alive;
+* at query time the union of live coresets is reduced to ``k`` centers by
+  weighted ``k-means++`` + weighted Lloyd.
+
+The original recommends ``coreset_size = 200 k``; that is the default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.costs import potential
+from repro.core.init_base import Initializer
+from repro.core.init_kmeanspp import KMeansPlusPlus
+from repro.core.reclustering import KMeansPlusPlusReclusterer
+from repro.core.results import InitResult
+from repro.exceptions import ValidationError
+from repro.linalg.centroids import cluster_sizes
+from repro.linalg.distances import assign_labels
+from repro.types import FloatArray, RandomState, SeedLike
+from repro.utils.rng import ensure_generator
+
+__all__ = ["CoresetTree", "StreamKMPlusPlus"]
+
+
+class CoresetTree:
+    """Merge-and-reduce maintenance of a weighted coreset over a stream.
+
+    Parameters
+    ----------
+    coreset_size:
+        Size ``s`` of every maintained coreset (and of the ingest buffer).
+    rng:
+        Generator used for all D^2 sampling inside reductions.
+
+    Notes
+    -----
+    ``levels[i]`` holds at most one coreset summarizing ``2**i`` buckets —
+    the classic binary-counter invariant, which bounds live memory by
+    ``O(s log(n/s))`` points.
+    """
+
+    def __init__(self, coreset_size: int, rng: RandomState):
+        if coreset_size < 1:
+            raise ValidationError(f"coreset_size must be >= 1, got {coreset_size}")
+        self.coreset_size = int(coreset_size)
+        self.rng = rng
+        self._buffer: list[np.ndarray] = []
+        self._buffer_weights: list[float] = []
+        self.levels: dict[int, tuple[FloatArray, FloatArray]] = {}
+        self.n_seen = 0
+        self.n_reductions = 0
+
+    # ------------------------------------------------------------------
+    def insert(self, point: np.ndarray, weight: float = 1.0) -> None:
+        """Ingest one stream element."""
+        self._buffer.append(np.asarray(point, dtype=np.float64))
+        self._buffer_weights.append(float(weight))
+        self.n_seen += 1
+        if len(self._buffer) >= self.coreset_size:
+            self._flush_buffer()
+
+    def insert_block(self, X: FloatArray, weights: FloatArray | None = None) -> None:
+        """Vectorized ingest of many rows (same semantics as repeated insert)."""
+        w = np.ones(X.shape[0]) if weights is None else np.asarray(weights, float)
+        for row, wi in zip(X, w):
+            self.insert(row, wi)
+
+    def _flush_buffer(self) -> None:
+        points = np.vstack(self._buffer)
+        weights = np.asarray(self._buffer_weights)
+        self._buffer, self._buffer_weights = [], []
+        self._carry(0, self._reduce(points, weights))
+
+    def _carry(self, level: int, coreset: tuple[FloatArray, FloatArray]) -> None:
+        """Binary-counter carry: merge equal-level coresets upward."""
+        while level in self.levels:
+            other = self.levels.pop(level)
+            merged_points = np.vstack([coreset[0], other[0]])
+            merged_weights = np.concatenate([coreset[1], other[1]])
+            coreset = self._reduce(merged_points, merged_weights)
+            level += 1
+        self.levels[level] = coreset
+
+    def _reduce(
+        self, points: FloatArray, weights: FloatArray
+    ) -> tuple[FloatArray, FloatArray]:
+        """Reduce a weighted set to ``coreset_size`` weighted representatives.
+
+        Representatives are chosen by weighted D^2 sampling (k-means++ with
+        k = coreset_size); each input point's mass moves to its nearest
+        representative, so total weight is conserved exactly — a property
+        test pins this down.
+        """
+        self.n_reductions += 1
+        s = self.coreset_size
+        if points.shape[0] <= s:
+            return points.copy(), weights.copy()
+        reps = KMeansPlusPlus().run(points, s, weights=weights, seed=self.rng).centers
+        labels = assign_labels(points, reps)
+        mass = cluster_sizes(labels, s, weights=weights)
+        keep = mass > 0
+        return reps[keep], mass[keep]
+
+    # ------------------------------------------------------------------
+    def coreset(self) -> tuple[FloatArray, FloatArray]:
+        """The union of all live coresets plus any buffered raw points."""
+        parts_p: list[FloatArray] = [c[0] for c in self.levels.values()]
+        parts_w: list[FloatArray] = [c[1] for c in self.levels.values()]
+        if self._buffer:
+            parts_p.append(np.vstack(self._buffer))
+            parts_w.append(np.asarray(self._buffer_weights))
+        if not parts_p:
+            raise ValidationError("coreset tree is empty; insert points first")
+        return np.vstack(parts_p), np.concatenate(parts_w)
+
+    @property
+    def total_weight(self) -> float:
+        """Conserved total mass of everything ingested so far."""
+        return float(sum(c[1].sum() for c in self.levels.values())
+                     + sum(self._buffer_weights))
+
+
+class StreamKMPlusPlus(Initializer):
+    """Single-pass seeding via a :class:`CoresetTree` (extension).
+
+    Parameters
+    ----------
+    coreset_size:
+        ``s`` per maintained coreset; ``None`` uses the original paper's
+        recommendation ``200 k`` (capped at ``n``).
+    """
+
+    name = "streamkm++"
+
+    def __init__(self, coreset_size: int | None = None):
+        if coreset_size is not None and coreset_size < 1:
+            raise ValidationError(f"coreset_size must be >= 1, got {coreset_size}")
+        self.coreset_size = coreset_size
+
+    def _run(self, X, k, weights, rng) -> InitResult:
+        n = X.shape[0]
+        if k > n:
+            raise ValidationError(f"k={k} exceeds the number of points n={n}")
+        size = self.coreset_size if self.coreset_size is not None else min(n, 200 * k)
+        size = max(size, k)
+        tree = CoresetTree(size, rng)
+        tree.insert_block(X, weights)
+        points, mass = tree.coreset()
+        centers = KMeansPlusPlusReclusterer().recluster(points, mass, k, rng)
+        if centers.shape[0] < k:
+            # Tiny inputs: top up from the raw data.
+            extra = rng.choice(n, size=k - centers.shape[0], replace=False)
+            centers = np.vstack([centers, X[extra]])
+        return InitResult(
+            method=self.name,
+            centers=centers,
+            seed_cost=potential(X, centers, weights=weights),
+            n_candidates=int(points.shape[0]),
+            n_rounds=tree.n_reductions,
+            n_passes=1,
+            candidates=points,
+            candidate_weights=mass,
+            params={"k": k, "coreset_size": size},
+        )
+
+
+def streamkm_init(
+    X: FloatArray,
+    k: int,
+    *,
+    coreset_size: int | None = None,
+    seed: SeedLike = None,
+) -> FloatArray:
+    """Functional shortcut returning only the ``(k, d)`` centers."""
+    rng = ensure_generator(seed)
+    return StreamKMPlusPlus(coreset_size).run(X, k, seed=rng).centers

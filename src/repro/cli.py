@@ -1,0 +1,80 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1 [--scale bench|scaled|paper] [--seed 0]
+    python -m repro run all --scale scaled --out results.txt
+
+``repro-experiments`` (installed by the package) is an alias of
+``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Scalable K-Means++' (Bahmani et al., "
+            "VLDB 2012): regenerate every table and figure of Section 5."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run_p.add_argument(
+        "--scale",
+        choices=("bench", "scaled", "paper"),
+        default="scaled",
+        help="workload scale (default: scaled; 'paper' uses the paper's sizes)",
+    )
+    run_p.add_argument("--seed", type=int, default=0, help="master seed")
+    run_p.add_argument(
+        "--out", type=str, default=None, help="also append rendered output to this file"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    # Deferred import: keep `repro --version` fast and allow `list` to work
+    # even if an experiment module has issues.
+    from repro.evaluation.experiments.registry import EXPERIMENTS, run_experiment
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    outputs: list[str] = []
+    for name in names:
+        result = run_experiment(name, scale=args.scale, seed=args.seed)
+        text = result.render()
+        print(text)
+        print()
+        outputs.append(text)
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as fh:
+            fh.write("\n\n".join(outputs) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

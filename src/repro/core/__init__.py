@@ -1,0 +1,48 @@
+"""The paper's algorithms: potentials, initializers, Lloyd, and the facade.
+
+Public surface
+--------------
+
+* :func:`repro.core.costs.potential` — the k-means potential ``phi_X(C)``.
+* :class:`repro.core.init_random.RandomInit` — baseline ``Random``.
+* :class:`repro.core.init_kmeanspp.KMeansPlusPlus` — Algorithm 1.
+* :class:`repro.core.init_scalable.ScalableKMeans` — Algorithm 2,
+  ``k-means||``, the paper's contribution.
+* :func:`repro.core.lloyd.lloyd` — (weighted) Lloyd's iteration.
+* :class:`repro.core.kmeans.KMeans` — an estimator tying it all together.
+"""
+
+from repro.core.costs import normalized_d2, potential, potential_from_d2
+from repro.core.init_base import Initializer
+from repro.core.init_kmeanspp import KMeansPlusPlus, kmeanspp_init
+from repro.core.init_random import RandomInit, random_init
+from repro.core.init_scalable import ScalableKMeans, scalable_init
+from repro.core.kmeans import KMeans
+from repro.core.lloyd import LloydResult, lloyd
+from repro.core.reclustering import (
+    KMeansPlusPlusReclusterer,
+    Reclusterer,
+    TopUpPolicy,
+)
+from repro.core.results import InitResult, RoundRecord
+
+__all__ = [
+    "potential",
+    "potential_from_d2",
+    "normalized_d2",
+    "Initializer",
+    "RandomInit",
+    "random_init",
+    "KMeansPlusPlus",
+    "kmeanspp_init",
+    "ScalableKMeans",
+    "scalable_init",
+    "KMeans",
+    "lloyd",
+    "LloydResult",
+    "Reclusterer",
+    "KMeansPlusPlusReclusterer",
+    "TopUpPolicy",
+    "InitResult",
+    "RoundRecord",
+]

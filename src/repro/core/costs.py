@@ -1,0 +1,110 @@
+"""The k-means potential and the D^2 sampling distribution.
+
+Section 3.1 of the paper defines, for points ``Y`` and centers ``C``::
+
+    phi_Y(C) = sum_{y in Y} d^2(y, C) = sum_y min_i ||y - c_i||^2
+
+Every algorithm in this library scores itself with this quantity: the
+"seed" columns of Tables 1-2 are ``phi_X(C_init)`` and the "final" columns
+are ``phi_X(C_lloyd)``. The weighted variant (mass ``w_y`` per point) is
+what Step 8 of ``k-means||`` minimizes over the candidate set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.distances import min_sq_dists
+from repro.types import FloatArray
+
+__all__ = [
+    "potential",
+    "potential_from_d2",
+    "normalized_d2",
+    "per_cluster_potential",
+]
+
+
+def potential(
+    X: FloatArray,
+    C: FloatArray,
+    *,
+    weights: FloatArray | None = None,
+) -> float:
+    """``phi_X(C)`` — the (weighted) sum of squared distances to ``C``.
+
+    Parameters
+    ----------
+    X:
+        Points, shape ``(n, d)``.
+    C:
+        Centers, shape ``(k, d)`` with ``k >= 1``.
+    weights:
+        Optional per-point non-negative mass.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> X = np.array([[0.0], [2.0]])
+    >>> potential(X, np.array([[0.0]]))
+    4.0
+    """
+    if C.ndim == 1:
+        C = C.reshape(1, -1)
+    if C.shape[0] == 0:
+        raise ValueError("potential is undefined for an empty center set")
+    return potential_from_d2(min_sq_dists(X, C), weights=weights)
+
+
+def potential_from_d2(d2: FloatArray, *, weights: FloatArray | None = None) -> float:
+    """Sum a precomputed ``d^2(x, C)`` profile into the scalar potential.
+
+    Split out from :func:`potential` because the initializers maintain the
+    profile incrementally and must not pay a fresh ``O(n k d)`` pass per
+    round just to know the current cost.
+    """
+    if weights is None:
+        return float(d2.sum())
+    return float(np.dot(d2, weights))
+
+
+def normalized_d2(
+    d2: FloatArray,
+    *,
+    weights: FloatArray | None = None,
+) -> FloatArray:
+    """The D^2 sampling distribution ``p_x = w_x d^2(x, C) / phi_X(C)``.
+
+    This is the distribution from which ``k-means++`` draws its next center
+    (Algorithm 1, line 3) and whose scaled form ``l * p_x`` gives the
+    ``k-means||`` per-point Bernoulli probabilities (Algorithm 2, line 4).
+
+    Degenerate case: when every point already coincides with a center
+    (``phi = 0``) the D^2 distribution is undefined; we fall back to the
+    (weighted) uniform distribution, which matches what every practical
+    implementation does and keeps samplers total.
+    """
+    w = weights if weights is not None else None
+    mass = d2 if w is None else d2 * w
+    total = mass.sum()
+    if total <= 0.0:
+        if w is None:
+            return np.full(d2.shape[0], 1.0 / d2.shape[0])
+        return w / w.sum()
+    return mass / total
+
+
+def per_cluster_potential(
+    d2: FloatArray,
+    labels: FloatArray,
+    k: int,
+    *,
+    weights: FloatArray | None = None,
+) -> FloatArray:
+    """``phi_A(C)`` for each cluster ``A`` induced by ``labels``.
+
+    Used by the theory tests (Theorem 2 tracks per-optimal-cluster cost)
+    and by diagnostics; shape ``(k,)``.
+    """
+    mass = d2 if weights is None else d2 * weights
+    return np.bincount(labels, weights=mass, minlength=k)

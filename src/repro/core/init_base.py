@@ -1,0 +1,67 @@
+"""Common interface for initialization algorithms.
+
+Every seeding method — the paper's ``k-means||``, the ``k-means++`` and
+``Random`` baselines, and the streaming ``Partition`` baseline — exposes
+the same ``run(X, k)`` contract so the experiment harness, the
+:class:`repro.core.kmeans.KMeans` facade, and the MapReduce drivers can
+treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.results import InitResult
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import ensure_generator
+from repro.utils.validation import check_array, check_positive_int, check_weights
+
+__all__ = ["Initializer"]
+
+
+class Initializer(abc.ABC):
+    """Abstract base for seeding algorithms.
+
+    Subclasses implement :meth:`_run` on pre-validated inputs; the public
+    :meth:`run` handles validation and RNG normalization so each algorithm
+    contains only algorithm.
+    """
+
+    #: Human-readable name; subclasses override.
+    name: str = "initializer"
+
+    def run(
+        self,
+        X: FloatArray,
+        k: int,
+        *,
+        weights: FloatArray | None = None,
+        seed: SeedLike = None,
+    ) -> InitResult:
+        """Produce ``k`` seed centers for the (weighted) point set ``X``.
+
+        Parameters
+        ----------
+        X:
+            Points, shape ``(n, d)``; validated and converted to float64.
+        k:
+            Number of centers; must satisfy ``1 <= k <= n`` for methods
+            that select distinct input points.
+        weights:
+            Optional per-point mass (used when seeding a weighted coreset,
+            e.g. inside Step 8 of ``k-means||``).
+        seed:
+            Anything :func:`repro.utils.rng.ensure_generator` accepts.
+        """
+        X = check_array(X, name="X")
+        k = check_positive_int(k, name="k")
+        w = check_weights(weights, X.shape[0])
+        rng = ensure_generator(seed)
+        return self._run(X, k, w, rng)
+
+    @abc.abstractmethod
+    def _run(self, X, k, weights, rng) -> InitResult:
+        """Algorithm body; inputs are validated, ``weights`` is never None."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

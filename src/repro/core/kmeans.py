@@ -1,0 +1,207 @@
+"""High-level ``KMeans`` estimator tying seeding and Lloyd together.
+
+The paper's evaluation protocol is "each initialization method is
+implicitly followed by Lloyd's iterations" (Section 4.2); this class is
+that protocol as an object, with the familiar ``fit`` / ``predict`` /
+``transform`` surface so the examples read like any other clustering
+library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.init_base import Initializer
+from repro.core.init_kmeanspp import KMeansPlusPlus
+from repro.core.init_random import RandomInit
+from repro.core.init_scalable import ScalableKMeans
+from repro.core.lloyd import LloydResult, lloyd
+from repro.core.results import InitResult
+from repro.exceptions import NotFittedError, ValidationError
+from repro.linalg.distances import assign_labels, pairwise_sq_dists
+from repro.types import ArrayLike, FloatArray, IntArray, SeedLike
+from repro.utils.rng import ensure_generator
+from repro.utils.validation import check_array, check_positive_int, check_weights
+
+__all__ = ["KMeans", "INIT_ALIASES"]
+
+#: String aliases accepted by the ``init`` argument.
+INIT_ALIASES = ("k-means||", "k-means++", "random")
+
+
+def _make_initializer(init, oversampling_factor, n_rounds) -> Initializer:
+    if isinstance(init, Initializer):
+        return init
+    if init == "k-means||":
+        return ScalableKMeans(oversampling_factor=oversampling_factor, n_rounds=n_rounds)
+    if init == "k-means++":
+        return KMeansPlusPlus()
+    if init == "random":
+        return RandomInit()
+    raise ValidationError(
+        f"init must be one of {INIT_ALIASES}, an Initializer instance, or an "
+        f"explicit (k, d) center array; got {init!r}"
+    )
+
+
+class KMeans:
+    """K-means clustering with pluggable initialization.
+
+    Parameters
+    ----------
+    n_clusters:
+        ``k`` — the number of clusters.
+    init:
+        ``"k-means||"`` (default; the paper's Algorithm 2), ``"k-means++"``,
+        ``"random"``, any :class:`~repro.core.init_base.Initializer`, or an
+        explicit ``(k, d)`` array of starting centers.
+    n_init:
+        How many independently-seeded runs to perform; the run with the
+        lowest final potential wins. The paper reports medians over 11
+        runs rather than best-of-n, so its experiments use ``n_init=1``
+        and repeat at the harness level.
+    max_iter / tol / empty_policy:
+        Passed to :func:`repro.core.lloyd.lloyd`.
+    oversampling_factor / n_rounds:
+        Forwarded to :class:`~repro.core.init_scalable.ScalableKMeans` when
+        ``init="k-means||"`` (ignored otherwise).
+    seed:
+        Seed for all randomness in the run.
+
+    Attributes
+    ----------
+    cluster_centers_:
+        ``(k, d)`` final centers.
+    labels_:
+        Assignment of the training points.
+    inertia_:
+        Final potential ``phi_X`` (the paper's "final" cost).
+    n_iter_:
+        Lloyd update steps performed by the winning run.
+    init_result_:
+        The :class:`~repro.core.results.InitResult` of the winning run
+        (``None`` for explicit-array init); ``init_result_.seed_cost`` is
+        the paper's "seed" cost.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(7)
+    >>> X = np.vstack([rng.normal(i * 10, 1, size=(50, 2)) for i in range(3)])
+    >>> model = KMeans(n_clusters=3, seed=0).fit(X)
+    >>> sorted(np.bincount(model.labels_).tolist())
+    [50, 50, 50]
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        init: str | Initializer | ArrayLike = "k-means||",
+        n_init: int = 1,
+        max_iter: int = 300,
+        tol: float = 0.0,
+        empty_policy: str = "reseed-farthest",
+        oversampling_factor: float = 2.0,
+        n_rounds: int | str = 5,
+        seed: SeedLike = None,
+    ):
+        self.n_clusters = check_positive_int(n_clusters, name="n_clusters")
+        self.init = init
+        self.n_init = check_positive_int(n_init, name="n_init")
+        self.max_iter = check_positive_int(max_iter, name="max_iter")
+        self.tol = float(tol)
+        self.empty_policy = empty_policy
+        self.oversampling_factor = oversampling_factor
+        self.n_rounds = n_rounds
+        self.seed = seed
+
+        self.cluster_centers_: FloatArray | None = None
+        self.labels_: IntArray | None = None
+        self.inertia_: float | None = None
+        self.n_iter_: int | None = None
+        self.init_result_: InitResult | None = None
+        self.lloyd_result_: LloydResult | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X: ArrayLike, *, weights: ArrayLike | None = None) -> "KMeans":
+        """Cluster ``X``; returns ``self`` for chaining."""
+        X = check_array(X, name="X", min_rows=self.n_clusters)
+        w = check_weights(weights, X.shape[0])
+        rng = ensure_generator(self.seed)
+
+        explicit = not (isinstance(self.init, (str, Initializer)))
+        best: tuple[float, LloydResult, InitResult | None] | None = None
+        for _ in range(self.n_init):
+            if explicit:
+                centers = check_array(np.asarray(self.init), name="init centers")
+                if centers.shape != (self.n_clusters, X.shape[1]):
+                    raise ValidationError(
+                        f"explicit init centers have shape {centers.shape}, expected "
+                        f"{(self.n_clusters, X.shape[1])}"
+                    )
+                init_result = None
+            else:
+                initializer = _make_initializer(
+                    self.init, self.oversampling_factor, self.n_rounds
+                )
+                init_result = initializer.run(X, self.n_clusters, weights=w, seed=rng)
+                centers = init_result.centers
+            run = lloyd(
+                X,
+                centers,
+                weights=w,
+                max_iter=self.max_iter,
+                tol=self.tol,
+                empty_policy=self.empty_policy,
+                seed=rng,
+            )
+            if best is None or run.cost < best[0]:
+                best = (run.cost, run, init_result)
+
+        assert best is not None  # n_init >= 1
+        _, run, init_result = best
+        self.cluster_centers_ = run.centers
+        self.labels_ = run.labels
+        self.inertia_ = run.cost
+        self.n_iter_ = run.n_iter
+        self.init_result_ = init_result
+        self.lloyd_result_ = run
+        return self
+
+    def fit_predict(self, X: ArrayLike, *, weights: ArrayLike | None = None) -> IntArray:
+        """Fit and return the training labels."""
+        return self.fit(X, weights=weights).labels_
+
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> FloatArray:
+        if self.cluster_centers_ is None:
+            raise NotFittedError("this KMeans instance is not fitted yet; call fit(X) first")
+        return self.cluster_centers_
+
+    def predict(self, X: ArrayLike) -> IntArray:
+        """Nearest-center index for each row of ``X``."""
+        centers = self._check_fitted()
+        X = check_array(X, name="X")
+        return assign_labels(X, centers)
+
+    def transform(self, X: ArrayLike) -> FloatArray:
+        """Distance (not squared) from each point to each center, ``(n, k)``."""
+        centers = self._check_fitted()
+        X = check_array(X, name="X")
+        return np.sqrt(pairwise_sq_dists(X, centers))
+
+    def score(self, X: ArrayLike, *, weights: ArrayLike | None = None) -> float:
+        """Negative potential of ``X`` under the fitted centers (higher = better)."""
+        centers = self._check_fitted()
+        X = check_array(X, name="X")
+        w = check_weights(weights, X.shape[0])
+        _, d2 = assign_labels(X, centers, return_sq_dists=True)
+        return -float(np.dot(d2, w))
+
+    def __repr__(self) -> str:
+        init = self.init if isinstance(self.init, str) else type(self.init).__name__
+        return (
+            f"KMeans(n_clusters={self.n_clusters}, init={init!r}, "
+            f"n_init={self.n_init}, max_iter={self.max_iter})"
+        )

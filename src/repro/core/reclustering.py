@@ -1,0 +1,159 @@
+"""Reclustering of the oversampled candidate set (Step 8 of Algorithm 2).
+
+``k-means||`` ends its sampling rounds with ``O(l log psi)`` weighted
+candidates and must reduce them to exactly ``k`` centers. The paper:
+"since the number of centers is small they can all be assigned to a single
+machine and any provable approximation algorithm (such as k-means++) can
+be used" — and Theorem 1 says an alpha-approximate reclusterer yields an
+O(alpha)-approximate overall seed.
+
+We model that pluggability with the :class:`Reclusterer` interface; the
+default :class:`KMeansPlusPlusReclusterer` is exactly what the paper's
+experiments use ("We use k-means++ for reclustering in Step 8").
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+
+import numpy as np
+
+from repro.exceptions import InsufficientCentersError
+from repro.types import FloatArray, RandomState
+
+__all__ = [
+    "TopUpPolicy",
+    "Reclusterer",
+    "KMeansPlusPlusReclusterer",
+    "RandomReclusterer",
+]
+
+
+class TopUpPolicy(str, enum.Enum):
+    """What ``k-means||`` does when it collected fewer than ``k`` candidates.
+
+    Section 5.3 warns this happens whenever ``r * l < k`` ("we run the risk
+    of having fewer than k centers in the initial set").
+
+    * ``PAD`` — top the seed up with uniform-random data points (the
+      pragmatic choice, also what production ports of the algorithm do);
+    * ``TRUNCATE`` — return the short center set as-is (downstream Lloyd
+      then runs with fewer than ``k`` clusters; reproduces the
+      "substantially worse than k-means++" regime of Figures 5.2-5.3);
+    * ``ERROR`` — raise :class:`~repro.exceptions.InsufficientCentersError`.
+    """
+
+    PAD = "pad"
+    TRUNCATE = "truncate"
+    ERROR = "error"
+
+
+class Reclusterer(abc.ABC):
+    """Strategy interface: weighted candidate set -> ``k`` centers."""
+
+    name: str = "reclusterer"
+
+    @abc.abstractmethod
+    def recluster(
+        self,
+        candidates: FloatArray,
+        weights: FloatArray,
+        k: int,
+        rng: RandomState,
+    ) -> FloatArray:
+        """Cluster the weighted candidates into ``min(k, m)`` centers.
+
+        Implementations may assume ``candidates`` has at least one row and
+        ``weights`` is positive; they must *not* mutate either. When the
+        candidate set is already no larger than ``k`` they should return
+        it unchanged — the short-set policy is the caller's job.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class KMeansPlusPlusReclusterer(Reclusterer):
+    """The paper's choice: weighted ``k-means++`` seed + weighted Lloyd.
+
+    Parameters
+    ----------
+    max_lloyd_iter:
+        Cap on the weighted Lloyd refinement over the candidate set. The
+        candidate set is tiny (1.5k-40k points in the paper), so running
+        to convergence is cheap; set to 0 to use the raw k-means++ seed.
+    """
+
+    name = "k-means++"
+
+    def __init__(self, max_lloyd_iter: int = 100):
+        if max_lloyd_iter < 0:
+            raise ValueError(f"max_lloyd_iter must be >= 0, got {max_lloyd_iter}")
+        self.max_lloyd_iter = int(max_lloyd_iter)
+        #: Lloyd iterations of the most recent recluster() call (telemetry
+        #: for the Table 4 timing model).
+        self.last_refine_iters: int = 0
+
+    def recluster(self, candidates, weights, k, rng) -> FloatArray:
+        # Imports deferred to dodge the core package import cycle.
+        from repro.core.init_kmeanspp import KMeansPlusPlus
+        from repro.core.lloyd import lloyd
+
+        self.last_refine_iters = 0
+        m = candidates.shape[0]
+        if m <= k:
+            return candidates.copy()
+        seed_centers = KMeansPlusPlus().run(candidates, k, weights=weights, seed=rng).centers
+        if self.max_lloyd_iter == 0:
+            return seed_centers
+        result = lloyd(
+            candidates,
+            seed_centers,
+            weights=weights,
+            max_iter=self.max_lloyd_iter,
+            empty_policy="reseed-farthest",
+            seed=rng,
+        )
+        self.last_refine_iters = result.n_iter
+        return result.centers
+
+
+class RandomReclusterer(Reclusterer):
+    """Ablation reclusterer: mass-proportional random pick of ``k`` candidates.
+
+    Exists to quantify (in ``benchmarks/bench_ablations.py``) how much of
+    ``k-means||``'s quality comes from the careful Step 8 versus the
+    D^2-biased sampling rounds themselves.
+    """
+
+    name = "random"
+
+    def recluster(self, candidates, weights, k, rng) -> FloatArray:
+        m = candidates.shape[0]
+        if m <= k:
+            return candidates.copy()
+        idx = rng.choice(m, size=k, replace=False, p=weights / weights.sum())
+        return candidates[np.sort(idx)].copy()
+
+
+def apply_top_up(
+    centers: FloatArray,
+    X: FloatArray,
+    k: int,
+    policy: TopUpPolicy,
+    rng: RandomState,
+) -> FloatArray:
+    """Enforce the short-candidate-set policy on a reclustered seed."""
+    m = centers.shape[0]
+    if m >= k:
+        return centers
+    if policy is TopUpPolicy.ERROR:
+        raise InsufficientCentersError(
+            f"initialization produced only {m} < k={k} centers; increase the "
+            f"number of rounds r or the oversampling factor l (need r*l >= k)"
+        )
+    if policy is TopUpPolicy.TRUNCATE:
+        return centers
+    extra_idx = rng.choice(X.shape[0], size=k - m, replace=False)
+    return np.vstack([centers, X[extra_idx]])

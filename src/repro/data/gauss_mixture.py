@@ -1,0 +1,95 @@
+"""The GaussMixture dataset (Section 4.1), reproduced exactly.
+
+"To generate the dataset, we sampled k centers from a 15-dimensional
+spherical Gaussian distribution with mean at the origin and variance
+R in {1, 10, 100}. We then added points from Gaussian distributions of
+unit variance around each center. [...] The number of sampled points from
+this mixture of Gaussians is n = 10,000."
+
+``R`` controls separation: at ``R = 1`` the Gaussians overlap heavily
+("separated in terms of probability mass — even if only marginally"), at
+``R = 100`` they are far apart, which is why Table 1's Random column
+explodes with ``R`` while the careful seedings stay flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ValidationError
+from repro.types import SeedLike
+from repro.utils.rng import ensure_generator
+
+__all__ = ["GaussMixtureConfig", "make_gauss_mixture"]
+
+
+@dataclass(frozen=True)
+class GaussMixtureConfig:
+    """Parameters of the GaussMixture generator.
+
+    Defaults are the paper's: ``n=10000``, ``d=15``, ``k=50`` (Table 1),
+    center variance ``R=1``.
+    """
+
+    n: int = 10_000
+    d: int = 15
+    k: int = 50
+    R: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n < self.k:
+            raise ValidationError(f"n={self.n} must be >= k={self.k}")
+        if self.k < 1 or self.d < 1:
+            raise ValidationError("k and d must be >= 1")
+        if self.R <= 0:
+            raise ValidationError(f"R must be positive, got {self.R}")
+
+
+def make_gauss_mixture(
+    config: GaussMixtureConfig | None = None,
+    *,
+    seed: SeedLike = None,
+    **overrides,
+) -> Dataset:
+    """Generate a GaussMixture :class:`~repro.data.dataset.Dataset`.
+
+    Parameters
+    ----------
+    config:
+        Full configuration; keyword ``overrides`` (``n=...``, ``R=...``)
+        are applied on top of it (or on top of the defaults).
+    seed:
+        RNG seed; the same seed reproduces the same dataset bit-for-bit.
+
+    Examples
+    --------
+    >>> ds = make_gauss_mixture(seed=0, n=500, k=10, R=10)
+    >>> ds.X.shape
+    (500, 15)
+    >>> ds.true_centers.shape
+    (10, 15)
+    """
+    if config is None:
+        config = GaussMixtureConfig(**overrides)
+    elif overrides:
+        config = GaussMixtureConfig(
+            **{**config.__dict__, **overrides}
+        )
+    rng = ensure_generator(seed)
+
+    # k centers ~ N(0, R * I_d).
+    centers = rng.normal(0.0, np.sqrt(config.R), size=(config.k, config.d))
+    # Equal-weight mixture: each point picks a component uniformly, then
+    # adds unit-variance spherical noise.
+    assignment = rng.integers(0, config.k, size=config.n)
+    X = centers[assignment] + rng.normal(0.0, 1.0, size=(config.n, config.d))
+    return Dataset(
+        name=f"gauss-mixture[R={config.R:g}]",
+        X=X,
+        labels=assignment.astype(np.int64),
+        true_centers=centers,
+        metadata={"n": config.n, "d": config.d, "k": config.k, "R": config.R},
+    )

@@ -1,0 +1,77 @@
+"""Dataset persistence: save/load :class:`~repro.data.dataset.Dataset`.
+
+Experiments at paper scale (4.8M rows) take minutes to generate; the
+harness caches generated datasets on disk so repeated runs of different
+tables against the same workload pay generation once. Format: a ``.npz``
+bundle (points / labels / true centers) plus a sidecar ``.json`` with the
+name and metadata — both human-inspectable, no pickle.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ValidationError
+
+__all__ = ["save_dataset", "load_dataset", "dataset_cache_path"]
+
+
+def save_dataset(dataset: Dataset, path: str | pathlib.Path) -> pathlib.Path:
+    """Write ``dataset`` to ``<path>.npz`` + ``<path>.json``; returns the npz path.
+
+    Any extension on ``path`` is replaced; parent directories are created.
+    """
+    base = pathlib.Path(path).with_suffix("")
+    base.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {"X": dataset.X}
+    if dataset.labels is not None:
+        arrays["labels"] = dataset.labels
+    if dataset.true_centers is not None:
+        arrays["true_centers"] = dataset.true_centers
+    npz_path = base.with_suffix(".npz")
+    np.savez_compressed(npz_path, **arrays)
+    sidecar = {"name": dataset.name, "metadata": dataset.metadata}
+    base.with_suffix(".json").write_text(
+        json.dumps(sidecar, indent=2, default=str), encoding="utf-8"
+    )
+    return npz_path
+
+
+def load_dataset(path: str | pathlib.Path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    base = pathlib.Path(path).with_suffix("")
+    npz_path = base.with_suffix(".npz")
+    json_path = base.with_suffix(".json")
+    if not npz_path.exists():
+        raise ValidationError(f"no dataset at {npz_path}")
+    with np.load(npz_path) as bundle:
+        X = bundle["X"]
+        labels = bundle["labels"] if "labels" in bundle else None
+        true_centers = bundle["true_centers"] if "true_centers" in bundle else None
+    if json_path.exists():
+        sidecar = json.loads(json_path.read_text(encoding="utf-8"))
+        name = sidecar.get("name", base.name)
+        metadata = sidecar.get("metadata", {})
+    else:
+        name, metadata = base.name, {}
+    return Dataset(
+        name=name, X=X, labels=labels, true_centers=true_centers, metadata=metadata
+    )
+
+
+def dataset_cache_path(
+    cache_dir: str | pathlib.Path, name: str, **params
+) -> pathlib.Path:
+    """Deterministic cache location for a generated dataset.
+
+    ``params`` (e.g. ``n=100000, seed=0``) are folded into the filename in
+    sorted order so different configurations never collide.
+    """
+    safe = name.replace("/", "_").replace(" ", "_")
+    suffix = "_".join(f"{k}={params[k]}" for k in sorted(params))
+    filename = f"{safe}__{suffix}" if suffix else safe
+    return pathlib.Path(cache_dir) / filename

@@ -1,0 +1,95 @@
+"""Sampling utilities shared by the data layer and the streaming baseline."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.types import FloatArray, SeedLike
+from repro.utils.rng import ensure_generator
+
+__all__ = ["uniform_sample", "reservoir_sample", "split_into_groups"]
+
+
+def uniform_sample(
+    X: FloatArray,
+    fraction: float,
+    *,
+    seed: SeedLike = None,
+) -> FloatArray:
+    """Uniform subsample without replacement; keeps original row order.
+
+    Used for the "10% sample of KDDCup1999" in Figure 5.1.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValidationError(f"fraction must be in (0, 1], got {fraction}")
+    rng = ensure_generator(seed)
+    n = X.shape[0]
+    size = max(1, int(round(n * fraction)))
+    idx = np.sort(rng.choice(n, size=size, replace=False))
+    return X[idx].copy()
+
+
+def reservoir_sample(
+    stream: Iterable[np.ndarray],
+    size: int,
+    *,
+    seed: SeedLike = None,
+) -> FloatArray:
+    """Classic reservoir sampling (Vitter's Algorithm R) over a row stream.
+
+    The streaming baseline (:mod:`repro.baselines.partition`) consumes its
+    input once; this helper is how tests build uniform samples from the
+    same single-pass discipline without loading everything.
+
+    Parameters
+    ----------
+    stream:
+        An iterable of 1-d row arrays (all the same length).
+    size:
+        Reservoir capacity; if the stream is shorter, all rows are kept.
+    """
+    if size < 1:
+        raise ValidationError(f"size must be >= 1, got {size}")
+    rng = ensure_generator(seed)
+    reservoir: list[np.ndarray] = []
+    for i, row in enumerate(stream):
+        if i < size:
+            reservoir.append(np.asarray(row, dtype=np.float64))
+        else:
+            j = int(rng.integers(0, i + 1))
+            if j < size:
+                reservoir[j] = np.asarray(row, dtype=np.float64)
+    if not reservoir:
+        raise ValidationError("stream was empty")
+    return np.vstack(reservoir)
+
+
+def split_into_groups(
+    X: FloatArray,
+    n_groups: int,
+    *,
+    seed: SeedLike = None,
+    shuffle: bool = True,
+) -> Iterator[FloatArray]:
+    """Partition rows into ``n_groups`` near-equal groups.
+
+    This is the first step of the ``Partition`` baseline (Section 4.2.1:
+    "it divides the input into m equal-sized groups"). Shuffling first
+    makes the groups exchangeable regardless of how the file was laid out
+    — the same effect the original obtains from arbitrary input order.
+    """
+    n = X.shape[0]
+    if n_groups < 1:
+        raise ValidationError(f"n_groups must be >= 1, got {n_groups}")
+    if n_groups > n:
+        raise ValidationError(f"n_groups={n_groups} exceeds n={n}")
+    if shuffle:
+        rng = ensure_generator(seed)
+        order = rng.permutation(n)
+    else:
+        order = np.arange(n)
+    for part in np.array_split(order, n_groups):
+        yield X[part]

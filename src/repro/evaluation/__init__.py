@@ -1,0 +1,26 @@
+"""Experiment harness regenerating every table and figure of Section 5.
+
+* :mod:`repro.evaluation.harness` — repeated seeded runs and median
+  aggregation (the paper reports "median cost over 11 runs");
+* :mod:`repro.evaluation.tables` — fixed-width table rendering;
+* :mod:`repro.evaluation.ascii_plots` — log-scale ASCII line charts for
+  the figures (no plotting library in the offline environment);
+* :mod:`repro.evaluation.experiments` — one module per paper artifact
+  (``table1`` ... ``table6``, ``figure51`` ... ``figure53``, plus the
+  design-choice ``ablations``), all reachable through
+  :func:`repro.evaluation.experiments.registry.get_experiment`.
+"""
+
+from repro.evaluation.harness import MethodSpec, RunRecord, median, repeat_runs, run_method
+from repro.evaluation.tables import render_table
+from repro.evaluation.ascii_plots import render_chart
+
+__all__ = [
+    "MethodSpec",
+    "RunRecord",
+    "run_method",
+    "repeat_runs",
+    "median",
+    "render_table",
+    "render_chart",
+]

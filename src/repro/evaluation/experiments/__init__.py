@@ -1,0 +1,9 @@
+"""One module per paper artifact; see :mod:`repro.evaluation.experiments.registry`."""
+
+from repro.evaluation.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment"]

@@ -1,0 +1,94 @@
+"""Figure 5.1 — final cost vs number of rounds, 10% KDD sample.
+
+The paper studies the l-r trade-off on a 10% sample of KDDCup1999, for
+``k in {17, 33, 65, 129}`` and ``l/k in {1, 2, 4}``, with *exact*
+sampling: "to reduce the variance in the computations, and to make sure
+[we] have exactly l*r points at the end of the point selection step, we
+begin by sampling exactly l points from the joint distribution in every
+round" (Section 5.3). Each data point is the median of 11 runs.
+
+Expected shape: "the final clustering cost ... is monotonically
+decreasing with the number of rounds. Moreover, even a handful of rounds
+is enough to substantially bring down the final cost. Increasing l to 2k
+and 4k ... leads to an improved solution, however this benefit becomes
+less pronounced as the number of rounds increases" — the sweet spot at
+r ~ 8.
+"""
+
+from __future__ import annotations
+
+from repro.data.kddcup import make_kddcup
+from repro.evaluation.ascii_plots import render_chart
+from repro.evaluation.experiments.common import ExperimentResult, check_scale
+from repro.evaluation.experiments.figures_common import sweep_rounds
+from repro.evaluation.tables import render_table
+
+__all__ = ["run", "L_FACTORS"]
+
+L_FACTORS = (1.0, 2.0, 4.0)
+
+_PARAMS = {
+    "bench": {"n": 20_000, "k_values": (17, 33), "r_values": (1, 2, 4, 8),
+              "repeats": 3},
+    "scaled": {"n": 100_000, "k_values": (17, 33, 65, 129),
+               "r_values": (1, 2, 4, 8, 16), "repeats": 5},
+    "paper": {"n": 4_800_000, "k_values": (17, 33, 65, 129),
+              "r_values": (1, 2, 4, 8, 16, 32, 64, 100), "repeats": 11},
+}
+
+
+def run(scale: str = "scaled", seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 5.1 at the requested scale."""
+    check_scale(scale)
+    p = _PARAMS[scale]
+    full = make_kddcup(n=p["n"], seed=seed)
+    sample = full.sample_fraction(0.1, seed=seed + 1)
+
+    blocks: list[str] = []
+    data: dict = {"series": {}}
+    for k in p["k_values"]:
+        grid = sweep_rounds(
+            sample.X,
+            k,
+            l_factors=L_FACTORS,
+            r_values=p["r_values"],
+            repeats=p["repeats"],
+            seed=seed + k,
+            sampling="exact",
+        )
+        series = {
+            f"l/k={factor:g}": [grid[(factor, r)]["final"] for r in p["r_values"]]
+            for factor in L_FACTORS
+        }
+        data["series"][k] = {
+            label: list(values) for label, values in series.items()
+        }
+        blocks.append(
+            render_chart(
+                f"Figure 5.1 (measured): KDD 10% sample, k={k} — final cost "
+                f"vs rounds (median of {p['repeats']})",
+                list(p["r_values"]),
+                series,
+                x_label="# rounds",
+                y_label="cost",
+            )
+        )
+        rows = [
+            [f"l/k={factor:g}"] + [grid[(factor, r)]["final"] for r in p["r_values"]]
+            for factor in L_FACTORS
+        ]
+        blocks.append(
+            render_table(
+                f"k={k} numeric series",
+                ["series"] + [f"r={r}" for r in p["r_values"]],
+                rows,
+                note="Shape checks: decreasing in r; larger l helps most at small r.",
+            )
+        )
+    return ExperimentResult(
+        name="figure51",
+        title="Effect of l and r on final cost (paper Figure 5.1)",
+        scale=scale,
+        blocks=blocks,
+        data=data,
+    )

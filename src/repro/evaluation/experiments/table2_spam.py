@@ -1,0 +1,100 @@
+"""Table 2 — median seed/final cost on Spam (k in {20, 50, 100}).
+
+Paper values (cost / 1e5, median of 11 runs):
+
+=================  ========= =========  ========= =========  ========== ==========
+method             k=20 seed k=20 final k=50 seed k=50 final k=100 seed k=100 final
+=================  ========= =========  ========= =========  ========== ==========
+Random             —         1,528      —         1,488      —          1,384
+k-means++          460       233        110       68         40         24
+k-means|| l=k/2    310       241        82        65         29         23
+k-means|| l=2k     260       234        69        66         24         24
+=================  ========= =========  ========= =========  ========== ==========
+
+Shape: the seed cost of ``k-means||`` beats ``k-means++`` at every k
+(the oversampling + weighted reclustering discounts the heavy-tailed
+capital-run outliers that D^2 seeding otherwise chases); finals are
+comparable; Random is an order of magnitude worse throughout.
+"""
+
+from __future__ import annotations
+
+from repro.data.spambase import make_spambase
+from repro.evaluation.experiments.common import (
+    ExperimentResult,
+    check_scale,
+    kmeanspp_spec,
+    random_spec,
+    scalable_spec,
+)
+from repro.evaluation.harness import median, repeat_runs
+from repro.evaluation.tables import render_table
+
+__all__ = ["run", "PAPER_REFERENCE"]
+
+#: (method, k) -> (seed/1e5 or None, final/1e5) from the paper's Table 2.
+PAPER_REFERENCE = {
+    ("Random", 20): (None, 1528),
+    ("Random", 50): (None, 1488),
+    ("Random", 100): (None, 1384),
+    ("k-means++", 20): (460, 233),
+    ("k-means++", 50): (110, 68),
+    ("k-means++", 100): (40, 24),
+    ("k-means|| l=0.5k r=5", 20): (310, 241),
+    ("k-means|| l=0.5k r=5", 50): (82, 65),
+    ("k-means|| l=0.5k r=5", 100): (29, 23),
+    ("k-means|| l=2k r=5", 20): (260, 234),
+    ("k-means|| l=2k r=5", 50): (69, 66),
+    ("k-means|| l=2k r=5", 100): (24, 24),
+}
+
+_PARAMS = {
+    "bench": {"k_values": (20, 50), "repeats": 3},
+    "scaled": {"k_values": (20, 50, 100), "repeats": 5},
+    "paper": {"k_values": (20, 50, 100), "repeats": 11},
+}
+
+
+def run(scale: str = "scaled", seed: int = 0) -> ExperimentResult:
+    """Regenerate Table 2 at the requested scale."""
+    check_scale(scale)
+    p = _PARAMS[scale]
+    ds = make_spambase(seed=seed)
+    specs = [
+        random_spec(),
+        kmeanspp_spec(),
+        scalable_spec(0.5, 5),
+        scalable_spec(2.0, 5),
+    ]
+    data: dict = {"params": p, "cells": {}}
+    headers = ["method"]
+    for k in p["k_values"]:
+        headers += [f"k={k} seed", f"k={k} final"]
+    rows = []
+    for spec in specs:
+        row: list[object] = [spec.name]
+        for k in p["k_values"]:
+            runs = repeat_runs(ds.X, k, spec, n_repeats=p["repeats"], base_seed=seed)
+            seed_cost = median(runs, "seed_cost")
+            final_cost = median(runs, "final_cost")
+            data["cells"][(spec.name, k)] = {"seed": seed_cost, "final": final_cost}
+            row += [None if spec.name == "Random" else seed_cost, final_cost]
+        rows.append(row)
+
+    table = render_table(
+        f"Table 2 (measured): median cost on Spam, {p['repeats']} runs",
+        headers,
+        rows,
+        note=(
+            "Paper reports costs scaled by 1e5; measured values are raw "
+            "(synthetic Spambase twin). Shape checks: km|| seed <= km++ seed; "
+            "finals comparable; Random ~order of magnitude worse."
+        ),
+    )
+    return ExperimentResult(
+        name="table2",
+        title="Spam clustering cost (paper Table 2)",
+        scale=scale,
+        blocks=[table],
+        data=data,
+    )

@@ -1,0 +1,68 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting genuine bugs (``TypeError`` from numpy,
+etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "NotFittedError",
+    "ConvergenceWarning",
+    "EmptyClusterError",
+    "InsufficientCentersError",
+    "MapReduceError",
+    "JobSpecError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, dtype, range, ...).
+
+    Subclasses :class:`ValueError` so code written against the standard
+    numpy/sklearn convention keeps working.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A result attribute was accessed before ``fit`` was called."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Lloyd's iteration hit the iteration cap before converging."""
+
+
+class EmptyClusterError(ReproError, RuntimeError):
+    """A cluster became empty and the configured policy forbids repair."""
+
+
+class InsufficientCentersError(ReproError, RuntimeError):
+    """An initialization produced fewer than ``k`` distinct candidates.
+
+    The paper warns about exactly this failure mode: running ``k-means||``
+    for ``r`` rounds with oversampling factor ``l`` yields roughly
+    ``1 + r*l`` candidates, so ``r*l < k`` risks an infeasible reclustering
+    step (Section 5.3: "we need at least k/l rounds, otherwise we run the
+    risk of having fewer than k centers in the initial set").
+    """
+
+
+class MapReduceError(ReproError, RuntimeError):
+    """A simulated MapReduce job failed while executing user code."""
+
+
+class JobSpecError(ReproError, ValueError):
+    """A MapReduce job specification is structurally invalid."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment definition is inconsistent or failed to run."""

@@ -1,0 +1,14 @@
+"""Future-work extensions beyond the paper.
+
+The conclusion notes: "There have been several modifications to the
+basic k-means algorithm ... It will be interesting to see if such
+modifications can also be efficiently parallelized." This package takes
+one concrete step: :class:`ScalableKMedian` applies the oversampled-
+rounds recipe of Algorithm 2 to the k-median objective (sum of
+distances, not squared distances), where D (rather than D^2) sampling is
+the natural analogue.
+"""
+
+from repro.extensions.kmedian import ScalableKMedian, kmedian_cost, weighted_kmedian
+
+__all__ = ["ScalableKMedian", "kmedian_cost", "weighted_kmedian"]

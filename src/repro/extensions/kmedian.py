@@ -1,0 +1,188 @@
+"""``k-median||`` — the oversampling recipe applied to k-median.
+
+The k-median objective (Section 2 of the paper lists it among the three
+classic formulations) minimizes the sum of *distances* ``sum_x d(x, C)``
+rather than squared distances. The natural transfer of Algorithm 2:
+
+1. one uniform first center, ``psi = sum d(x, C)``;
+2. ``r`` rounds sampling each point with probability
+   ``min(1, l * d(x, C) / psi_current)`` (D sampling — the k-median
+   analogue of D^2);
+3. weight candidates by nearest-assignment counts;
+4. recluster the weighted candidates with a weighted k-median solver
+   (alternating assignment / per-cluster weighted component-wise median —
+   the L1 analogue of Lloyd; exact for the L1 objective, a standard
+   2-approximation heuristic for the Euclidean one).
+
+No approximation guarantee from the paper carries over verbatim — this
+is future work made executable, benchmarked in
+``benchmarks/bench_ablations.py``'s companion tests for robustness to
+outliers (k-median's selling point).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.init_base import Initializer
+from repro.core.reclustering import TopUpPolicy, apply_top_up
+from repro.core.results import InitResult, RoundRecord
+from repro.exceptions import ValidationError
+from repro.linalg.centroids import cluster_sizes
+from repro.linalg.distances import assign_labels, min_sq_dists
+from repro.types import FloatArray, RandomState
+from repro.utils.validation import check_array, check_weights
+
+__all__ = ["kmedian_cost", "weighted_kmedian", "ScalableKMedian"]
+
+
+def kmedian_cost(
+    X: FloatArray, C: FloatArray, *, weights: FloatArray | None = None
+) -> float:
+    """The k-median potential: (weighted) sum of distances to ``C``."""
+    d = np.sqrt(min_sq_dists(X, C))
+    if weights is None:
+        return float(d.sum())
+    return float(d @ weights)
+
+
+def weighted_kmedian(
+    X: FloatArray,
+    centers: FloatArray,
+    *,
+    weights: FloatArray | None = None,
+    max_iter: int = 100,
+) -> tuple[FloatArray, float, int]:
+    """Alternating k-median refinement (component-wise weighted medians).
+
+    Returns ``(centers, cost, n_iter)``. Empty clusters keep their
+    previous center (the policy a single-pass distributed update allows).
+    """
+    X = check_array(X, name="X")
+    centers = check_array(centers, name="centers", copy=True)
+    w = check_weights(weights, X.shape[0])
+    k = centers.shape[0]
+    prev_labels: np.ndarray | None = None
+    n_iter = 0
+    for _ in range(max_iter):
+        labels = assign_labels(X, centers)
+        if prev_labels is not None and np.array_equal(labels, prev_labels):
+            break
+        n_iter += 1
+        for j in range(k):
+            mask = labels == j
+            if not mask.any():
+                continue
+            centers[j] = _weighted_median_rows(X[mask], w[mask])
+        prev_labels = labels
+    return centers, kmedian_cost(X, centers, weights=w), n_iter
+
+
+def _weighted_median_rows(rows: FloatArray, w: FloatArray) -> FloatArray:
+    """Column-wise weighted median of ``rows``."""
+    out = np.empty(rows.shape[1])
+    for j in range(rows.shape[1]):
+        order = np.argsort(rows[:, j], kind="stable")
+        cum = np.cumsum(w[order])
+        idx = int(np.searchsorted(cum, 0.5 * cum[-1]))
+        out[j] = rows[order[min(idx, rows.shape[0] - 1)], j]
+    return out
+
+
+class ScalableKMedian(Initializer):
+    """``k-median||`` initialization (Algorithm 2 with D sampling).
+
+    Parameters mirror :class:`repro.core.init_scalable.ScalableKMeans`;
+    ``oversampling_factor`` defaults to the same ``l = 2k``.
+    """
+
+    name = "k-median||"
+
+    def __init__(
+        self,
+        *,
+        oversampling_factor: float = 2.0,
+        n_rounds: int = 5,
+        top_up: TopUpPolicy | str = TopUpPolicy.PAD,
+    ):
+        if oversampling_factor <= 0:
+            raise ValidationError(
+                f"oversampling_factor must be positive, got {oversampling_factor}"
+            )
+        if not isinstance(n_rounds, int) or isinstance(n_rounds, bool) or n_rounds < 0:
+            raise ValidationError(f"n_rounds must be an int >= 0, got {n_rounds!r}")
+        self.oversampling_factor = float(oversampling_factor)
+        self.n_rounds = n_rounds
+        self.top_up = TopUpPolicy(top_up)
+
+    def _run(self, X, k, weights, rng: RandomState) -> InitResult:
+        n = X.shape[0]
+        if k > n:
+            raise ValidationError(f"k={k} exceeds the number of points n={n}")
+        l = self.oversampling_factor * k
+
+        first = int(rng.choice(n, p=weights / weights.sum()))
+        candidates = [X[first].copy().reshape(1, -1)]
+        dist = np.sqrt(min_sq_dists(X, candidates[0]))
+
+        rounds: list[RoundRecord] = []
+        n_candidates = 1
+        for round_index in range(self.n_rounds):
+            phi = float(dist @ weights)
+            if phi <= 0.0:
+                rounds.append(RoundRecord(round_index, phi, 0, n_candidates))
+                break
+            probs = np.minimum(1.0, l * (dist * weights) / phi)
+            idx = np.flatnonzero(rng.random(n) < probs)
+            rounds.append(
+                RoundRecord(round_index, phi, int(idx.size), n_candidates + int(idx.size))
+            )
+            if idx.size:
+                new = X[idx]
+                candidates.append(new)
+                dist = np.minimum(dist, np.sqrt(min_sq_dists(X, new)))
+                n_candidates += int(idx.size)
+
+        candidate_arr = np.vstack(candidates)
+        labels = assign_labels(X, candidate_arr)
+        cand_weights = cluster_sizes(labels, candidate_arr.shape[0], weights=weights)
+
+        # Recluster with D-sampled seeding + weighted k-median refinement.
+        centers = self._recluster(candidate_arr, cand_weights, k, rng)
+        centers = apply_top_up(centers, X, k, self.top_up, rng)
+
+        return InitResult(
+            method=self.name,
+            centers=centers,
+            seed_cost=kmedian_cost(X, centers, weights=weights),
+            n_candidates=int(candidate_arr.shape[0]),
+            n_rounds=len(rounds),
+            n_passes=len(rounds) + 2,
+            candidates=candidate_arr,
+            candidate_weights=cand_weights,
+            rounds=rounds,
+            params={"k": k, "l": l, "r": self.n_rounds, "objective": "k-median"},
+        )
+
+    @staticmethod
+    def _recluster(candidates, weights, k, rng) -> FloatArray:
+        m = candidates.shape[0]
+        if m <= k:
+            return candidates.copy()
+        # Sequential D-sampling seed over the weighted candidates.
+        first = int(rng.choice(m, p=weights / weights.sum()))
+        seed = [candidates[first]]
+        dist = np.sqrt(min_sq_dists(candidates, candidates[first : first + 1]))
+        for _ in range(1, k):
+            mass = dist * weights
+            total = mass.sum()
+            probs = mass / total if total > 0 else weights / weights.sum()
+            nxt = int(rng.choice(m, p=probs))
+            seed.append(candidates[nxt])
+            dist = np.minimum(
+                dist, np.sqrt(min_sq_dists(candidates, candidates[nxt : nxt + 1]))
+            )
+        centers, _, _ = weighted_kmedian(
+            candidates, np.vstack(seed), weights=weights, max_iter=50
+        )
+        return centers

@@ -1,0 +1,28 @@
+"""Dense linear-algebra kernels for clustering.
+
+These are the only places in the library where distance arithmetic
+happens; every algorithm (k-means++, k-means||, Lloyd, Partition, the
+MapReduce jobs) calls through here so that numerical conventions —
+squared Euclidean distances, float64, clamping of negative round-off —
+are decided exactly once.
+"""
+
+from repro.linalg.centroids import cluster_sizes, cluster_sums, weighted_centroids
+from repro.linalg.distances import (
+    assign_labels,
+    min_sq_dists,
+    pairwise_sq_dists,
+    sq_dists_to_point,
+    update_min_sq_dists,
+)
+
+__all__ = [
+    "pairwise_sq_dists",
+    "sq_dists_to_point",
+    "min_sq_dists",
+    "update_min_sq_dists",
+    "assign_labels",
+    "weighted_centroids",
+    "cluster_sums",
+    "cluster_sizes",
+]

@@ -1,0 +1,81 @@
+"""Centroid / cluster-aggregate kernels.
+
+``centroid(Y) = (1/|Y|) * sum(Y)`` in the paper's notation (Section 3.1);
+the weighted generalization is needed by Step 8 of ``k-means||`` where the
+oversampled candidates carry integer weights, and by every reducer in the
+MapReduce Lloyd job (which aggregates *partial* sums and counts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cluster_sums", "cluster_sizes", "weighted_centroids"]
+
+
+def cluster_sums(
+    X: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    *,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-cluster (weighted) coordinate sums, shape ``(k, d)``.
+
+    Uses ``np.add.at``-free bincount per dimension, which is the fastest
+    pure-numpy scatter-add for this shape.
+    """
+    if labels.shape[0] != X.shape[0]:
+        raise ValueError(f"labels length {labels.shape[0]} != n={X.shape[0]}")
+    if labels.size and (labels.min() < 0 or labels.max() >= k):
+        raise ValueError(f"labels outside [0, {k})")
+    d = X.shape[1]
+    out = np.empty((k, d), dtype=np.float64)
+    for j in range(d):
+        col = X[:, j] if weights is None else X[:, j] * weights
+        out[:, j] = np.bincount(labels, weights=col, minlength=k)
+    return out
+
+
+def cluster_sizes(
+    labels: np.ndarray,
+    k: int,
+    *,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-cluster total weight (counts when unweighted), shape ``(k,)``."""
+    if labels.size and (labels.min() < 0 or labels.max() >= k):
+        raise ValueError(f"labels outside [0, {k})")
+    return np.bincount(labels, weights=weights, minlength=k).astype(np.float64)
+
+
+def weighted_centroids(
+    X: np.ndarray,
+    labels: np.ndarray,
+    k: int,
+    *,
+    weights: np.ndarray | None = None,
+    empty: str = "nan",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Weighted centroid of each cluster plus the per-cluster mass.
+
+    Parameters
+    ----------
+    empty:
+        What to write for clusters with zero mass: ``"nan"`` (caller must
+        repair — the policy Lloyd uses so empty clusters are *visible*) or
+        ``"zero"`` (useful in reducers that merge partials later).
+
+    Returns
+    -------
+    (centers, mass):
+        ``centers`` has shape ``(k, d)``; ``mass`` shape ``(k,)``.
+    """
+    if empty not in ("nan", "zero"):
+        raise ValueError(f"empty must be 'nan' or 'zero', got {empty!r}")
+    sums = cluster_sums(X, labels, k, weights=weights)
+    mass = cluster_sizes(labels, k, weights=weights)
+    centers = np.full_like(sums, np.nan if empty == "nan" else 0.0)
+    nonzero = mass > 0
+    centers[nonzero] = sums[nonzero] / mass[nonzero, None]
+    return centers, mass

@@ -1,0 +1,228 @@
+"""Squared Euclidean distance kernels.
+
+All distances in the paper are squared Euclidean (the k-means potential
+``phi`` sums ``d^2``). We use the expansion
+
+    ||x - c||^2 = ||x||^2 - 2 <x, c> + ||c||^2
+
+so the inner loop is a single GEMM, and we clamp tiny negative values that
+round-off can produce (they would otherwise poison ``sqrt`` and the D^2
+sampling distribution).
+
+Memory discipline: the full ``(n, k)`` matrix is only materialized by
+:func:`pairwise_sq_dists`; the reduction kernels (:func:`min_sq_dists`,
+:func:`assign_labels`) walk the rows in chunks so peak scratch stays at
+``O(chunk_rows * k)`` regardless of ``n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.chunking import DEFAULT_CHUNK_BYTES, iter_chunks, rows_per_chunk
+from repro.utils.validation import check_matching_dims
+
+__all__ = [
+    "pairwise_sq_dists",
+    "sq_dists_to_point",
+    "min_sq_dists",
+    "update_min_sq_dists",
+    "update_min_sq_dists_argmin",
+    "assign_labels",
+]
+
+
+def _row_norms_sq(X: np.ndarray) -> np.ndarray:
+    """``||x_i||^2`` for each row, via einsum (no intermediate square array)."""
+    return np.einsum("ij,ij->i", X, X)
+
+
+def pairwise_sq_dists(
+    X: np.ndarray,
+    C: np.ndarray,
+    *,
+    x_norms_sq: np.ndarray | None = None,
+) -> np.ndarray:
+    """Full ``(n, k)`` matrix of squared distances between rows of X and C.
+
+    Parameters
+    ----------
+    X:
+        Points, shape ``(n, d)``.
+    C:
+        Centers, shape ``(k, d)``.
+    x_norms_sq:
+        Optional precomputed ``||x||^2`` row norms (shape ``(n,)``); pass
+        this when calling repeatedly with the same ``X`` (Lloyd's iteration
+        does) to skip an O(nd) pass.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``D`` with ``D[i, j] = ||X[i] - C[j]||^2 >= 0``.
+    """
+    check_matching_dims(X, C)
+    if x_norms_sq is None:
+        x_norms_sq = _row_norms_sq(X)
+    c_norms_sq = _row_norms_sq(C)
+    # GEMM dominates; the rank-1 corrections broadcast.
+    d2 = x_norms_sq[:, None] - 2.0 * (X @ C.T) + c_norms_sq[None, :]
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def sq_dists_to_point(X: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Squared distances from every row of ``X`` to the single point ``c``.
+
+    Cheaper than :func:`pairwise_sq_dists` with a 1-row center matrix
+    because it avoids materializing an ``(n, 1)`` result.
+    """
+    c = np.asarray(c, dtype=np.float64).ravel()
+    if X.shape[1] != c.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: points have d={X.shape[1]}, point has d={c.shape[0]}"
+        )
+    diff_free = _row_norms_sq(X) - 2.0 * (X @ c) + float(c @ c)
+    np.maximum(diff_free, 0.0, out=diff_free)
+    return diff_free
+
+
+def min_sq_dists(
+    X: np.ndarray,
+    C: np.ndarray,
+    *,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> np.ndarray:
+    """``d^2(x, C) = min_j ||x - c_j||^2`` for every point, chunked.
+
+    This is the quantity the paper calls ``d^2(x, C)`` (Section 3.1) and is
+    the workhorse of both ``k-means++`` and ``k-means||`` sampling.
+    """
+    check_matching_dims(X, C)
+    n = X.shape[0]
+    out = np.empty(n, dtype=np.float64)
+    chunk_rows = rows_per_chunk(8 * max(1, C.shape[0]), chunk_bytes)
+    c_norms_sq = _row_norms_sq(C)
+    for sl, block in iter_chunks(X, chunk_rows):
+        d2 = _row_norms_sq(block)[:, None] - 2.0 * (block @ C.T) + c_norms_sq[None, :]
+        np.maximum(d2, 0.0, out=d2)
+        out[sl] = d2.min(axis=1)
+    return out
+
+
+def update_min_sq_dists(
+    X: np.ndarray,
+    new_centers: np.ndarray,
+    current: np.ndarray,
+    *,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> np.ndarray:
+    """Refresh ``d^2(x, C)`` after ``new_centers`` joined ``C`` — in place.
+
+    The sequential ``k-means++`` inner loop and every ``k-means||`` round
+    only *add* centers, so the min can be maintained incrementally:
+    ``O(n * |new|)`` per round instead of ``O(n * |C|)`` from scratch. This
+    is the optimization that makes the oversampled rounds affordable.
+
+    ``current`` is modified in place and also returned for chaining.
+    """
+    if new_centers.ndim == 1:
+        new_centers = new_centers.reshape(1, -1)
+    if new_centers.shape[0] == 0:
+        return current
+    check_matching_dims(X, new_centers)
+    if current.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"current has length {current.shape[0]}, expected {X.shape[0]}"
+        )
+    chunk_rows = rows_per_chunk(8 * max(1, new_centers.shape[0]), chunk_bytes)
+    c_norms_sq = _row_norms_sq(new_centers)
+    for sl, block in iter_chunks(X, chunk_rows):
+        d2 = (
+            _row_norms_sq(block)[:, None]
+            - 2.0 * (block @ new_centers.T)
+            + c_norms_sq[None, :]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        np.minimum(current[sl], d2.min(axis=1), out=current[sl])
+    return current
+
+
+def update_min_sq_dists_argmin(
+    X: np.ndarray,
+    new_centers: np.ndarray,
+    current: np.ndarray,
+    nearest: np.ndarray,
+    *,
+    offset: int,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Like :func:`update_min_sq_dists` but also maintains the argmin.
+
+    ``nearest[i]`` holds the global index of the center currently closest
+    to point ``i``; ``offset`` is the global index of ``new_centers[0]``.
+    Maintaining the argmin incrementally is what lets the MapReduce
+    weighting job (Step 7 of ``k-means||``) run without any distance work
+    — each mapper just bin-counts its cached ``nearest`` column.
+
+    Both ``current`` and ``nearest`` are updated in place and returned.
+    """
+    if new_centers.ndim == 1:
+        new_centers = new_centers.reshape(1, -1)
+    if new_centers.shape[0] == 0:
+        return current, nearest
+    check_matching_dims(X, new_centers)
+    if current.shape[0] != X.shape[0] or nearest.shape[0] != X.shape[0]:
+        raise ValueError("current/nearest must have one entry per point")
+    chunk_rows = rows_per_chunk(8 * max(1, new_centers.shape[0]), chunk_bytes)
+    c_norms_sq = _row_norms_sq(new_centers)
+    for sl, block in iter_chunks(X, chunk_rows):
+        d2 = (
+            _row_norms_sq(block)[:, None]
+            - 2.0 * (block @ new_centers.T)
+            + c_norms_sq[None, :]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        idx = d2.argmin(axis=1)
+        best_new = d2[np.arange(block.shape[0]), idx]
+        improved = best_new < current[sl]
+        cur = current[sl]
+        near = nearest[sl]
+        cur[improved] = best_new[improved]
+        near[improved] = idx[improved] + offset
+        current[sl] = cur
+        nearest[sl] = near
+    return current, nearest
+
+
+def assign_labels(
+    X: np.ndarray,
+    C: np.ndarray,
+    *,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    return_sq_dists: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Nearest-center index for every point (ties -> lowest index).
+
+    Parameters
+    ----------
+    return_sq_dists:
+        When true, also return the squared distance to that nearest center
+        (what Lloyd's iteration needs to track the potential for free).
+    """
+    check_matching_dims(X, C)
+    n = X.shape[0]
+    labels = np.empty(n, dtype=np.int64)
+    best = np.empty(n, dtype=np.float64) if return_sq_dists else None
+    chunk_rows = rows_per_chunk(8 * max(1, C.shape[0]), chunk_bytes)
+    c_norms_sq = _row_norms_sq(C)
+    for sl, block in iter_chunks(X, chunk_rows):
+        d2 = _row_norms_sq(block)[:, None] - 2.0 * (block @ C.T) + c_norms_sq[None, :]
+        np.maximum(d2, 0.0, out=d2)
+        idx = d2.argmin(axis=1)
+        labels[sl] = idx
+        if best is not None:
+            best[sl] = d2[np.arange(block.shape[0]), idx]
+    if best is not None:
+        return labels, best
+    return labels

@@ -1,0 +1,62 @@
+"""Shared reducers and constants for the k-means jobs.
+
+``FLOPS_PER_DIST`` is the conventional 3 float-ops (subtract, multiply,
+accumulate) per coordinate of a squared-distance evaluation; every
+mapper's ``work`` accounting uses it so the simulated clock charges all
+algorithms with one ruler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable
+
+import numpy as np
+
+from repro.mapreduce.job import KeyValue, Reducer
+
+__all__ = ["FLOPS_PER_DIST", "ScalarSumReducer", "ArraySumReducer", "ConcatReducer"]
+
+#: Float operations charged per (point, center) coordinate pair.
+FLOPS_PER_DIST = 3.0
+
+#: Key under which the cached d^2 profile lives in each split's state.
+STATE_D2 = "d2"
+#: Key under which the cached nearest-candidate index lives.
+STATE_NEAREST = "nearest"
+
+
+class ScalarSumReducer(Reducer):
+    """Sums numeric values — the potential aggregation of Section 3.5.
+
+    ("each mapper ... can compute phi_X'(C) and the reducer can simply add
+    these values from all mappers to obtain phi_X(C)"). Associative and
+    commutative, hence safe as its own combiner.
+    """
+
+    def reduce(self, key: Hashable, values: list[Any]) -> Iterable[KeyValue]:
+        self.work += len(values)
+        yield key, float(sum(values))
+
+
+class ArraySumReducer(Reducer):
+    """Element-wise sums numpy arrays (weight vectors, sum/count blocks)."""
+
+    def reduce(self, key: Hashable, values: list[Any]) -> Iterable[KeyValue]:
+        total = values[0].astype(np.float64, copy=True)
+        for v in values[1:]:
+            total += v
+        self.work += float(total.size * max(0, len(values) - 1))
+        yield key, total
+
+
+class ConcatReducer(Reducer):
+    """Stacks emitted row blocks into one array (candidate collection)."""
+
+    def reduce(self, key: Hashable, values: list[Any]) -> Iterable[KeyValue]:
+        blocks = [np.atleast_2d(v) for v in values if v is not None and len(v)]
+        if not blocks:
+            yield key, None
+            return
+        out = np.vstack(blocks)
+        self.work += float(out.size)
+        yield key, out

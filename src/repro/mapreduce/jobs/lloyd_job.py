@@ -1,0 +1,156 @@
+"""One Lloyd round as a MapReduce job.
+
+The classic parallel k-means pattern the paper's introduction mentions as
+"readily available": mappers assign points to the broadcast centers and
+emit per-cluster (coordinate-sum, count) partials; the reducer folds
+partials and produces new centroids. Mappers also emit the split's partial
+potential so the driver can track convergence for free.
+
+Two granularities are supported:
+
+* ``"split"`` (default) — the mapper pre-aggregates one ``(k, d+1)``
+  block per split (how Spark/combiner-enabled Hadoop behaves); shuffle
+  volume is ``O(splits * k * d)``;
+* ``"point"`` — the mapper emits one record *per point* and correctness
+  relies on the combiner, as in textbook Hadoop; shuffle volume without a
+  combiner is ``O(n * d)``. The combiner-ablation bench uses this mode to
+  measure exactly how many bytes the combiner saves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable
+
+import numpy as np
+
+from repro.exceptions import JobSpecError
+from repro.linalg.centroids import cluster_sizes, cluster_sums
+from repro.linalg.distances import assign_labels
+from repro.mapreduce.job import BlockMapper, KeyValue, MapReduceJob, Reducer
+from repro.mapreduce.jobs.common import FLOPS_PER_DIST, ScalarSumReducer
+
+__all__ = ["LloydMapper", "SumCountReducer", "make_lloyd_job", "AGG_KEY", "PHI_KEY"]
+
+#: Output key prefix of per-cluster aggregates.
+AGG_KEY = "agg"
+#: Output key of the partial potential.
+PHI_KEY = "lloyd-phi"
+
+GRANULARITIES = ("split", "point")
+
+
+class LloydMapper(BlockMapper):
+    """Assignment + partial aggregation for one split."""
+
+    def __init__(self, centers: np.ndarray, granularity: str = "split"):
+        super().__init__()
+        if granularity not in GRANULARITIES:
+            raise JobSpecError(
+                f"granularity must be one of {GRANULARITIES}, got {granularity!r}"
+            )
+        self.centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+        self.granularity = granularity
+
+    def map_block(self, block: np.ndarray) -> Iterable[KeyValue]:
+        k = self.centers.shape[0]
+        labels, d2 = assign_labels(block, self.centers, return_sq_dists=True)
+        self.work += block.shape[0] * k * block.shape[1] * FLOPS_PER_DIST
+        yield PHI_KEY, float(d2.sum())
+        if self.granularity == "split":
+            sums = cluster_sums(block, labels, k)
+            counts = cluster_sizes(labels, k)
+            # One (sum, count) record per non-empty cluster in this split.
+            for j in np.flatnonzero(counts):
+                yield (AGG_KEY, int(j)), np.concatenate([sums[j], counts[j : j + 1]])
+        else:
+            for x, j in zip(block, labels):
+                yield (AGG_KEY, int(j)), np.concatenate([x, [1.0]])
+
+
+class SumCountReducer(Reducer):
+    """Fold (sum, count) partials; emit the new centroid of the cluster.
+
+    Associative/commutative over the partial representation, so it doubles
+    as the combiner (where it emits folded partials, which this reducer
+    folds again — the output is a centroid only at the final reduce; the
+    runtime calls combiners and reducers through different paths, so the
+    combiner variant is :class:`SumCountCombiner` below).
+    """
+
+    def reduce(self, key: Hashable, values: list[Any]) -> Iterable[KeyValue]:
+        total = values[0].astype(np.float64, copy=True)
+        for v in values[1:]:
+            total += v
+        self.work += float(total.size * max(0, len(values) - 1))
+        count = total[-1]
+        centroid = total[:-1] / count if count > 0 else total[:-1]
+        yield key, (centroid, float(count))
+
+
+class SumCountCombiner(Reducer):
+    """Pre-fold (sum, count) partials without dividing (stay mergeable)."""
+
+    def reduce(self, key: Hashable, values: list[Any]) -> Iterable[KeyValue]:
+        if key == PHI_KEY:
+            self.work += len(values)
+            yield key, float(sum(values))
+            return
+        total = values[0].astype(np.float64, copy=True)
+        for v in values[1:]:
+            total += v
+        self.work += float(total.size * max(0, len(values) - 1))
+        yield key, total
+
+
+class _LloydReducer(Reducer):
+    """Dispatch: phi key -> scalar sum; agg keys -> centroid computation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._scalar = ScalarSumReducer()
+        self._sumcount = SumCountReducer()
+
+    def reduce(self, key: Hashable, values: list[Any]) -> Iterable[KeyValue]:
+        inner = self._scalar if key == PHI_KEY else self._sumcount
+        yield from inner.reduce(key, values)
+        self.work += inner.work
+        inner.work = 0.0
+
+
+def make_lloyd_job(
+    centers: np.ndarray,
+    *,
+    granularity: str = "split",
+    use_combiner: bool = True,
+) -> MapReduceJob:
+    """Build one Lloyd-round job for the broadcast ``centers``."""
+    return MapReduceJob(
+        name="lloyd/iteration",
+        mapper_factory=lambda: LloydMapper(centers, granularity),
+        reducer_factory=_LloydReducer,
+        combiner_factory=SumCountCombiner if use_combiner else None,
+        broadcast=centers,
+    )
+
+
+def collect_new_centers(
+    output: dict[Hashable, list[Any]],
+    previous: np.ndarray,
+) -> tuple[np.ndarray, float]:
+    """Assemble the reducer output into a center array plus the potential.
+
+    Clusters that received no points keep their previous center (the
+    ``"keep"`` empty policy — the only choice expressible without another
+    pass, and what production MapReduce implementations do).
+    """
+    k = previous.shape[0]
+    centers = previous.copy()
+    for key, values in output.items():
+        if key == PHI_KEY:
+            continue
+        _, j = key
+        centroid, count = values[0]
+        if count > 0:
+            centers[j] = centroid
+    phi = float(output[PHI_KEY][0])
+    return centers, phi

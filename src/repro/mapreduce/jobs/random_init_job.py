@@ -1,0 +1,67 @@
+"""Distributed uniform sampling of ``k`` rows (the ``Random`` baseline).
+
+Uses the *bottom-k tags* trick: every mapper draws an independent
+``U(0, 1)`` tag per point and keeps its split's ``k`` smallest; the
+reducer keeps the global ``k`` smallest. Because i.i.d. uniform tags
+induce a uniformly random total order on the points, the result is an
+exactly uniform ``k``-subset, with only ``O(splits * k)`` shuffled rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable
+
+import numpy as np
+
+from repro.exceptions import MapReduceError
+from repro.mapreduce.job import BlockMapper, KeyValue, MapReduceJob, Reducer
+
+__all__ = ["make_uniform_sample_job", "SAMPLE_KEY"]
+
+#: Output key of the sampled rows.
+SAMPLE_KEY = "uniform-sample"
+
+
+class _BottomKMapper(BlockMapper):
+    """Tag each row, keep the split's k smallest tags."""
+
+    def __init__(self, k: int):
+        super().__init__()
+        if k < 1:
+            raise MapReduceError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+
+    def map_block(self, block: np.ndarray) -> Iterable[KeyValue]:
+        n = block.shape[0]
+        tags = self.ctx.rng.random(n)
+        self.work += 2.0 * n
+        keep = min(self.k, n)
+        idx = np.argpartition(tags, keep - 1)[:keep] if keep < n else np.arange(n)
+        # Emit (tag, row) pairs so the reducer can take the global bottom-k.
+        yield SAMPLE_KEY, (tags[idx].copy(), block[idx].copy())
+
+
+class _BottomKReducer(Reducer):
+    """Merge per-split bottom-k lists into the global bottom-k rows."""
+
+    def __init__(self, k: int):
+        super().__init__()
+        self.k = int(k)
+
+    def reduce(self, key: Hashable, values: list[Any]) -> Iterable[KeyValue]:
+        tags = np.concatenate([t for t, _ in values])
+        rows = np.vstack([r for _, r in values])
+        self.work += float(tags.size)
+        keep = min(self.k, tags.size)
+        order = np.argsort(tags)[:keep]
+        yield key, rows[order].copy()
+
+
+def make_uniform_sample_job(k: int) -> MapReduceJob:
+    """Build a job that returns ``k`` uniform-without-replacement rows."""
+    return MapReduceJob(
+        name="random/uniform-sample",
+        mapper_factory=lambda: _BottomKMapper(k),
+        reducer_factory=lambda: _BottomKReducer(k),
+        broadcast=int(k),
+    )

@@ -1,0 +1,106 @@
+"""The weighting job — Step 7 of Algorithm 2 in MapReduce form.
+
+"For x in C, set w_x to be the number of points in X closer to x than any
+other point in C." Each mapper assigns its split's points to the nearest
+candidate and emits a *partial count vector*; the combiner/reducer sums
+vectors. The emitted value is a dense ``(m,)`` vector rather than ``m``
+scalar records — the pre-aggregation a real implementation gets from its
+combiner, made explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import MapReduceError
+from repro.linalg.centroids import cluster_sizes
+from repro.linalg.distances import assign_labels
+from repro.mapreduce.job import BlockMapper, KeyValue, MapReduceJob
+from repro.mapreduce.jobs.common import (
+    FLOPS_PER_DIST,
+    STATE_NEAREST,
+    ArraySumReducer,
+)
+
+__all__ = [
+    "WeightMapper",
+    "CachedWeightMapper",
+    "make_weight_job",
+    "make_cached_weight_job",
+    "WEIGHTS_KEY",
+]
+
+#: Output key of the summed weight vector.
+WEIGHTS_KEY = "weights"
+
+
+class WeightMapper(BlockMapper):
+    """Nearest-candidate count vector for one split."""
+
+    def __init__(self, candidates: np.ndarray):
+        super().__init__()
+        self.candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+
+    def map_block(self, block: np.ndarray) -> Iterable[KeyValue]:
+        labels = assign_labels(block, self.candidates)
+        counts = cluster_sizes(labels, self.candidates.shape[0])
+        self.work += (
+            block.shape[0] * self.candidates.shape[0] * block.shape[1] * FLOPS_PER_DIST
+        )
+        yield WEIGHTS_KEY, counts
+
+
+class CachedWeightMapper(BlockMapper):
+    """Step 7 with zero distance work, from the cached argmin column.
+
+    Requires every candidate to have been folded into the split caches by
+    cost jobs (the driver's final fold guarantees this). The whole map is
+    one bincount — this is why the weighting pass is a cheap job in the
+    Table 4 timing model.
+    """
+
+    def __init__(self, n_candidates: int):
+        super().__init__()
+        if n_candidates < 1:
+            raise MapReduceError(f"n_candidates must be >= 1, got {n_candidates}")
+        self.n_candidates = int(n_candidates)
+
+    def map_block(self, block: np.ndarray) -> Iterable[KeyValue]:
+        nearest = self.ctx.state.get(STATE_NEAREST)
+        if nearest is None or nearest.shape[0] != block.shape[0]:
+            raise MapReduceError(
+                "cached weight job requires cost jobs to have populated the "
+                "nearest-candidate cache for this split"
+            )
+        if nearest.min() < 0 or nearest.max() >= self.n_candidates:
+            raise MapReduceError(
+                f"cached nearest indices outside [0, {self.n_candidates}); "
+                "was the final fold job skipped?"
+            )
+        counts = np.bincount(nearest, minlength=self.n_candidates).astype(np.float64)
+        self.work += float(block.shape[0])
+        yield WEIGHTS_KEY, counts
+
+
+def make_weight_job(candidates: np.ndarray) -> MapReduceJob:
+    """Build the Step-7 weighting job for the full candidate set."""
+    return MapReduceJob(
+        name="kmeans||/weights",
+        mapper_factory=lambda: WeightMapper(candidates),
+        reducer_factory=ArraySumReducer,
+        combiner_factory=ArraySumReducer,
+        broadcast=candidates,
+    )
+
+
+def make_cached_weight_job(n_candidates: int) -> MapReduceJob:
+    """Build the cache-based Step-7 job (no distance work)."""
+    return MapReduceJob(
+        name="kmeans||/weights-cached",
+        mapper_factory=lambda: CachedWeightMapper(n_candidates),
+        reducer_factory=ArraySumReducer,
+        combiner_factory=ArraySumReducer,
+        broadcast=int(n_candidates),
+    )

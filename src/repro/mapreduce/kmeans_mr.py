@@ -1,0 +1,311 @@
+"""Drivers chaining MapReduce jobs into complete algorithms.
+
+``mr_scalable_kmeans`` is the Section 3.5 realization of Algorithm 2:
+
+* one *uniform-sample* job picks the first center;
+* each round is a *cost* job (fold the previous round's new centers into
+  the per-split ``d^2`` caches; sum partial potentials) followed by a
+  *sample* job (independent per-point coins, given the broadcast phi);
+* a *weight* job computes the candidate weights (Step 7);
+* the driver reclusters the weighted candidates sequentially (Step 8 —
+  "since the number of centers is small they can all be assigned to a
+  single machine"), charged to the simulated clock as a sequential
+  section;
+* ``mr_lloyd`` then refines with one MapReduce job per Lloyd round.
+
+Every driver returns an :class:`MRKMeansReport` with both the clustering
+outcome and the simulated-time breakdown that Table 4 aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.init_kmeanspp import KMeansPlusPlus
+from repro.core.lloyd import lloyd as sequential_lloyd
+from repro.core.reclustering import TopUpPolicy, apply_top_up
+from repro.exceptions import MapReduceError
+from repro.linalg.distances import min_sq_dists
+from repro.mapreduce.cluster import ClusterModel
+from repro.mapreduce.jobs.common import FLOPS_PER_DIST
+from repro.mapreduce.jobs.cost_job import PHI_KEY, make_cost_job
+from repro.mapreduce.jobs.lloyd_job import (
+    PHI_KEY as LLOYD_PHI_KEY,
+    collect_new_centers,
+    make_lloyd_job,
+)
+from repro.mapreduce.jobs.random_init_job import SAMPLE_KEY, make_uniform_sample_job
+from repro.mapreduce.jobs.sample_job import CANDIDATES_KEY, make_sample_job
+from repro.mapreduce.jobs.weight_job import WEIGHTS_KEY, make_cached_weight_job
+from repro.mapreduce.runtime import LocalMapReduceRuntime
+from repro.types import FloatArray, SeedLike
+
+__all__ = [
+    "MRKMeansReport",
+    "mr_scalable_kmeans",
+    "mr_random_kmeans",
+    "mr_lloyd",
+    "naive_kmeanspp_flops",
+    "simulate_partition_time",
+]
+
+
+@dataclass
+class MRKMeansReport:
+    """Outcome + telemetry of a full MapReduce k-means run."""
+
+    method: str
+    centers: FloatArray
+    seed_cost: float
+    final_cost: float
+    lloyd_iters: int
+    n_candidates: int
+    n_jobs: int
+    simulated_minutes: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    params: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line report used by the examples and the CLI."""
+        return (
+            f"{self.method}: final={self.final_cost:.4g} seed={self.seed_cost:.4g} "
+            f"lloyd_iters={self.lloyd_iters} jobs={self.n_jobs} "
+            f"simulated={self.simulated_minutes:.1f} min"
+        )
+
+
+def naive_kmeanspp_flops(m: int, k: int, d: int) -> float:
+    """Flops of a *vanilla* Algorithm-1 reclustering of ``m`` points.
+
+    Vanilla k-means++ as written (and as the 2012 reference
+    implementations ran it) rebuilds the D^2 distribution against the
+    full current center set at every draw: ``sum_{i<k} m * i * d``
+    distance evaluations — ``O(m k^2 d)``. This is the term that makes
+    ``Partition``'s million-point intermediate set so expensive (Table 4)
+    while ``k-means||``'s few thousand candidates stay cheap. The
+    incremental-update ablation charges ``O(m k d)`` instead; see
+    ``benchmarks/bench_ablations.py``.
+    """
+    return FLOPS_PER_DIST * d * m * (k * (k - 1) / 2.0 + k)
+
+
+def mr_lloyd(
+    runtime: LocalMapReduceRuntime,
+    centers: FloatArray,
+    *,
+    max_iter: int = 20,
+    tol: float = 0.0,
+) -> tuple[FloatArray, float, int]:
+    """Lloyd's iteration as repeated MapReduce jobs.
+
+    Stops when the maximum squared center shift is ``<= tol`` or after
+    ``max_iter`` jobs (the paper bounds the parallel ``Random`` baseline
+    at 20 iterations). Returns ``(centers, final_phi, n_iter)``.
+    """
+    centers = np.array(centers, dtype=np.float64, copy=True)
+    phi = float("inf")
+    n_iter = 0
+    for _ in range(max_iter):
+        result = runtime.run_job(make_lloyd_job(centers))
+        new_centers, phi = collect_new_centers(result.output, centers)
+        n_iter += 1
+        shift_sq = float(
+            np.max(np.einsum("ij,ij->i", new_centers - centers, new_centers - centers))
+        )
+        centers = new_centers
+        if shift_sq <= tol:
+            break
+    return centers, phi, n_iter
+
+
+def mr_scalable_kmeans(
+    X: FloatArray,
+    k: int,
+    *,
+    l: float,
+    r: int = 5,
+    n_splits: int = 8,
+    cluster: ClusterModel | None = None,
+    seed: SeedLike = None,
+    lloyd_max_iter: int = 20,
+    top_up: TopUpPolicy = TopUpPolicy.PAD,
+) -> MRKMeansReport:
+    """Full ``k-means||`` pipeline on the simulated cluster.
+
+    Parameters mirror Algorithm 2 (``l`` is absolute, ``r`` the number of
+    rounds); ``lloyd_max_iter`` bounds the post-init refinement jobs.
+    """
+    runtime = LocalMapReduceRuntime(X, n_splits=n_splits, cluster=cluster, seed=seed)
+    rng = np.random.default_rng(
+        runtime._seed_root.integers(0, 2**63)  # driver-side randomness
+    )
+
+    # Step 1: first center, uniformly at random, via a sampling job.
+    first = runtime.run_job(make_uniform_sample_job(1)).single(SAMPLE_KEY)
+    candidates = [np.atleast_2d(first)]
+    new_centers = candidates[0]
+
+    # Steps 2-6: cost job + sample job per round. The cost job folds the
+    # previous round's picks into each split's cached (d^2, argmin) state
+    # and reports the exact current potential; the sample job then flips
+    # the per-point coins against that potential.
+    n_candidates = 1
+    offset = 0
+    for _ in range(r):
+        phi = runtime.run_job(make_cost_job(new_centers, offset=offset)).single(PHI_KEY)
+        offset = n_candidates
+        if phi <= 0.0:
+            new_centers = np.empty((0, X.shape[1]))
+            break
+        sampled = runtime.run_job(make_sample_job(l, phi)).output.get(CANDIDATES_KEY)
+        block = sampled[0] if sampled else None
+        if block is None or len(block) == 0:
+            new_centers = np.empty((0, X.shape[1]))
+            continue
+        candidates.append(block)
+        new_centers = block
+        n_candidates += block.shape[0]
+
+    # Final fold so the caches cover the last round's candidates too.
+    if new_centers.shape[0]:
+        runtime.run_job(make_cost_job(new_centers, offset=offset)).single(PHI_KEY)
+
+    candidate_arr = np.vstack(candidates)
+    init_minutes = runtime.simulated_minutes
+
+    # Step 7: candidate weights — a bincount over the cached argmin column.
+    weights = runtime.run_job(
+        make_cached_weight_job(candidate_arr.shape[0])
+    ).single(WEIGHTS_KEY)
+    weight_minutes = runtime.simulated_minutes - init_minutes
+
+    # Step 8: sequential reclustering on the driver.
+    if candidate_arr.shape[0] <= k:
+        seed_centers = candidate_arr.copy()
+        recluster_iters = 0
+    else:
+        pp = KMeansPlusPlus().run(candidate_arr, k, weights=weights, seed=rng)
+        refined = sequential_lloyd(
+            candidate_arr, pp.centers, weights=weights, max_iter=100, seed=rng
+        )
+        seed_centers = refined.centers
+        recluster_iters = refined.n_iter
+    seed_centers = apply_top_up(seed_centers, X, k, top_up, rng)
+    m = candidate_arr.shape[0]
+    recluster_flops = naive_kmeanspp_flops(m, k, X.shape[1]) + (
+        recluster_iters * FLOPS_PER_DIST * m * k * X.shape[1]
+    )
+    runtime.charge_sequential(recluster_flops, label="recluster candidates")
+    recluster_minutes = runtime.simulated_minutes - init_minutes - weight_minutes
+
+    seed_cost = float(min_sq_dists(X, seed_centers).sum())
+
+    # Lloyd refinement, one MR job per round, to convergence.
+    before = runtime.simulated_minutes
+    centers, final_cost, n_iter = mr_lloyd(runtime, seed_centers, max_iter=lloyd_max_iter)
+    lloyd_minutes = runtime.simulated_minutes - before
+
+    return MRKMeansReport(
+        method="k-means||",
+        centers=centers,
+        seed_cost=seed_cost,
+        final_cost=final_cost,
+        lloyd_iters=n_iter,
+        n_candidates=int(m),
+        n_jobs=len(runtime.job_log),
+        simulated_minutes=runtime.simulated_minutes,
+        breakdown={
+            "init": init_minutes,
+            "weights": weight_minutes,
+            "recluster": recluster_minutes,
+            "lloyd": lloyd_minutes,
+        },
+        params={"k": k, "l": l, "r": r, "n_splits": n_splits},
+    )
+
+
+def mr_random_kmeans(
+    X: FloatArray,
+    k: int,
+    *,
+    n_splits: int = 8,
+    cluster: ClusterModel | None = None,
+    seed: SeedLike = None,
+    lloyd_max_iter: int = 20,
+) -> MRKMeansReport:
+    """The parallel ``Random`` baseline: uniform seed + bounded MR Lloyd.
+
+    "In the parallel version, we bounded the number of iterations to 20"
+    (Section 4.2).
+    """
+    runtime = LocalMapReduceRuntime(X, n_splits=n_splits, cluster=cluster, seed=seed)
+    seed_centers = runtime.run_job(make_uniform_sample_job(k)).single(SAMPLE_KEY)
+    if seed_centers.shape[0] < k:
+        raise MapReduceError(
+            f"uniform sampling returned {seed_centers.shape[0]} < k={k} rows"
+        )
+    init_minutes = runtime.simulated_minutes
+    seed_cost = float(min_sq_dists(X, seed_centers).sum())
+    centers, final_cost, n_iter = mr_lloyd(runtime, seed_centers, max_iter=lloyd_max_iter)
+    return MRKMeansReport(
+        method="random",
+        centers=centers,
+        seed_cost=seed_cost,
+        final_cost=final_cost,
+        lloyd_iters=n_iter,
+        n_candidates=k,
+        n_jobs=len(runtime.job_log),
+        simulated_minutes=runtime.simulated_minutes,
+        breakdown={"init": init_minutes,
+                   "lloyd": runtime.simulated_minutes - init_minutes},
+        params={"k": k, "n_splits": n_splits},
+    )
+
+
+def simulate_partition_time(
+    cluster: ClusterModel,
+    *,
+    n: int,
+    d: int,
+    k: int,
+    m: int,
+    n_intermediate: int,
+    lloyd_iters: int,
+) -> dict[str, float]:
+    """Closed-form simulated minutes for the ``Partition`` baseline.
+
+    Phase 1: ``m`` independent ``k-means#`` group runs scheduled on the
+    cluster's workers (each: k rounds of incremental D^2 updates against
+    ``3 ln k``-point batches over ``n/m`` points, plus the per-round
+    distribution build). Phase 2: sequential vanilla ``k-means++`` over
+    the ``n_intermediate`` weighted centers (see
+    :func:`naive_kmeanspp_flops`). Finally ``lloyd_iters`` MapReduce
+    Lloyd rounds over the full data.
+
+    Returns a phase breakdown in minutes (key ``"total"`` included);
+    Table 4 sums exactly these terms.
+    """
+    import math
+
+    batch = max(1, math.ceil(3.0 * math.log(max(k, 2))))
+    group_size = max(1, n // max(1, m))
+    group_flops = FLOPS_PER_DIST * k * group_size * batch * d + 2.0 * k * group_size
+    phase1 = cluster.parallel_group_seconds([group_flops] * m) + cluster.job_overhead_s
+
+    phase2 = cluster.sequential_seconds(naive_kmeanspp_flops(n_intermediate, k, d))
+
+    lloyd_flops_per_iter = FLOPS_PER_DIST * n * k * d
+    lloyd = lloyd_iters * (
+        cluster.job_overhead_s
+        + lloyd_flops_per_iter / (cluster.n_workers * cluster.worker_flops)
+        + (n * d * 8.0) / (cluster.n_workers * cluster.scan_bytes_per_s)
+    )
+    total = phase1 + phase2 + lloyd
+    return {
+        "phase1_groups": phase1 / 60.0,
+        "phase2_sequential": phase2 / 60.0,
+        "lloyd": lloyd / 60.0,
+        "total": total / 60.0,
+    }

@@ -1,0 +1,155 @@
+"""Closed-form simulated running times at arbitrary scale.
+
+The MapReduce runtime charges simulated time for work it *actually
+executes*. Table 4, however, reports minutes for the 4.8M-point
+KDDCup1999 instance — too large to execute locally for every parameter
+setting. The honest split, recorded in DESIGN.md, is:
+
+* *algorithm-dependent quantities* (Lloyd iterations to convergence,
+  intermediate-set sizes, number of rounds) are **measured** by really
+  running the algorithms at a reduced scale;
+* *hardware-dependent time* is then **computed** at paper scale from
+  those measurements with the formulas below, charging every method with
+  the same ruler: the :class:`~repro.mapreduce.cluster.ClusterModel` rate
+  constants (see :meth:`~repro.mapreduce.cluster.ClusterModel.paper_2012`
+  for the Table 4 calibration), the 3-flops-per-coordinate distance
+  convention, and the vanilla-``k-means++`` reclustering cost of the 2012
+  reference implementations
+  (:func:`repro.mapreduce.kmeans_mr.naive_kmeanspp_flops`).
+
+Job granularity: the model charges **one job per ``k-means||`` round**
+(the per-point coin flips piggyback on the fold pass of a pipelined
+implementation) and a cheap cache-based weighting pass — the granularity
+implied by Table 4's own anchors (``l=0.1k, r=15`` lands at ~17 uniform
+jobs; ``Random`` at 21). The local executable driver keeps the
+cost/sample phases as separate jobs for exactness; the two granularities
+are reconciled in EXPERIMENTS.md.
+
+Each function returns a per-phase breakdown in *minutes* with a
+``"total"`` key.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.cluster import ClusterModel
+from repro.mapreduce.jobs.common import FLOPS_PER_DIST
+from repro.mapreduce.kmeans_mr import naive_kmeanspp_flops, simulate_partition_time
+
+__all__ = [
+    "time_mr_job",
+    "time_lloyd_iters",
+    "time_random",
+    "time_scalable",
+    "time_partition",
+]
+
+
+def time_mr_job(
+    cluster: ClusterModel,
+    *,
+    n: int,
+    d: int,
+    map_flops_per_record: float,
+    shuffle_bytes: float = 0.0,
+) -> float:
+    """Seconds of one MapReduce pass over ``n`` records of width ``d``.
+
+    Map tasks are assumed balanced (the runtime's splits are equal), so
+    the makespan is total work over aggregate throughput; every job also
+    scans its input once and pays the fixed per-job overhead.
+    """
+    scan = (n * d * 8.0) / (cluster.n_workers * cluster.scan_bytes_per_s)
+    compute = (n * map_flops_per_record) / (cluster.n_workers * cluster.worker_flops)
+    shuffle = shuffle_bytes / cluster.shuffle_bytes_per_s
+    return cluster.job_overhead_s + scan + compute + shuffle
+
+
+def time_lloyd_iters(
+    cluster: ClusterModel, *, n: int, d: int, k: int, iters: int
+) -> float:
+    """Seconds of ``iters`` MapReduce Lloyd rounds (k distances/record)."""
+    per_iter = time_mr_job(
+        cluster,
+        n=n,
+        d=d,
+        map_flops_per_record=FLOPS_PER_DIST * k * d,
+        shuffle_bytes=8.0 * k * (d + 1) * cluster.n_workers,
+    )
+    return iters * per_iter
+
+
+def time_random(
+    cluster: ClusterModel, *, n: int, d: int, k: int, lloyd_iters: int
+) -> dict[str, float]:
+    """Simulated minutes of the parallel ``Random`` baseline.
+
+    One cheap sampling pass plus ``lloyd_iters`` (the paper caps at 20)
+    full Lloyd rounds.
+    """
+    init = time_mr_job(cluster, n=n, d=d, map_flops_per_record=2.0)
+    lloyd = time_lloyd_iters(cluster, n=n, d=d, k=k, iters=lloyd_iters)
+    return {"init": init / 60.0, "lloyd": lloyd / 60.0,
+            "total": (init + lloyd) / 60.0}
+
+
+def time_scalable(
+    cluster: ClusterModel,
+    *,
+    n: int,
+    d: int,
+    k: int,
+    l: float,
+    r: int,
+    n_candidates: int,
+    recluster_iters: int,
+    lloyd_iters: int,
+) -> dict[str, float]:
+    """Simulated minutes of the full ``k-means||`` pipeline.
+
+    One cheap first-center job; ``r`` round jobs, each folding ~``l`` new
+    centers into the cached profiles (``l * d`` distance flops per
+    record; the coin flips ride along); one cache-based weighting pass
+    (Step 7, no distance work thanks to the maintained argmin); the
+    sequential Step-8 reclustering (vanilla k-means++ plus
+    ``recluster_iters`` weighted Lloyd rounds over the candidate set);
+    and the measured ``lloyd_iters`` full Lloyd rounds.
+    """
+    first = time_mr_job(cluster, n=n, d=d, map_flops_per_record=2.0)
+    round_jobs = r * time_mr_job(
+        cluster, n=n, d=d, map_flops_per_record=FLOPS_PER_DIST * l * d + 2.0
+    )
+    weight_job = time_mr_job(cluster, n=n, d=d, map_flops_per_record=1.0)
+    recluster = cluster.sequential_seconds(
+        naive_kmeanspp_flops(n_candidates, k, d)
+        + recluster_iters * FLOPS_PER_DIST * n_candidates * k * d
+    )
+    lloyd = time_lloyd_iters(cluster, n=n, d=d, k=k, iters=lloyd_iters)
+    init = first + round_jobs + weight_job
+    return {
+        "init_rounds": init / 60.0,
+        "recluster": recluster / 60.0,
+        "lloyd": lloyd / 60.0,
+        "total": (init + recluster + lloyd) / 60.0,
+    }
+
+
+def time_partition(
+    cluster: ClusterModel,
+    *,
+    n: int,
+    d: int,
+    k: int,
+    m: int,
+    n_intermediate: int,
+    lloyd_iters: int,
+) -> dict[str, float]:
+    """Simulated minutes of the ``Partition`` baseline (re-exported)."""
+    return simulate_partition_time(
+        cluster,
+        n=n,
+        d=d,
+        k=k,
+        m=m,
+        n_intermediate=n_intermediate,
+        lloyd_iters=lloyd_iters,
+    )

@@ -1,0 +1,23 @@
+"""The paper's Section 6 analysis as computable functions.
+
+Useful both for *choosing parameters* (how many rounds does Theorem 1
+actually require for my data?) and for *verifying the implementation*
+(the theory tests check the measured per-round cost drop against
+Theorem 2's bound).
+"""
+
+from repro.theory.bounds import (
+    alpha,
+    corollary3_bound,
+    kmeanspp_expected_factor,
+    rounds_for_target,
+    theorem2_bound,
+)
+
+__all__ = [
+    "alpha",
+    "theorem2_bound",
+    "corollary3_bound",
+    "rounds_for_target",
+    "kmeanspp_expected_factor",
+]

@@ -1,0 +1,88 @@
+"""Closed forms of the paper's guarantees (Section 6).
+
+Notation follows the paper: ``psi`` is the cost after the first (uniform)
+center, ``phi_star`` the optimal k-means cost, ``l`` the oversampling
+factor, ``k`` the number of clusters, ``r`` the number of rounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "alpha",
+    "theorem2_bound",
+    "corollary3_bound",
+    "rounds_for_target",
+    "kmeanspp_expected_factor",
+]
+
+
+def _check_positive(value: float, name: str) -> float:
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return float(value)
+
+
+def alpha(l: float, k: int) -> float:
+    """Theorem 2's contraction constant ``exp(-(1 - e^{-l/(2k)})) ~ e^{-l/2k}``.
+
+    Smaller is better: with ``l = 2k``, ``alpha ~ 0.53``, so each round
+    removes roughly a quarter of the current cost (the ``(1+alpha)/2``
+    factor) while adding ``8 phi*``.
+    """
+    _check_positive(l, "l")
+    _check_positive(k, "k")
+    return math.exp(-(1.0 - math.exp(-l / (2.0 * k))))
+
+
+def theorem2_bound(phi: float, phi_star: float, l: float, k: int) -> float:
+    """Expected cost after one round: ``E[phi'] <= 8 phi* + (1+alpha)/2 phi``."""
+    if phi < 0 or phi_star < 0:
+        raise ValidationError("potentials must be non-negative")
+    a = alpha(l, k)
+    return 8.0 * phi_star + (1.0 + a) / 2.0 * phi
+
+
+def corollary3_bound(psi: float, phi_star: float, l: float, k: int, r: int) -> float:
+    """Corollary 3: ``E[phi^(r)] <= ((1+alpha)/2)^r psi + 16/(1-alpha) phi*``."""
+    if psi < 0 or phi_star < 0:
+        raise ValidationError("potentials must be non-negative")
+    if r < 0:
+        raise ValidationError(f"r must be >= 0, got {r}")
+    a = alpha(l, k)
+    return ((1.0 + a) / 2.0) ** r * psi + 16.0 / (1.0 - a) * phi_star
+
+
+def rounds_for_target(
+    psi: float, phi_star: float, l: float, k: int, *, slack: float = 1.0
+) -> int:
+    """Rounds until Corollary 3's geometric term falls below the additive one.
+
+    This is the concrete content of "O(log psi) rounds": the smallest
+    ``r`` with ``((1+alpha)/2)^r psi <= slack * 16/(1-alpha) phi*``. With
+    ``phi_star = 0`` (degenerate), falls back to driving the geometric
+    term below ``slack`` in absolute terms.
+    """
+    _check_positive(psi, "psi")
+    _check_positive(slack, "slack")
+    if phi_star < 0:
+        raise ValidationError("phi_star must be non-negative")
+    a = alpha(l, k)
+    rate = (1.0 + a) / 2.0
+    target = slack * (16.0 / (1.0 - a) * phi_star if phi_star > 0 else 1.0)
+    if psi <= target:
+        return 0
+    return max(1, math.ceil(math.log(target / psi) / math.log(rate)))
+
+
+def kmeanspp_expected_factor(k: int) -> float:
+    """Arthur & Vassilvitskii's seeding guarantee: ``E[phi] <= 8(ln k + 2) phi*``.
+
+    Used as the ``alpha`` of Theorem 1 when Step 8 reclusters with
+    ``k-means++`` — the configuration of every experiment in the paper.
+    """
+    _check_positive(k, "k")
+    return 8.0 * (math.log(k) + 2.0)

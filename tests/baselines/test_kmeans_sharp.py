@@ -1,0 +1,80 @@
+"""Tests for repro.baselines.kmeans_sharp."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans_sharp import KMeansSharp, points_per_round
+from repro.exceptions import ValidationError
+
+
+class TestPointsPerRound:
+    def test_three_ln_k(self):
+        assert points_per_round(100) == math.ceil(3 * math.log(100))
+
+    def test_minimum_one(self):
+        assert points_per_round(1) >= 1
+
+    def test_custom_multiplier(self):
+        assert points_per_round(100, multiplier=6.0) == math.ceil(6 * math.log(100))
+
+    def test_bad_k(self):
+        with pytest.raises(ValidationError):
+            points_per_round(0)
+
+
+class TestKMeansSharp:
+    def test_oversampled_output_size(self, blobs):
+        X, _ = blobs
+        k = 10
+        result = KMeansSharp().run(X, k, seed=0)
+        batch = points_per_round(k)
+        assert result.n_candidates <= k * batch
+        assert result.n_candidates >= k  # roughly k rounds' worth
+
+    def test_candidates_are_rows(self, blobs):
+        X, _ = blobs
+        result = KMeansSharp().run(X, 5, seed=0)
+        for c in result.centers:
+            assert (np.abs(X - c).sum(axis=1) < 1e-12).any()
+
+    def test_k_rounds_k_passes(self, blobs):
+        X, _ = blobs
+        result = KMeansSharp().run(X, 8, seed=0)
+        assert result.n_rounds <= 8
+        assert result.n_passes == result.n_rounds
+
+    def test_seed_cost_below_single_random_point(self, blobs):
+        from repro.core.costs import potential
+
+        X, _ = blobs
+        result = KMeansSharp().run(X, 5, seed=0)
+        assert result.seed_cost < potential(X, X[:1])
+
+    def test_degenerate_data_early_stop(self):
+        X = np.repeat(np.eye(2) * 5, 10, axis=0)
+        result = KMeansSharp().run(X, 10, seed=0)
+        assert result.seed_cost == pytest.approx(0.0, abs=1e-12)
+
+    def test_bicriteria_quality(self, blobs):
+        # With ~3 k ln k centers the seed cost should be tiny relative to
+        # the one-center cost; on separated blobs it approaches the noise.
+        from repro.core.costs import potential
+
+        X, true_centers = blobs
+        result = KMeansSharp().run(X, 5, seed=1)
+        opt = potential(X, true_centers)
+        assert result.seed_cost < 5 * opt
+
+    def test_deterministic(self, blobs):
+        X, _ = blobs
+        a = KMeansSharp().run(X, 5, seed=3).centers
+        b = KMeansSharp().run(X, 5, seed=3).centers
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_multiplier(self):
+        with pytest.raises(ValidationError):
+            KMeansSharp(multiplier=0.0)

@@ -1,0 +1,61 @@
+"""Tests for repro.baselines.minibatch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.minibatch import MiniBatchKMeans
+from repro.exceptions import ValidationError
+
+
+class TestMiniBatchKMeans:
+    def test_fit_populates_attributes(self, blobs):
+        X, _ = blobs
+        model = MiniBatchKMeans(5, n_iter=30, seed=0).fit(X)
+        assert model.cluster_centers_.shape == (5, 3)
+        assert model.labels_.shape == (X.shape[0],)
+        assert model.inertia_ > 0
+
+    def test_improves_over_seed(self, blobs):
+        from repro.core.costs import potential
+        from repro.core.init_random import RandomInit
+
+        X, _ = blobs
+        seed_centers = RandomInit().run(X, 5, seed=0).centers
+        seed_cost = potential(X, seed_centers)
+        model = MiniBatchKMeans(
+            5, n_iter=100, init=RandomInit(), seed=0
+        ).fit(X)
+        assert model.inertia_ < seed_cost
+
+    def test_predict(self, blobs):
+        X, _ = blobs
+        model = MiniBatchKMeans(5, n_iter=20, seed=0).fit(X)
+        labels = model.predict(X[:10])
+        assert labels.shape == (10,)
+        assert labels.max() < 5
+
+    def test_predict_before_fit_rejected(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValidationError, match="not fitted"):
+            MiniBatchKMeans(3).predict(X)
+
+    def test_batch_larger_than_n_ok(self, rng):
+        X = rng.normal(size=(20, 2))
+        model = MiniBatchKMeans(3, batch_size=1000, n_iter=5, seed=0).fit(X)
+        assert model.cluster_centers_.shape == (3, 2)
+
+    def test_deterministic(self, blobs):
+        X, _ = blobs
+        a = MiniBatchKMeans(4, n_iter=10, seed=5).fit(X).cluster_centers_
+        b = MiniBatchKMeans(4, n_iter=10, seed=5).fit(X).cluster_centers_
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_params(self):
+        with pytest.raises(ValidationError):
+            MiniBatchKMeans(0)
+        with pytest.raises(ValidationError):
+            MiniBatchKMeans(3, batch_size=0)
+        with pytest.raises(ValidationError):
+            MiniBatchKMeans(3, n_iter=0)

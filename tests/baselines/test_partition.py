@@ -1,0 +1,84 @@
+"""Tests for repro.baselines.partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.partition import PartitionInit, default_n_groups
+from repro.exceptions import ValidationError
+
+
+class TestDefaultNGroups:
+    def test_sqrt_rule(self):
+        assert default_n_groups(10_000, 100) == 10
+
+    def test_minimum_one(self):
+        assert default_n_groups(10, 10) == 1
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValidationError):
+            default_n_groups(0, 5)
+
+
+class TestPartitionInit:
+    def test_returns_k_centers(self, blobs):
+        X, _ = blobs
+        result = PartitionInit().run(X, 5, seed=0)
+        assert result.centers.shape == (5, 3)
+
+    def test_intermediate_set_larger_than_k(self, blobs):
+        X, _ = blobs
+        result = PartitionInit(n_groups=4).run(X, 5, seed=0)
+        assert result.n_candidates > 5
+        assert result.candidates.shape[0] == result.n_candidates
+
+    def test_intermediate_weights_sum_to_n(self, blobs):
+        X, _ = blobs
+        result = PartitionInit(n_groups=4).run(X, 5, seed=0)
+        assert result.candidate_weights.sum() == pytest.approx(X.shape[0])
+
+    def test_single_pass_two_rounds(self, blobs):
+        X, _ = blobs
+        result = PartitionInit().run(X, 5, seed=0)
+        assert result.n_passes == 1
+        assert result.n_rounds == 2
+
+    def test_explicit_group_count_respected(self, blobs):
+        X, _ = blobs
+        result = PartitionInit(n_groups=3).run(X, 5, seed=0)
+        assert result.params["m"] == 3
+
+    def test_quality_on_separated_blobs(self, blobs):
+        from repro.core.costs import potential
+
+        X, true_centers = blobs
+        costs = [PartitionInit().run(X, 5, seed=s).seed_cost for s in range(8)]
+        opt = potential(X, true_centers)
+        assert np.median(costs) < 20 * opt
+
+    def test_rejects_weighted_input(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValidationError, match="does not accept"):
+            PartitionInit().run(X, 3, weights=np.arange(1.0, X.shape[0] + 1.0))
+
+    def test_k_larger_than_n_rejected(self, rng):
+        with pytest.raises(ValidationError, match="exceeds"):
+            PartitionInit().run(rng.normal(size=(4, 2)), 5)
+
+    def test_groups_capped_for_small_n(self, rng):
+        # n=40, k=20: requested 10 groups would leave 4 points per group;
+        # the cap keeps groups >= k-ish.
+        X = rng.normal(size=(40, 2))
+        result = PartitionInit(n_groups=10).run(X, 20, seed=0)
+        assert result.params["m"] <= 2
+
+    def test_deterministic(self, blobs):
+        X, _ = blobs
+        a = PartitionInit().run(X, 5, seed=4).centers
+        b = PartitionInit().run(X, 5, seed=4).centers
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_group_count(self):
+        with pytest.raises(ValidationError):
+            PartitionInit(n_groups=0)

@@ -1,0 +1,92 @@
+"""Tests for repro.baselines.streamkm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.streamkm import CoresetTree, StreamKMPlusPlus
+from repro.exceptions import ValidationError
+
+
+class TestCoresetTree:
+    def test_weight_conservation(self, rng):
+        tree = CoresetTree(16, rng)
+        X = rng.normal(size=(200, 3))
+        tree.insert_block(X)
+        assert tree.total_weight == pytest.approx(200.0)
+        _, mass = tree.coreset()
+        assert mass.sum() == pytest.approx(200.0)
+
+    def test_binary_counter_invariant(self, rng):
+        tree = CoresetTree(8, rng)
+        X = rng.normal(size=(8 * 7, 2))  # 7 buckets
+        tree.insert_block(X)
+        # 7 = 0b111: levels 0, 1, 2 alive.
+        assert set(tree.levels) == {0, 1, 2}
+
+    def test_memory_bounded(self, rng):
+        tree = CoresetTree(8, rng)
+        tree.insert_block(rng.normal(size=(1024, 2)))
+        live = sum(c[0].shape[0] for c in tree.levels.values())
+        assert live <= 8 * (1 + int(np.log2(1024 / 8)))
+
+    def test_buffered_points_included(self, rng):
+        tree = CoresetTree(10, rng)
+        tree.insert_block(rng.normal(size=(15, 2)))  # 1 flush + 5 buffered
+        points, mass = tree.coreset()
+        assert mass.sum() == pytest.approx(15.0)
+
+    def test_weighted_insert(self, rng):
+        tree = CoresetTree(4, rng)
+        tree.insert(np.zeros(2), weight=3.0)
+        tree.insert(np.ones(2), weight=2.0)
+        assert tree.total_weight == pytest.approx(5.0)
+
+    def test_empty_tree_coreset_rejected(self, rng):
+        with pytest.raises(ValidationError, match="empty"):
+            CoresetTree(4, rng).coreset()
+
+    def test_bad_size(self, rng):
+        with pytest.raises(ValidationError):
+            CoresetTree(0, rng)
+
+    def test_reduction_count_increases(self, rng):
+        tree = CoresetTree(8, rng)
+        tree.insert_block(rng.normal(size=(64, 2)))
+        assert tree.n_reductions >= 8
+
+
+class TestStreamKMPlusPlus:
+    def test_returns_k_centers(self, blobs):
+        X, _ = blobs
+        result = StreamKMPlusPlus(coreset_size=40).run(X, 5, seed=0)
+        assert result.centers.shape == (5, 3)
+
+    def test_single_pass(self, blobs):
+        X, _ = blobs
+        result = StreamKMPlusPlus(coreset_size=40).run(X, 5, seed=0)
+        assert result.n_passes == 1
+
+    def test_quality_on_blobs(self, blobs):
+        from repro.core.costs import potential
+
+        X, true_centers = blobs
+        costs = [
+            StreamKMPlusPlus(coreset_size=60).run(X, 5, seed=s).seed_cost
+            for s in range(6)
+        ]
+        assert np.median(costs) < 25 * potential(X, true_centers)
+
+    def test_default_coreset_size_rule(self, blobs):
+        X, _ = blobs
+        result = StreamKMPlusPlus().run(X, 2, seed=0)
+        assert result.params["coreset_size"] == min(X.shape[0], 200 * 2)
+
+    def test_k_larger_than_n_rejected(self, rng):
+        with pytest.raises(ValidationError, match="exceeds"):
+            StreamKMPlusPlus().run(rng.normal(size=(3, 2)), 4)
+
+    def test_bad_coreset_size(self):
+        with pytest.raises(ValidationError):
+            StreamKMPlusPlus(coreset_size=0)

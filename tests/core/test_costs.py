@@ -1,0 +1,103 @@
+"""Tests for repro.core.costs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import (
+    normalized_d2,
+    per_cluster_potential,
+    potential,
+    potential_from_d2,
+)
+from repro.linalg.distances import assign_labels, min_sq_dists
+
+
+class TestPotential:
+    def test_hand_computed(self, tiny):
+        C = np.array([[0.0]])
+        # 0 + 1 + 16 + 81
+        assert potential(tiny, C) == pytest.approx(98.0)
+
+    def test_two_centers(self, tiny):
+        C = np.array([[0.0], [9.0]])
+        # 0 + 1 + min(16,25) + 0
+        assert potential(tiny, C) == pytest.approx(17.0)
+
+    def test_weighted(self, tiny):
+        C = np.array([[0.0]])
+        w = np.array([1.0, 2.0, 0.0, 1.0])
+        assert potential(tiny, C, weights=w) == pytest.approx(0 + 2 * 1 + 0 + 81)
+
+    def test_1d_center_accepted(self, tiny):
+        assert potential(tiny, np.array([0.0])) == pytest.approx(98.0)
+
+    def test_empty_center_set_rejected(self, tiny):
+        with pytest.raises(ValueError, match="empty center set"):
+            potential(tiny, np.empty((0, 1)))
+
+    def test_monotone_in_centers(self, rng):
+        X = rng.normal(size=(50, 3))
+        C1 = X[:2]
+        C2 = X[:5]
+        assert potential(X, C2) <= potential(X, C1) + 1e-9
+
+    def test_zero_when_all_points_are_centers(self, rng):
+        X = rng.normal(size=(10, 2))
+        assert potential(X, X) == pytest.approx(0.0, abs=1e-8)
+
+
+class TestPotentialFromD2:
+    def test_equivalence(self, rng):
+        X = rng.normal(size=(30, 4))
+        C = rng.normal(size=(3, 4))
+        d2 = min_sq_dists(X, C)
+        assert potential_from_d2(d2) == pytest.approx(potential(X, C))
+
+    def test_weighted_dot(self, rng):
+        d2 = rng.uniform(size=10)
+        w = rng.uniform(size=10)
+        assert potential_from_d2(d2, weights=w) == pytest.approx(float(d2 @ w))
+
+
+class TestNormalizedD2:
+    def test_sums_to_one(self, rng):
+        d2 = rng.uniform(size=20)
+        p = normalized_d2(d2)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_proportionality(self):
+        d2 = np.array([1.0, 3.0])
+        np.testing.assert_allclose(normalized_d2(d2), [0.25, 0.75])
+
+    def test_weighted(self):
+        d2 = np.array([1.0, 1.0])
+        w = np.array([3.0, 1.0])
+        np.testing.assert_allclose(normalized_d2(d2, weights=w), [0.75, 0.25])
+
+    def test_degenerate_all_zero_uniform_fallback(self):
+        p = normalized_d2(np.zeros(4))
+        np.testing.assert_allclose(p, 0.25)
+
+    def test_degenerate_weighted_fallback(self):
+        p = normalized_d2(np.zeros(2), weights=np.array([1.0, 3.0]))
+        np.testing.assert_allclose(p, [0.25, 0.75])
+
+
+class TestPerClusterPotential:
+    def test_partitions_total(self, rng):
+        X = rng.normal(size=(40, 3))
+        C = rng.normal(size=(5, 3))
+        labels, d2 = assign_labels(X, C, return_sq_dists=True)
+        per = per_cluster_potential(d2, labels, 5)
+        assert per.sum() == pytest.approx(potential(X, C))
+        assert per.shape == (5,)
+
+    def test_weighted_partition(self, rng):
+        X = rng.normal(size=(20, 2))
+        w = rng.uniform(0.5, 2.0, size=20)
+        C = X[:3]
+        labels, d2 = assign_labels(X, C, return_sq_dists=True)
+        per = per_cluster_potential(d2, labels, 3, weights=w)
+        assert per.sum() == pytest.approx(potential(X, C, weights=w))

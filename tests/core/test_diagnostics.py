@@ -1,0 +1,72 @@
+"""Tests for repro.core.diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import approximation_ratio, diagnose
+from repro.exceptions import ValidationError
+
+
+class TestDiagnose:
+    def test_balanced_blobs(self, blobs):
+        X, true_centers = blobs
+        report = diagnose(X, true_centers)
+        assert report.k == 5
+        np.testing.assert_array_equal(report.sizes, [60] * 5)
+        assert report.imbalance == pytest.approx(1.0)
+        assert report.n_empty == 0
+        assert report.cost_share.sum() == pytest.approx(1.0)
+
+    def test_separation_large_for_separated_blobs(self, blobs):
+        X, true_centers = blobs
+        report = diagnose(X, true_centers)
+        assert report.separation > 5.0
+
+    def test_empty_cluster_detected(self, blobs):
+        X, true_centers = blobs
+        with_stray = np.vstack([true_centers, [[1e6, 1e6, 1e6]]])
+        report = diagnose(X, with_stray)
+        assert report.n_empty == 1
+
+    def test_single_center(self, blobs):
+        X, _ = blobs
+        report = diagnose(X, X[:1])
+        assert report.k == 1
+        assert report.separation == float("inf")
+        assert report.sizes[0] == X.shape[0]
+
+    def test_zero_cost_solution(self):
+        X = np.repeat(np.eye(2), 5, axis=0)
+        report = diagnose(X, np.eye(2))
+        assert report.cost == pytest.approx(0.0, abs=1e-12)
+        assert report.cost_share.sum() == 0.0
+
+    def test_summary_mentions_key_fields(self, blobs):
+        X, true_centers = blobs
+        text = diagnose(X, true_centers).summary()
+        assert "k=5" in text and "empty=0" in text
+
+    def test_imbalance_detects_skew(self):
+        X = np.vstack([np.zeros((90, 1)), np.ones((10, 1)) * 100.0])
+        report = diagnose(X, np.array([[0.0], [100.0]]))
+        assert report.imbalance == pytest.approx(90 / 50)
+
+
+class TestApproximationRatio:
+    def test_reference_is_one_ish(self, blobs):
+        X, true_centers = blobs
+        assert approximation_ratio(X, true_centers, true_centers) == pytest.approx(1.0)
+
+    def test_bad_solution_large_ratio(self, blobs):
+        X, true_centers = blobs
+        one_center = X.mean(axis=0, keepdims=True)
+        # Single center padded with far-away points: strictly worse.
+        bad = np.vstack([one_center] * 5) + np.arange(5)[:, None]
+        assert approximation_ratio(X, bad, true_centers) > 10.0
+
+    def test_zero_reference_rejected(self):
+        X = np.repeat(np.eye(2), 3, axis=0)
+        with pytest.raises(ValidationError, match="zero cost"):
+            approximation_ratio(X, np.eye(2), np.eye(2))

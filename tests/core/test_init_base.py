@@ -1,0 +1,63 @@
+"""Tests for the Initializer base-class contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.init_base import Initializer
+from repro.core.results import InitResult
+from repro.exceptions import ValidationError
+
+
+class Recording(Initializer):
+    """Minimal initializer recording what the base class handed it."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.received = None
+
+    def _run(self, X, k, weights, rng) -> InitResult:
+        self.received = (X, k, weights, rng)
+        return InitResult(
+            method=self.name,
+            centers=X[:k].copy(),
+            seed_cost=0.0,
+            n_candidates=k,
+            n_rounds=1,
+            n_passes=1,
+        )
+
+
+class TestInitializerBase:
+    def test_validates_and_converts_input(self):
+        init = Recording()
+        init.run([[1, 2], [3, 4], [5, 6]], 2, seed=0)
+        X, k, weights, rng = init.received
+        assert X.dtype == np.float64
+        assert k == 2
+        np.testing.assert_array_equal(weights, np.ones(3))
+        assert isinstance(rng, np.random.Generator)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValidationError):
+            Recording().run(np.ones((3, 2)), 0)
+
+    def test_rejects_bad_array(self):
+        with pytest.raises(ValidationError):
+            Recording().run([[np.nan, 1.0]], 1)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValidationError):
+            Recording().run(np.ones((3, 2)), 1, weights=[1.0, -1.0, 1.0])
+
+    def test_generator_threading(self):
+        # Passing a Generator threads the same stream through.
+        g = np.random.default_rng(0)
+        init = Recording()
+        init.run(np.ones((3, 2)), 1, seed=g)
+        assert init.received[3] is g
+
+    def test_repr(self):
+        assert repr(Recording()) == "Recording()"

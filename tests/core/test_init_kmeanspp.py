@@ -1,0 +1,117 @@
+"""Tests for repro.core.init_kmeanspp (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import potential
+from repro.core.init_kmeanspp import KMeansPlusPlus, kmeanspp_init
+from repro.core.init_random import RandomInit
+from repro.exceptions import ValidationError
+
+
+class TestKMeansPlusPlus:
+    def test_centers_are_data_points(self, blobs):
+        X, _ = blobs
+        centers = KMeansPlusPlus().run(X, 5, seed=0).centers
+        for c in centers:
+            assert (np.abs(X - c).sum(axis=1) < 1e-12).any()
+
+    def test_distinct_centers_on_distinct_data(self, blobs):
+        X, _ = blobs
+        centers = KMeansPlusPlus().run(X, 5, seed=0).centers
+        assert np.unique(centers, axis=0).shape[0] == 5
+
+    def test_covers_separated_blobs(self, blobs):
+        # On 5 well-separated blobs, D^2 seeding must pick one center per
+        # blob essentially always (the classic k-means++ guarantee).
+        X, true_centers = blobs
+        centers = KMeansPlusPlus().run(X, 5, seed=42).centers
+        picked_blobs = set()
+        for c in centers:
+            picked_blobs.add(int(np.argmin(((true_centers - c) ** 2).sum(axis=1))))
+        assert picked_blobs == {0, 1, 2, 3, 4}
+
+    def test_beats_random_on_average(self, blobs):
+        X, _ = blobs
+        pp = np.median(
+            [KMeansPlusPlus().run(X, 5, seed=s).seed_cost for s in range(15)]
+        )
+        rnd = np.median(
+            [RandomInit().run(X, 5, seed=s).seed_cost for s in range(15)]
+        )
+        assert pp < rnd
+
+    def test_k_equals_n(self, rng):
+        X = rng.normal(size=(6, 2))
+        result = KMeansPlusPlus().run(X, 6, seed=0)
+        assert result.seed_cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_k_larger_than_n_rejected(self, rng):
+        with pytest.raises(ValidationError, match="exceeds"):
+            KMeansPlusPlus().run(rng.normal(size=(3, 2)), 4)
+
+    def test_telemetry_passes_equals_k(self, blobs):
+        X, _ = blobs
+        result = KMeansPlusPlus().run(X, 5, seed=0)
+        assert result.n_passes == 5  # the sequential bottleneck
+        assert result.n_rounds == 5
+        assert result.n_candidates == 5
+
+    def test_round_records_optional(self, blobs):
+        X, _ = blobs
+        assert KMeansPlusPlus().run(X, 3, seed=0).rounds == []
+        traced = KMeansPlusPlus(record_rounds=True).run(X, 3, seed=0)
+        assert len(traced.rounds) == 3
+        costs = [r.cost_before for r in traced.rounds]
+        assert costs == sorted(costs, reverse=True)  # monotone decreasing
+
+    def test_weighted_zero_weight_never_first(self):
+        X = np.array([[0.0, 0.0], [5.0, 5.0], [9.0, 9.0]])
+        w = np.array([0.0, 1.0, 1.0])
+        for s in range(10):
+            centers = KMeansPlusPlus().run(X, 1, weights=w, seed=s).centers
+            assert not np.allclose(centers[0], X[0])
+
+    def test_duplicate_points_handled(self):
+        X = np.vstack([np.zeros((5, 2)), np.ones((5, 2))])
+        centers = KMeansPlusPlus().run(X, 2, seed=0).centers
+        assert potential(X, centers) == pytest.approx(0.0, abs=1e-12)
+
+    def test_greedy_variant_no_worse(self, blobs):
+        X, _ = blobs
+        vanilla = np.median(
+            [KMeansPlusPlus().run(X, 5, seed=s).seed_cost for s in range(10)]
+        )
+        greedy = np.median(
+            [
+                KMeansPlusPlus(n_local_trials=4).run(X, 5, seed=s).seed_cost
+                for s in range(10)
+            ]
+        )
+        assert greedy <= vanilla * 1.25  # at least comparable
+
+    def test_invalid_local_trials(self):
+        with pytest.raises(ValidationError):
+            KMeansPlusPlus(n_local_trials=0)
+
+    def test_functional_wrapper(self, blobs):
+        X, _ = blobs
+        assert kmeanspp_init(X, 4, seed=1).shape == (4, 3)
+
+    def test_deterministic(self, blobs):
+        X, _ = blobs
+        a = KMeansPlusPlus().run(X, 5, seed=11).centers
+        b = KMeansPlusPlus().run(X, 5, seed=11).centers
+        np.testing.assert_array_equal(a, b)
+
+    def test_log_k_approximation_bound_empirical(self, blobs):
+        # Arthur & Vassilvitskii: E[phi] <= 8(ln k + 2) * phi_opt. Check
+        # the bound holds with slack on a well-separated instance where
+        # phi_opt is essentially the within-blob noise.
+        X, true_centers = blobs
+        opt = potential(X, true_centers)
+        costs = [KMeansPlusPlus().run(X, 5, seed=s).seed_cost for s in range(20)]
+        bound = 8 * (np.log(5) + 2) * opt
+        assert np.mean(costs) <= bound

@@ -1,0 +1,64 @@
+"""Tests for repro.core.init_random."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.init_random import RandomInit, random_init
+from repro.exceptions import ValidationError
+
+
+class TestRandomInit:
+    def test_selects_k_dataset_points(self, blobs):
+        X, _ = blobs
+        result = RandomInit().run(X, 5, seed=0)
+        assert result.centers.shape == (5, 3)
+        # Every center must be an actual row of X.
+        for c in result.centers:
+            assert (np.abs(X - c).sum(axis=1) < 1e-12).any()
+
+    def test_without_replacement(self, rng):
+        X = rng.normal(size=(10, 2))
+        result = RandomInit().run(X, 10, seed=0)
+        assert np.unique(result.centers, axis=0).shape[0] == 10
+
+    def test_k_larger_than_n_rejected(self, rng):
+        X = rng.normal(size=(5, 2))
+        with pytest.raises(ValidationError, match="exceeds"):
+            RandomInit().run(X, 6)
+
+    def test_telemetry(self, blobs):
+        X, _ = blobs
+        result = RandomInit().run(X, 4, seed=1)
+        assert result.method == "random"
+        assert result.n_candidates == 4
+        assert result.n_passes == 1
+        assert result.seed_cost > 0
+
+    def test_deterministic_with_seed(self, blobs):
+        X, _ = blobs
+        a = RandomInit().run(X, 5, seed=3).centers
+        b = RandomInit().run(X, 5, seed=3).centers
+        np.testing.assert_array_equal(a, b)
+
+    def test_weighted_prefers_heavy_points(self, rng):
+        X = np.vstack([np.zeros((1, 2)), np.ones((9, 2))])
+        w = np.array([1000.0] + [0.001] * 9)
+        hits = 0
+        for s in range(30):
+            c = RandomInit().run(X, 1, weights=w, seed=s).centers
+            hits += bool(np.allclose(c[0], 0.0))
+        assert hits >= 28  # overwhelmingly the heavy point
+
+    def test_functional_wrapper(self, blobs):
+        X, _ = blobs
+        centers = random_init(X, 3, seed=2)
+        assert centers.shape == (3, 3)
+
+    def test_seed_cost_matches_potential(self, blobs):
+        from repro.core.costs import potential
+
+        X, _ = blobs
+        result = RandomInit().run(X, 5, seed=9)
+        assert result.seed_cost == pytest.approx(potential(X, result.centers))

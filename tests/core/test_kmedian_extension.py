@@ -1,0 +1,102 @@
+"""Tests for the k-median|| future-work extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.extensions import ScalableKMedian, kmedian_cost, weighted_kmedian
+
+
+class TestKMedianCost:
+    def test_hand_computed(self, tiny):
+        # distances to 0: 0 + 1 + 4 + 9
+        assert kmedian_cost(tiny, np.array([[0.0]])) == pytest.approx(14.0)
+
+    def test_weighted(self, tiny):
+        w = np.array([1.0, 2.0, 1.0, 0.0])
+        assert kmedian_cost(tiny, np.array([[0.0]]), weights=w) == pytest.approx(6.0)
+
+
+class TestWeightedKMedian:
+    def test_single_cluster_finds_median(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [100.0]])
+        centers, cost, _ = weighted_kmedian(X, np.array([[50.0]]))
+        # The L1-optimal center is the median (2.0), robust to the outlier.
+        assert centers[0, 0] == pytest.approx(2.0)
+
+    def test_weighted_median_respects_mass(self):
+        X = np.array([[0.0], [10.0]])
+        w = np.array([3.0, 1.0])
+        centers, _, _ = weighted_kmedian(X, np.array([[5.0]]), weights=w)
+        assert centers[0, 0] == pytest.approx(0.0)
+
+    def test_cost_no_worse_than_start(self, blobs):
+        X, _ = blobs
+        start = X[:5].copy()
+        _, cost, _ = weighted_kmedian(X, start)
+        assert cost <= kmedian_cost(X, start) + 1e-9
+
+    def test_two_cluster_recovery(self):
+        X = np.vstack([np.zeros((20, 2)), np.ones((20, 2)) * 10.0])
+        centers, cost, _ = weighted_kmedian(X, np.array([[1.0, 1.0], [9.0, 9.0]]))
+        got = centers[np.argsort(centers[:, 0])]
+        np.testing.assert_allclose(got[0], 0.0, atol=1e-9)
+        np.testing.assert_allclose(got[1], 10.0, atol=1e-9)
+
+
+class TestScalableKMedian:
+    def test_returns_k_centers(self, blobs):
+        X, _ = blobs
+        result = ScalableKMedian().run(X, 5, seed=0)
+        assert result.centers.shape == (5, 3)
+        assert result.params["objective"] == "k-median"
+
+    def test_weights_partition_data(self, blobs):
+        X, _ = blobs
+        result = ScalableKMedian().run(X, 5, seed=0)
+        assert result.candidate_weights.sum() == pytest.approx(X.shape[0])
+
+    def test_covers_blobs(self, blobs):
+        X, true_centers = blobs
+        result = ScalableKMedian().run(X, 5, seed=3)
+        picked = {
+            int(np.argmin(((true_centers - c) ** 2).sum(axis=1)))
+            for c in result.centers
+        }
+        assert picked == {0, 1, 2, 3, 4}
+
+    def test_robust_to_outliers_vs_kmeans(self):
+        # The selling point of the L1 objective: plant extreme outliers and
+        # compare the *k-median cost* of both pipelines' centers.
+        from repro.core import ScalableKMeans
+        from repro.data.synthetic import make_blobs_with_outliers
+
+        ds = make_blobs_with_outliers(
+            k=5, points_per_cluster=60, d=3, n_outliers=8,
+            outlier_scale=5000.0, seed=0,
+        )
+        med_costs, mean_costs = [], []
+        for s in range(5):
+            med = ScalableKMedian().run(ds.X, 5, seed=s)
+            mean = ScalableKMeans().run(ds.X, 5, seed=s)
+            med_costs.append(kmedian_cost(ds.X, med.centers))
+            mean_costs.append(kmedian_cost(ds.X, mean.centers))
+        assert np.median(med_costs) <= np.median(mean_costs) * 1.1
+
+    def test_round_costs_monotone(self, blobs):
+        X, _ = blobs
+        result = ScalableKMedian(n_rounds=5).run(X, 5, seed=1)
+        costs = result.round_costs()
+        assert (np.diff(costs) <= 1e-9 * max(1.0, costs[0])).all()
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ScalableKMedian(oversampling_factor=0.0)
+        with pytest.raises(ValidationError):
+            ScalableKMedian(n_rounds=-1)
+
+    def test_k_exceeds_n(self, rng):
+        with pytest.raises(ValidationError, match="exceeds"):
+            ScalableKMedian().run(rng.normal(size=(3, 2)), 4)

@@ -1,0 +1,169 @@
+"""Tests for repro.core.lloyd."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lloyd import lloyd
+from repro.exceptions import ConvergenceWarning, EmptyClusterError, ValidationError
+
+
+class TestBasicConvergence:
+    def test_recovers_separated_blobs(self, blobs):
+        X, true_centers = blobs
+        # Start from perturbed truth: must converge to ~truth.
+        start = true_centers + 0.3
+        result = lloyd(X, start)
+        assert result.converged
+        for c in result.centers:
+            assert (((true_centers - c) ** 2).sum(axis=1) < 1.0).any()
+
+    def test_cost_history_monotone(self, blobs):
+        X, _ = blobs
+        rng = np.random.default_rng(0)
+        start = X[rng.choice(X.shape[0], 5, replace=False)]
+        result = lloyd(X, start)
+        hist = np.asarray(result.cost_history)
+        assert (np.diff(hist) <= 1e-6 * max(1.0, hist[0])).all()
+
+    def test_fixed_point_one_iteration(self, blobs):
+        X, _ = blobs
+        first = lloyd(X, X[:5])
+        again = lloyd(X, first.centers)
+        assert again.n_iter == 1
+        assert again.cost == pytest.approx(first.cost, rel=1e-12)
+
+    def test_max_iter_respected(self, blobs):
+        X, _ = blobs
+        result = lloyd(X, X[:5], max_iter=2)
+        assert result.n_iter <= 2
+
+    def test_warns_on_max_iter(self, blobs):
+        X, _ = blobs
+        with pytest.warns(ConvergenceWarning):
+            lloyd(X, X[:5], max_iter=1, warn_on_max_iter=True)
+
+    def test_labels_consistent_with_centers(self, blobs):
+        X, _ = blobs
+        result = lloyd(X, X[:5])
+        from repro.linalg.distances import assign_labels
+
+        np.testing.assert_array_equal(result.labels, assign_labels(X, result.centers))
+
+    def test_final_cost_matches_labels(self, blobs):
+        X, _ = blobs
+        result = lloyd(X, X[:5])
+        manual = sum(
+            ((X[result.labels == j] - result.centers[j]) ** 2).sum()
+            for j in range(result.centers.shape[0])
+        )
+        assert result.cost == pytest.approx(manual)
+
+    def test_input_centers_not_mutated(self, blobs):
+        X, _ = blobs
+        start = X[:5].copy()
+        backup = start.copy()
+        lloyd(X, start)
+        np.testing.assert_array_equal(start, backup)
+
+
+class TestWeighted:
+    def test_weighted_centroid_fixed_point(self, weighted_set):
+        points, weights = weighted_set
+        start = np.array([[0.5, 0.0], [10.5, 10.0]])
+        result = lloyd(points, start, weights=weights)
+        expected0 = (points[0] * 3 + points[1]) / 4
+        expected1 = (points[2] * 2 + points[3] * 2) / 4
+        got = result.centers[np.argsort(result.centers[:, 0])]
+        np.testing.assert_allclose(got[0], expected0)
+        np.testing.assert_allclose(got[1], expected1)
+
+    def test_zero_weight_points_ignored_in_cost(self):
+        X = np.array([[0.0], [100.0]])
+        w = np.array([1.0, 0.0])
+        result = lloyd(X, np.array([[0.0]]), weights=w)
+        assert result.cost == pytest.approx(0.0)
+
+    def test_integer_weights_equal_replication(self, rng):
+        X = rng.normal(size=(20, 2))
+        w = rng.integers(1, 4, size=20).astype(float)
+        replicated = np.repeat(X, w.astype(int), axis=0)
+        start = X[:3]
+        a = lloyd(X, start, weights=w)
+        b = lloyd(replicated, start)
+        assert a.cost == pytest.approx(b.cost, rel=1e-9)
+        np.testing.assert_allclose(
+            np.sort(a.centers, axis=0), np.sort(b.centers, axis=0), atol=1e-9
+        )
+
+
+class TestRelTol:
+    def test_rel_tol_stops_early(self, blobs):
+        X, _ = blobs
+        rng = np.random.default_rng(1)
+        start = X[rng.choice(X.shape[0], 5, replace=False)]
+        strict = lloyd(X, start)
+        loose = lloyd(X, start, rel_tol=0.5)
+        assert loose.n_iter <= strict.n_iter
+        assert loose.converged
+
+    def test_rel_tol_validation(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValidationError):
+            lloyd(X, X[:2], rel_tol=1.5)
+
+
+class TestEmptyClusters:
+    @staticmethod
+    def _empty_cluster_setup():
+        # Two tight groups; third center stranded far away -> goes empty.
+        X = np.vstack(
+            [np.zeros((10, 2)), np.ones((10, 2)) * 10.0]
+        )
+        start = np.array([[0.0, 0.0], [10.0, 10.0], [100.0, 100.0]])
+        return X, start
+
+    def test_reseed_farthest_keeps_k(self):
+        X, start = self._empty_cluster_setup()
+        result = lloyd(X, start, empty_policy="reseed-farthest")
+        assert result.centers.shape[0] == 3
+        assert np.isfinite(result.centers).all()
+
+    def test_drop_shrinks_k(self):
+        X, start = self._empty_cluster_setup()
+        result = lloyd(X, start, empty_policy="drop")
+        assert result.centers.shape[0] == 2
+
+    def test_error_policy_raises(self):
+        X, start = self._empty_cluster_setup()
+        with pytest.raises(EmptyClusterError):
+            lloyd(X, start, empty_policy="error")
+
+    def test_keep_policy_finite(self):
+        X, start = self._empty_cluster_setup()
+        result = lloyd(X, start, empty_policy="keep")
+        assert np.isfinite(result.centers).all()
+        assert result.centers.shape[0] == 3
+
+    def test_unknown_policy_rejected(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValidationError, match="empty_policy"):
+            lloyd(X, X[:2], empty_policy="whatever")
+
+
+class TestValidation:
+    def test_dim_mismatch(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValidationError, match="dimension mismatch"):
+            lloyd(X, np.zeros((2, 7)))
+
+    def test_negative_tol_rejected(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValidationError):
+            lloyd(X, X[:2], tol=-1.0)
+
+    def test_zero_max_iter_rejected(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValidationError):
+            lloyd(X, X[:2], max_iter=0)

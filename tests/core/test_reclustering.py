@@ -1,0 +1,105 @@
+"""Tests for repro.core.reclustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reclustering import (
+    KMeansPlusPlusReclusterer,
+    RandomReclusterer,
+    TopUpPolicy,
+    apply_top_up,
+)
+from repro.exceptions import InsufficientCentersError
+
+
+class TestKMeansPlusPlusReclusterer:
+    def test_reduces_to_k(self, rng):
+        candidates = rng.normal(size=(50, 3))
+        weights = rng.uniform(1, 5, size=50)
+        out = KMeansPlusPlusReclusterer().recluster(candidates, weights, 5, rng)
+        assert out.shape == (5, 3)
+
+    def test_short_set_passthrough(self, rng):
+        candidates = rng.normal(size=(3, 2))
+        out = KMeansPlusPlusReclusterer().recluster(
+            candidates, np.ones(3), 5, rng
+        )
+        np.testing.assert_array_equal(out, candidates)
+
+    def test_does_not_mutate_inputs(self, rng):
+        candidates = rng.normal(size=(20, 2))
+        weights = np.ones(20)
+        c_backup, w_backup = candidates.copy(), weights.copy()
+        KMeansPlusPlusReclusterer().recluster(candidates, weights, 4, rng)
+        np.testing.assert_array_equal(candidates, c_backup)
+        np.testing.assert_array_equal(weights, w_backup)
+
+    def test_weights_move_centers_toward_heavy_mass(self, rng):
+        # Two candidate groups; one carries 100x the mass. With k=1 the
+        # single center must sit essentially at the heavy group.
+        light = np.zeros((5, 2))
+        heavy = np.ones((5, 2)) * 10.0
+        candidates = np.vstack([light, heavy])
+        weights = np.concatenate([np.ones(5), np.ones(5) * 100.0])
+        out = KMeansPlusPlusReclusterer().recluster(candidates, weights, 1, rng)
+        assert np.linalg.norm(out[0] - 10.0) < 1.0
+
+    def test_refine_iters_telemetry(self, rng):
+        rec = KMeansPlusPlusReclusterer()
+        rec.recluster(rng.normal(size=(30, 2)), np.ones(30), 3, rng)
+        assert rec.last_refine_iters >= 1
+
+    def test_no_lloyd_variant(self, rng):
+        rec = KMeansPlusPlusReclusterer(max_lloyd_iter=0)
+        out = rec.recluster(rng.normal(size=(30, 2)), np.ones(30), 3, rng)
+        assert out.shape == (3, 2)
+        assert rec.last_refine_iters == 0
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            KMeansPlusPlusReclusterer(max_lloyd_iter=-1)
+
+
+class TestRandomReclusterer:
+    def test_picks_candidates(self, rng):
+        candidates = rng.normal(size=(20, 2))
+        out = RandomReclusterer().recluster(candidates, np.ones(20), 4, rng)
+        assert out.shape == (4, 2)
+        for c in out:
+            assert (np.abs(candidates - c).sum(axis=1) < 1e-12).any()
+
+    def test_short_passthrough(self, rng):
+        candidates = rng.normal(size=(2, 2))
+        out = RandomReclusterer().recluster(candidates, np.ones(2), 5, rng)
+        assert out.shape == (2, 2)
+
+
+class TestApplyTopUp:
+    def test_noop_when_full(self, rng):
+        X = rng.normal(size=(10, 2))
+        centers = X[:5]
+        out = apply_top_up(centers, X, 5, TopUpPolicy.PAD, rng)
+        assert out is centers
+
+    def test_pad_fills_from_data(self, rng):
+        X = rng.normal(size=(10, 2))
+        out = apply_top_up(X[:2], X, 5, TopUpPolicy.PAD, rng)
+        assert out.shape == (5, 2)
+        for c in out[2:]:
+            assert (np.abs(X - c).sum(axis=1) < 1e-12).any()
+
+    def test_truncate_leaves_short(self, rng):
+        X = rng.normal(size=(10, 2))
+        out = apply_top_up(X[:2], X, 5, TopUpPolicy.TRUNCATE, rng)
+        assert out.shape == (2, 2)
+
+    def test_error_raises(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(InsufficientCentersError):
+            apply_top_up(X[:2], X, 5, TopUpPolicy.ERROR, rng)
+
+    def test_policy_enum_from_string(self):
+        assert TopUpPolicy("pad") is TopUpPolicy.PAD
+        assert TopUpPolicy("truncate") is TopUpPolicy.TRUNCATE

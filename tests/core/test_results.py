@@ -1,0 +1,52 @@
+"""Tests for repro.core.results."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.results import InitResult, RoundRecord
+
+
+class TestInitResult:
+    @staticmethod
+    def _make() -> InitResult:
+        return InitResult(
+            method="test",
+            centers=np.zeros((3, 2)),
+            seed_cost=12.5,
+            n_candidates=9,
+            n_rounds=2,
+            n_passes=4,
+            rounds=[
+                RoundRecord(0, 100.0, 4, 5),
+                RoundRecord(1, 50.0, 4, 9),
+            ],
+            params={"k": 3},
+        )
+
+    def test_k_property(self):
+        assert self._make().k == 3
+
+    def test_round_costs(self):
+        np.testing.assert_allclose(self._make().round_costs(), [100.0, 50.0])
+
+    def test_round_costs_empty(self):
+        r = self._make()
+        r.rounds = []
+        assert r.round_costs().shape == (0,)
+
+    def test_summary_contains_key_fields(self):
+        s = self._make().summary()
+        assert "test" in s
+        assert "k=3" in s
+        assert "candidates=9" in s
+        assert "passes=4" in s
+
+    def test_round_record_immutable(self):
+        rec = RoundRecord(0, 1.0, 2, 3)
+        try:
+            rec.cost_before = 5.0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

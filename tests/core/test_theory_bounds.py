@@ -1,0 +1,97 @@
+"""Tests for repro.theory.bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.theory import (
+    alpha,
+    corollary3_bound,
+    kmeanspp_expected_factor,
+    rounds_for_target,
+    theorem2_bound,
+)
+
+
+class TestAlpha:
+    def test_matches_closed_form(self):
+        a = alpha(2 * 50, 50)  # l = 2k
+        assert a == pytest.approx(math.exp(-(1 - math.exp(-1.0))))
+
+    def test_decreasing_in_l(self):
+        assert alpha(10 * 50, 50) < alpha(2 * 50, 50) < alpha(0.5 * 50, 50)
+
+    def test_bounded_in_unit_interval(self):
+        for factor in (0.1, 1.0, 10.0):
+            assert 0.0 < alpha(factor * 20, 20) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            alpha(0.0, 5)
+
+
+class TestTheorem2Bound:
+    def test_contraction_plus_additive(self):
+        bound = theorem2_bound(phi=1000.0, phi_star=1.0, l=100, k=50)
+        a = alpha(100, 50)
+        assert bound == pytest.approx(8.0 + (1 + a) / 2 * 1000.0)
+
+    def test_monotone_in_phi(self):
+        lo = theorem2_bound(100.0, 1.0, 100, 50)
+        hi = theorem2_bound(200.0, 1.0, 100, 50)
+        assert hi > lo
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            theorem2_bound(-1.0, 1.0, 10, 5)
+
+
+class TestCorollary3:
+    def test_zero_rounds_is_psi_plus_additive(self):
+        bound = corollary3_bound(psi=500.0, phi_star=0.0, l=100, k=50, r=0)
+        assert bound == pytest.approx(500.0)
+
+    def test_geometric_decay(self):
+        b1 = corollary3_bound(1e9, 1.0, 100, 50, r=5)
+        b2 = corollary3_bound(1e9, 1.0, 100, 50, r=10)
+        assert b2 < b1
+
+    def test_limit_is_sixteen_over_one_minus_alpha(self):
+        a = alpha(100, 50)
+        limit = corollary3_bound(1e9, 1.0, 100, 50, r=500)
+        assert limit == pytest.approx(16.0 / (1 - a), rel=1e-6)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValidationError):
+            corollary3_bound(1.0, 1.0, 10, 5, r=-1)
+
+
+class TestRoundsForTarget:
+    def test_log_psi_scaling(self):
+        r_small = rounds_for_target(1e6, 1.0, 100, 50)
+        r_large = rounds_for_target(1e12, 1.0, 100, 50)
+        # psi squared -> rounds roughly doubled (log scaling).
+        assert 1.5 * r_small < r_large < 3 * r_small
+
+    def test_already_converged(self):
+        assert rounds_for_target(1.0, 100.0, 100, 50) == 0
+
+    def test_practical_regime_is_single_digits_per_decade(self):
+        # l=2k: each round multiplies by (1+alpha)/2 ~ 0.77; ~9 rounds per
+        # 1e2 cost reduction — the "constant rounds suffice" observation.
+        r = rounds_for_target(1e4, 1.0, 2 * 50, 50)
+        assert 1 <= r <= 50
+
+    def test_degenerate_phi_star(self):
+        assert rounds_for_target(10.0, 0.0, 100, 50) >= 1
+
+
+class TestKMeansPPFactor:
+    def test_value(self):
+        assert kmeanspp_expected_factor(50) == pytest.approx(8 * (math.log(50) + 2))
+
+    def test_grows_with_k(self):
+        assert kmeanspp_expected_factor(1000) > kmeanspp_expected_factor(10)

@@ -1,0 +1,77 @@
+"""Tests for repro.data.dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ValidationError
+
+
+def _dataset(n=20, d=3, with_truth=True):
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(4, d)) * 10
+    labels = rng.integers(0, 4, size=n)
+    X = centers[labels] + rng.normal(size=(n, d))
+    return Dataset(
+        name="toy",
+        X=X,
+        labels=labels.astype(np.int64),
+        true_centers=centers if with_truth else None,
+    )
+
+
+class TestDataset:
+    def test_properties(self):
+        ds = _dataset()
+        assert ds.n == 20
+        assert ds.d == 3
+
+    def test_reference_cost_none_without_truth(self):
+        assert _dataset(with_truth=False).reference_cost() is None
+
+    def test_reference_cost_positive(self):
+        assert _dataset().reference_cost() > 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValidationError, match="2-d"):
+            Dataset(name="bad", X=np.zeros(5))
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValidationError, match="labels length"):
+            Dataset(name="bad", X=np.zeros((4, 2)), labels=np.zeros(3, dtype=np.int64))
+
+    def test_sample_fraction_size(self):
+        ds = _dataset(n=100)
+        sub = ds.sample_fraction(0.25, seed=0)
+        assert sub.n == 25
+        assert sub.d == ds.d
+
+    def test_sample_fraction_rows_from_parent(self):
+        ds = _dataset(n=50)
+        sub = ds.sample_fraction(0.2, seed=1)
+        for row in sub.X:
+            assert (np.abs(ds.X - row).sum(axis=1) < 1e-12).any()
+
+    def test_sample_fraction_labels_follow(self):
+        ds = _dataset(n=50)
+        sub = ds.sample_fraction(0.5, seed=2)
+        assert sub.labels.shape == (25,)
+
+    def test_sample_fraction_bounds(self):
+        ds = _dataset()
+        with pytest.raises(ValidationError):
+            ds.sample_fraction(0.0)
+        with pytest.raises(ValidationError):
+            ds.sample_fraction(1.5)
+
+    def test_sample_metadata_provenance(self):
+        ds = _dataset(n=40)
+        sub = ds.sample_fraction(0.1, seed=0)
+        assert sub.metadata["sampled_fraction"] == 0.1
+        assert sub.metadata["parent_n"] == 40
+
+    def test_describe_mentions_shape(self):
+        text = _dataset().describe()
+        assert "n=20" in text and "d=3" in text

@@ -1,0 +1,66 @@
+"""Tests for repro.data.gauss_mixture."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.gauss_mixture import GaussMixtureConfig, make_gauss_mixture
+from repro.exceptions import ValidationError
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = GaussMixtureConfig()
+        assert (cfg.n, cfg.d, cfg.k) == (10_000, 15, 50)
+
+    def test_n_less_than_k_rejected(self):
+        with pytest.raises(ValidationError):
+            GaussMixtureConfig(n=10, k=20)
+
+    def test_bad_r_rejected(self):
+        with pytest.raises(ValidationError):
+            GaussMixtureConfig(R=0.0)
+
+
+class TestGenerator:
+    def test_shapes(self):
+        ds = make_gauss_mixture(seed=0, n=500, k=10)
+        assert ds.X.shape == (500, 15)
+        assert ds.true_centers.shape == (10, 15)
+        assert ds.labels.shape == (500,)
+
+    def test_deterministic(self):
+        a = make_gauss_mixture(seed=5, n=200, k=5)
+        b = make_gauss_mixture(seed=5, n=200, k=5)
+        np.testing.assert_array_equal(a.X, b.X)
+
+    def test_center_variance_scales_with_r(self):
+        small = make_gauss_mixture(seed=0, n=100, k=30, R=1.0)
+        large = make_gauss_mixture(seed=0, n=100, k=30, R=100.0)
+        assert large.true_centers.var() > 10 * small.true_centers.var()
+
+    def test_unit_within_cluster_noise(self):
+        ds = make_gauss_mixture(seed=1, n=20_000, k=3, R=100.0)
+        resid = ds.X - ds.true_centers[ds.labels]
+        # Per-coordinate variance ~ 1.
+        assert ds.X.shape[1] * 0.9 < (resid**2).sum(axis=1).mean() < ds.X.shape[1] * 1.1
+
+    def test_all_components_used_for_reasonable_n(self):
+        ds = make_gauss_mixture(seed=2, n=2000, k=10)
+        assert set(np.unique(ds.labels)) == set(range(10))
+
+    def test_overrides_on_config(self):
+        cfg = GaussMixtureConfig(n=300, k=5)
+        ds = make_gauss_mixture(cfg, seed=0, R=10.0)
+        assert ds.metadata["R"] == 10.0
+        assert ds.metadata["n"] == 300
+
+    def test_name_includes_r(self):
+        assert "R=10" in make_gauss_mixture(seed=0, n=100, k=5, R=10).name
+
+    def test_reference_cost_near_n_d_for_separated(self):
+        # For well-separated mixtures, phi(true centers) ~ n*d (unit noise).
+        ds = make_gauss_mixture(seed=3, n=5000, k=20, R=100.0)
+        ref = ds.reference_cost()
+        assert 0.8 * 5000 * 15 < ref < 1.2 * 5000 * 15

@@ -1,0 +1,71 @@
+"""Tests for repro.data.io."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.gauss_mixture import make_gauss_mixture
+from repro.data.io import dataset_cache_path, load_dataset, save_dataset
+from repro.exceptions import ValidationError
+
+
+class TestRoundTrip:
+    def test_full_dataset(self, tmp_path):
+        ds = make_gauss_mixture(seed=0, n=200, k=5)
+        save_dataset(ds, tmp_path / "gm")
+        loaded = load_dataset(tmp_path / "gm")
+        assert loaded.name == ds.name
+        np.testing.assert_array_equal(loaded.X, ds.X)
+        np.testing.assert_array_equal(loaded.labels, ds.labels)
+        np.testing.assert_array_equal(loaded.true_centers, ds.true_centers)
+        assert loaded.metadata["k"] == 5
+
+    def test_minimal_dataset(self, tmp_path):
+        ds = Dataset(name="bare", X=np.ones((4, 2)))
+        save_dataset(ds, tmp_path / "bare")
+        loaded = load_dataset(tmp_path / "bare")
+        assert loaded.labels is None
+        assert loaded.true_centers is None
+
+    def test_extension_normalized(self, tmp_path):
+        ds = Dataset(name="x", X=np.ones((2, 2)))
+        npz = save_dataset(ds, tmp_path / "thing.whatever")
+        assert npz.suffix == ".npz"
+        assert load_dataset(tmp_path / "thing").n == 2
+
+    def test_parent_dirs_created(self, tmp_path):
+        ds = Dataset(name="x", X=np.ones((2, 2)))
+        save_dataset(ds, tmp_path / "a" / "b" / "c")
+        assert load_dataset(tmp_path / "a" / "b" / "c").n == 2
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="no dataset"):
+            load_dataset(tmp_path / "nope")
+
+    def test_survives_missing_sidecar(self, tmp_path):
+        ds = Dataset(name="x", X=np.ones((2, 2)), metadata={"a": 1})
+        save_dataset(ds, tmp_path / "x")
+        (tmp_path / "x.json").unlink()
+        loaded = load_dataset(tmp_path / "x")
+        assert loaded.name == "x"
+        assert loaded.metadata == {}
+
+
+class TestCachePath:
+    def test_params_in_name_sorted(self, tmp_path):
+        p = dataset_cache_path(tmp_path, "kdd", seed=3, n=100)
+        assert p.name == "kdd__n=100_seed=3"
+
+    def test_no_params(self, tmp_path):
+        assert dataset_cache_path(tmp_path, "spam").name == "spam"
+
+    def test_unsafe_chars_replaced(self, tmp_path):
+        p = dataset_cache_path(tmp_path, "gauss mixture/R=1")
+        assert "/" not in p.name and " " not in p.name
+
+    def test_distinct_configs_distinct_paths(self, tmp_path):
+        a = dataset_cache_path(tmp_path, "kdd", n=100)
+        b = dataset_cache_path(tmp_path, "kdd", n=200)
+        assert a != b

@@ -1,0 +1,89 @@
+"""Tests for repro.data.kddcup."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.kddcup import COMPONENT_SPECS, KDDCupConfig, make_kddcup
+from repro.exceptions import ValidationError
+
+
+class TestConfig:
+    def test_default_shape_params(self):
+        cfg = KDDCupConfig()
+        assert cfg.n == 200_000
+        assert cfg.include_class_column
+
+    def test_too_small_n_rejected(self):
+        with pytest.raises(ValidationError):
+            KDDCupConfig(n=5)
+
+
+class TestGenerator:
+    def test_shape_42_columns(self):
+        ds = make_kddcup(seed=0, n=2000)
+        assert ds.X.shape == (2000, 42)
+
+    def test_without_class_column(self):
+        ds = make_kddcup(KDDCupConfig(n=2000, include_class_column=False), seed=0)
+        assert ds.X.shape == (2000, 41)
+
+    def test_flood_dominance(self):
+        ds = make_kddcup(seed=0, n=20_000)
+        shares = np.bincount(ds.labels, minlength=len(COMPONENT_SPECS)) / ds.n
+        assert shares[0] > 0.5  # smurf
+        assert shares[1] > 0.15  # neptune
+        assert shares[2] > 0.15  # normal
+
+    def test_every_component_present(self):
+        ds = make_kddcup(seed=1, n=5000)
+        assert set(np.unique(ds.labels)) == set(range(len(COMPONENT_SPECS)))
+
+    def test_flood_clusters_are_near_duplicates(self):
+        # The dominant components must collapse to very few distinct rows
+        # (real smurf records are machine-identical) — this drives the
+        # Lloyd-convergence behavior the paper reports.
+        ds = make_kddcup(seed=0, n=20_000)
+        smurf_rows = ds.X[ds.labels == 0]
+        distinct = np.unique(smurf_rows, axis=0).shape[0]
+        assert distinct < 0.01 * smurf_rows.shape[0]
+
+    def test_heavy_byte_tails(self):
+        ds = make_kddcup(seed=0, n=50_000)
+        src_bytes = ds.X[:, 1]
+        assert src_bytes.max() > 1e6  # outlier transfers exist
+        assert np.median(src_bytes) < 1e4  # but are rare
+
+    def test_rates_in_unit_interval(self):
+        ds = make_kddcup(seed=2, n=5000)
+        rates = ds.X[:, 31:41]
+        assert rates.min() >= 0.0
+        assert rates.max() <= 1.0
+
+    def test_counters_are_integers(self):
+        ds = make_kddcup(seed=3, n=2000)
+        counters = ds.X[:, :31]
+        np.testing.assert_array_equal(counters, np.rint(counters))
+
+    def test_rates_quantized_to_two_decimals(self):
+        ds = make_kddcup(seed=3, n=2000)
+        rates = ds.X[:, 31:41] * 100.0
+        np.testing.assert_allclose(rates, np.rint(rates), atol=1e-9)
+
+    def test_deterministic(self):
+        a = make_kddcup(seed=4, n=1000)
+        b = make_kddcup(seed=4, n=1000)
+        np.testing.assert_array_equal(a.X, b.X)
+
+    def test_block_generation_labels_invariant(self):
+        # Component assignments are drawn before blocking, so they are
+        # identical across block sizes; the per-row noise stream is not.
+        a = make_kddcup(KDDCupConfig(n=3000, block_rows=500), seed=5)
+        b = make_kddcup(KDDCupConfig(n=3000, block_rows=10_000), seed=5)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.X[:, 41], b.X[:, 41])
+
+    def test_mixture_weights_sum_to_one(self):
+        total = sum(w for _, w, _ in COMPONENT_SPECS)
+        assert total == pytest.approx(1.0, abs=0.02)

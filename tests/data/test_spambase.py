@@ -1,0 +1,76 @@
+"""Tests for repro.data.spambase."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.spambase import SPAM_FRACTION, SpambaseConfig, make_spambase
+from repro.exceptions import ValidationError
+
+
+class TestConfig:
+    def test_defaults_match_uci(self):
+        cfg = SpambaseConfig()
+        assert cfg.n == 4601
+        assert cfg.spam_fraction == SPAM_FRACTION
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            SpambaseConfig(spam_fraction=1.5)
+
+    def test_tiny_n_rejected(self):
+        with pytest.raises(ValidationError):
+            SpambaseConfig(n=1)
+
+
+class TestGenerator:
+    def test_schema_shape(self):
+        ds = make_spambase(seed=0)
+        assert ds.X.shape == (4601, 58)
+
+    def test_class_column_binary_and_prior(self):
+        ds = make_spambase(seed=0)
+        cls = ds.X[:, 57]
+        assert set(np.unique(cls)) == {0.0, 1.0}
+        assert cls.mean() == pytest.approx(SPAM_FRACTION, abs=0.01)
+
+    def test_word_frequency_ranges(self):
+        ds = make_spambase(seed=1)
+        words = ds.X[:, :48]
+        assert words.min() >= 0.0
+        assert words.max() <= 100.0
+        # Mostly zeros, like the original.
+        assert (words == 0).mean() > 0.5
+
+    def test_capital_run_features_heavy_tailed(self):
+        ds = make_spambase(seed=2)
+        caps = ds.X[:, 54:57]
+        assert caps.min() >= 1.0
+        # Max dwarfs the median — the outlier structure that matters.
+        assert caps[:, 2].max() > 20 * np.median(caps[:, 2])
+
+    def test_capital_run_maxima_capped_to_uci(self):
+        ds = make_spambase(seed=3)
+        assert ds.X[:, 54].max() <= 1102.5
+        assert ds.X[:, 55].max() <= 9989.0
+        assert ds.X[:, 56].max() <= 15841.0
+
+    def test_deterministic(self):
+        a = make_spambase(seed=9)
+        b = make_spambase(seed=9)
+        np.testing.assert_array_equal(a.X, b.X)
+
+    def test_template_count(self):
+        ds = make_spambase(seed=0)
+        assert int(ds.labels.max()) + 1 == 20  # 12 spam + 8 ham
+
+    def test_rows_shuffled(self):
+        ds = make_spambase(seed=0)
+        # Class blocks must not be contiguous: the first 100 rows should
+        # contain both classes.
+        assert len(set(ds.X[:100, 57])) == 2
+
+    def test_custom_size(self):
+        ds = make_spambase(seed=0, n=500)
+        assert ds.n == 500

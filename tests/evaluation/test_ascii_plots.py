@@ -1,0 +1,54 @@
+"""Tests for repro.evaluation.ascii_plots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.ascii_plots import render_chart
+
+
+class TestRenderChart:
+    def test_basic_render(self):
+        text = render_chart(
+            "Chart", [1, 2, 4, 8], {"a": [100, 50, 25, 12], "b": [200, 100, 50, 25]}
+        )
+        assert "Chart" in text
+        assert "o=a" in text
+        assert "x=b" in text
+
+    def test_markers_present(self):
+        text = render_chart("C", [1, 2], {"s": [10.0, 1000.0]})
+        assert "o" in text
+
+    def test_log_scale_ticks(self):
+        text = render_chart("C", [1, 2], {"s": [10.0, 1000.0]}, log_y=True)
+        assert "1e+" in text
+
+    def test_linear_scale(self):
+        text = render_chart("C", [1, 2], {"s": [1.0, 2.0]}, log_y=False)
+        assert "1e+" not in text
+
+    def test_nonpositive_skipped_on_log(self):
+        text = render_chart("C", [1, 2, 3], {"s": [0.0, 10.0, 100.0]})
+        assert "C" in text  # renders without error
+
+    def test_flat_series_ok(self):
+        text = render_chart("C", [1, 2], {"s": [5.0, 5.0]})
+        assert "C" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            render_chart("C", [1], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            render_chart("C", [1, 2], {"s": [1.0]})
+
+    def test_all_unplottable_rejected(self):
+        with pytest.raises(ValueError, match="no plottable"):
+            render_chart("C", [1], {"s": [0.0]})
+
+    def test_x_axis_labels(self):
+        text = render_chart("C", [1, 16], {"s": [1.0, 2.0]}, x_label="rounds")
+        assert "(rounds)" in text
+        assert "16" in text

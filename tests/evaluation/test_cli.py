@@ -1,0 +1,61 @@
+"""Tests for the repro CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.experiment == "table1"
+        assert args.scale == "scaled"
+        assert args.seed == 0
+
+    def test_run_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "figure52", "--scale", "bench", "--seed", "9"]
+        )
+        assert args.scale == "bench"
+        assert args.seed == 9
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table1", "--scale", "giant"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "figure53" in out
+        assert "ablations" in out
+
+    def test_run_bench_table1(self, capsys):
+        assert main(["run", "table1", "--scale", "bench"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_out_file_written(self, tmp_path, capsys):
+        target = tmp_path / "results.txt"
+        assert main(
+            ["run", "table1", "--scale", "bench", "--out", str(target)]
+        ) == 0
+        capsys.readouterr()
+        assert "Table 1" in target.read_text()
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

@@ -1,0 +1,51 @@
+"""Tests for the shared figure-sweep machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.gauss_mixture import make_gauss_mixture
+from repro.evaluation.experiments.figures_common import (
+    kmeanspp_reference,
+    sweep_rounds,
+)
+
+
+@pytest.fixture(scope="module")
+def X():
+    return make_gauss_mixture(seed=0, n=800, k=10, R=10.0).X
+
+
+class TestSweepRounds:
+    def test_grid_coverage(self, X):
+        grid = sweep_rounds(
+            X, 10, l_factors=(1.0, 2.0), r_values=(1, 3), repeats=2, seed=0
+        )
+        assert set(grid) == {(1.0, 1), (1.0, 3), (2.0, 1), (2.0, 3)}
+        for cell in grid.values():
+            assert cell["final"] <= cell["seed"] * (1 + 1e-9)
+
+    def test_more_rounds_no_catastrophe(self, X):
+        grid = sweep_rounds(
+            X, 10, l_factors=(2.0,), r_values=(1, 5), repeats=3, seed=0
+        )
+        assert grid[(2.0, 5)]["final"] <= grid[(2.0, 1)]["final"] * 2.0
+
+    def test_exact_mode_supported(self, X):
+        grid = sweep_rounds(
+            X, 10, l_factors=(1.0,), r_values=(2,), repeats=2, seed=0,
+            sampling="exact",
+        )
+        assert (1.0, 2) in grid
+
+
+class TestKMeansPPReference:
+    def test_reference_fields(self, X):
+        ref = kmeanspp_reference(X, 10, repeats=3, seed=0)
+        assert set(ref) == {"seed", "final"}
+        assert ref["final"] <= ref["seed"]
+
+    def test_deterministic(self, X):
+        a = kmeanspp_reference(X, 10, repeats=2, seed=5)
+        b = kmeanspp_reference(X, 10, repeats=2, seed=5)
+        assert a == b

@@ -1,0 +1,72 @@
+"""Tests for repro.evaluation.harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.init_random import RandomInit
+from repro.evaluation.harness import (
+    MethodSpec,
+    mean,
+    median,
+    repeat_runs,
+    run_method,
+)
+
+
+@pytest.fixture
+def spec() -> MethodSpec:
+    return MethodSpec("Random", lambda k: RandomInit())
+
+
+class TestRunMethod:
+    def test_record_fields(self, blobs, spec):
+        X, _ = blobs
+        record = run_method(X, 5, spec, seed=0)
+        assert record.method == "Random"
+        assert record.k == 5
+        assert record.final_cost <= record.seed_cost
+        assert record.lloyd_iters >= 1
+        assert record.n_candidates == 5
+        assert record.wall_seconds > 0
+
+    def test_lloyd_cap_respected(self, blobs):
+        X, _ = blobs
+        capped = MethodSpec("Random", lambda k: RandomInit(), lloyd_max_iter=1)
+        record = run_method(X, 5, capped, seed=0)
+        assert record.lloyd_iters <= 1
+
+    def test_deterministic_by_seed(self, blobs, spec):
+        X, _ = blobs
+        a = run_method(X, 5, spec, seed=3)
+        b = run_method(X, 5, spec, seed=3)
+        assert a.final_cost == b.final_cost
+
+
+class TestRepeatRuns:
+    def test_count_and_distinct_seeds(self, blobs, spec):
+        X, _ = blobs
+        runs = repeat_runs(X, 5, spec, n_repeats=4, base_seed=0)
+        assert len(runs) == 4
+        # Independent seeds make identical seed costs very unlikely.
+        assert len({r.seed_cost for r in runs}) > 1
+
+    def test_reproducible(self, blobs, spec):
+        X, _ = blobs
+        a = repeat_runs(X, 5, spec, n_repeats=3, base_seed=7)
+        b = repeat_runs(X, 5, spec, n_repeats=3, base_seed=7)
+        assert [r.final_cost for r in a] == [r.final_cost for r in b]
+
+
+class TestAggregators:
+    def test_median(self, blobs, spec):
+        X, _ = blobs
+        runs = repeat_runs(X, 5, spec, n_repeats=5, base_seed=0)
+        costs = sorted(r.final_cost for r in runs)
+        assert median(runs, "final_cost") == costs[2]
+
+    def test_mean(self, blobs, spec):
+        X, _ = blobs
+        runs = repeat_runs(X, 5, spec, n_repeats=3, base_seed=0)
+        expected = sum(r.lloyd_iters for r in runs) / 3
+        assert mean(runs, "lloyd_iters") == pytest.approx(expected)

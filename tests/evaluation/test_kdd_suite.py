@@ -1,0 +1,62 @@
+"""Tests for the shared KDD experiment suite runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_kddcup
+from repro.evaluation.experiments.kdd_suite import (
+    L_FACTORS,
+    SUITE_PARAMS,
+    method_label,
+    run_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    ds = make_kddcup(seed=0, n=5000)
+    return run_suite(ds.X, 20, seed=1, lloyd_cap=10)
+
+
+class TestRunSuite:
+    def test_all_methods_present_in_order(self, records):
+        methods = [r.method for r in records]
+        assert methods[0] == "Random"
+        assert methods[1] == "Partition"
+        assert methods[2:] == [method_label(f) for f, _ in L_FACTORS]
+
+    def test_lloyd_cap_respected(self, records):
+        assert all(r.lloyd_iters <= 10 for r in records)
+
+    def test_random_has_no_intermediate_set(self, records):
+        assert records[0].n_candidates == 20
+
+    def test_partition_metadata(self, records):
+        partition = records[1]
+        assert partition.m_groups >= 1
+        assert partition.n_candidates > 20
+
+    def test_scalable_rows_carry_l(self, records):
+        for record, (factor, r) in zip(records[2:], L_FACTORS):
+            assert record.l == pytest.approx(factor * 20)
+            assert record.n_rounds <= r
+
+    def test_costs_finite_positive(self, records):
+        for r in records:
+            assert np.isfinite(r.final_cost) and r.final_cost > 0
+            assert r.final_cost <= r.seed_cost
+
+    def test_label_format(self):
+        assert method_label(0.5) == "k-means|| l=0.5k"
+        assert method_label(10.0) == "k-means|| l=10k"
+
+
+class TestSuiteParams:
+    def test_scales_defined(self):
+        assert set(SUITE_PARAMS) == {"bench", "scaled", "paper"}
+
+    def test_paper_scale_is_paper_sized(self):
+        assert SUITE_PARAMS["paper"]["n"] == 4_800_000
+        assert SUITE_PARAMS["paper"]["k_values"] == (500, 1000)

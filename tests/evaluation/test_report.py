@@ -1,0 +1,57 @@
+"""Tests for repro.evaluation.report."""
+
+from __future__ import annotations
+
+from repro.evaluation.report import ShapeCheck, check_shapes, render_checks
+
+
+def _checks():
+    return [
+        ShapeCheck("a beats b", "Table 1", lambda d: d["a"] < d["b"]),
+        ShapeCheck("c positive", "Table 2", lambda d: d["c"] > 0),
+        ShapeCheck("missing key", "Table 3", lambda d: d["nope"] > 0),
+    ]
+
+
+class TestCheckShapes:
+    def test_pass_and_fail(self):
+        outcomes = check_shapes({"a": 1, "b": 2, "c": -1}, _checks()[:2])
+        assert outcomes[0].passed
+        assert not outcomes[1].passed
+
+    def test_exception_is_failure_with_note(self):
+        outcomes = check_shapes({"a": 1, "b": 2, "c": 1}, _checks())
+        assert not outcomes[2].passed
+        assert "KeyError" in outcomes[2].error
+
+    def test_order_preserved(self):
+        outcomes = check_shapes({"a": 1, "b": 2, "c": 1}, _checks())
+        assert [o.source for o in outcomes] == ["Table 1", "Table 2", "Table 3"]
+
+
+class TestRenderChecks:
+    def test_renders_verdicts(self):
+        outcomes = check_shapes({"a": 1, "b": 0, "c": 5}, _checks()[:2])
+        text = render_checks("shape checks", outcomes)
+        assert "FAIL" in text and "PASS" in text
+        assert "a beats b" in text
+
+    def test_real_experiment_checks(self):
+        # The same style of predicate the experiment tests use, evaluated
+        # through the report machinery on synthetic data.
+        data = {
+            "cells": {
+                ("Random", 100.0): {"final": 1000.0},
+                ("k-means++", 100.0): {"final": 10.0},
+            }
+        }
+        checks = [
+            ShapeCheck(
+                "Random final diverges at R=100",
+                "Table 1",
+                lambda d: d["cells"][("Random", 100.0)]["final"]
+                > 10 * d["cells"][("k-means++", 100.0)]["final"],
+            )
+        ]
+        outcomes = check_shapes(data, checks)
+        assert outcomes[0].passed

@@ -1,0 +1,52 @@
+"""Tests for repro.evaluation.tables."""
+
+from __future__ import annotations
+
+from repro.evaluation.tables import format_number, render_table
+
+
+class TestFormatNumber:
+    def test_none_dash(self):
+        assert format_number(None) == "—"
+
+    def test_string_passthrough(self):
+        assert format_number("abc") == "abc"
+
+    def test_int_thousands(self):
+        assert format_number(12345) == "12,345"
+
+    def test_large_scientific(self):
+        assert "e" in format_number(3.2e9)
+
+    def test_small_scientific(self):
+        assert "e" in format_number(1.5e-5)
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_nan_dash(self):
+        assert format_number(float("nan")) == "—"
+
+    def test_moderate_three_sig(self):
+        assert format_number(3.14159) == "3.14"
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        text = render_table(
+            "My Table", ["method", "cost"], [["Random", 12.5], ["km||", 3.25]]
+        )
+        assert "My Table" in text
+        assert "Random" in text
+        assert "12.5" in text
+        assert "km||" in text
+
+    def test_note_appended(self):
+        text = render_table("T", ["a"], [[1]], note="the-note")
+        assert text.endswith("the-note")
+
+    def test_alignment_consistent_width(self):
+        text = render_table("T", ["method", "x"], [["a-very-long-name", 1], ["b", 22]])
+        lines = [l for l in text.splitlines() if l and not set(l) <= {"-"}]
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1  # all data rows padded equal

@@ -1,0 +1,126 @@
+"""Empirical checks of the paper's theory (Section 6).
+
+These tests do not prove the theorems — they verify that the implemented
+sampling behaves like the analysis says it must, on instances where the
+optimal clustering is known by construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.costs import potential
+from repro.core.init_scalable import ScalableKMeans
+from repro.data.gauss_mixture import make_gauss_mixture
+from repro.data.synthetic import make_grid_clusters
+from repro.linalg.distances import min_sq_dists, sq_dists_to_point, update_min_sq_dists
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """16 tight clusters on a grid: phi* is essentially the noise floor."""
+    return make_grid_clusters(side=4, points_per_cluster=60, d=2,
+                              spacing=50.0, noise=0.2, seed=0)
+
+
+class TestTheorem2PerRoundDrop:
+    """E[phi'] <= 8 phi* + (1+alpha)/2 * phi, alpha ~ exp(-l/(2k))."""
+
+    def test_expected_drop_holds_on_grid(self, grid):
+        X = grid.X
+        k = grid.true_centers.shape[0]
+        l = 2.0 * k
+        alpha = math.exp(-(1 - math.exp(-l / (2 * k))))
+        phi_star = potential(X, grid.true_centers)
+
+        # One manual round of Algorithm 2, repeated over seeds.
+        ratios = []
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            first = X[int(rng.integers(0, X.shape[0]))]
+            d2 = sq_dists_to_point(X, first)
+            phi = float(d2.sum())
+            probs = np.minimum(1.0, l * d2 / phi)
+            mask = rng.random(X.shape[0]) < probs
+            if mask.any():
+                update_min_sq_dists(X, X[mask], d2)
+            phi_after = float(d2.sum())
+            bound = 8 * phi_star + (1 + alpha) / 2 * phi
+            ratios.append(phi_after / bound)
+        # The bound is on the expectation; the empirical mean must satisfy
+        # it with slack.
+        assert np.mean(ratios) <= 1.0
+
+    def test_corollary3_geometric_decay(self, grid):
+        # phi^(i) ~ ((1+alpha)/2)^i psi + O(phi*): after r rounds the cost
+        # must be within a constant factor of phi*.
+        X = grid.X
+        k = grid.true_centers.shape[0]
+        phi_star = potential(X, grid.true_centers)
+        init = ScalableKMeans(oversampling_factor=2.0, n_rounds=8).run(X, k, seed=0)
+        costs = init.round_costs()
+        # Monotone decrease...
+        assert (np.diff(costs) <= 1e-9 * costs[0]).all()
+        # ...down to O(phi*) before reclustering (constant chosen loosely).
+        final_candidate_cost = potential(X, init.candidates)
+        assert final_candidate_cost <= 32 * phi_star
+
+
+class TestTheorem1EndToEnd:
+    """k-means|| + alpha-approx reclustering is O(alpha)-approximate."""
+
+    def test_constant_factor_on_grid(self, grid):
+        X = grid.X
+        k = grid.true_centers.shape[0]
+        phi_star = potential(X, grid.true_centers)
+        seed_costs = [
+            ScalableKMeans(oversampling_factor=2.0, n_rounds=5)
+            .run(X, k, seed=s).seed_cost
+            for s in range(10)
+        ]
+        # O(log k) factor from the k-means++ reclustering; 8(ln k + 2) with
+        # generous slack for the outer constant.
+        bound = 8 * (math.log(k) + 2) * phi_star * 4
+        assert np.median(seed_costs) <= bound
+
+    def test_beats_plain_sampling_on_mixture(self):
+        ds = make_gauss_mixture(seed=0, n=4000, k=25, R=100.0)
+        ref = ds.reference_cost()
+        costs = [
+            ScalableKMeans(oversampling_factor=2.0, n_rounds=5)
+            .run(ds.X, 25, seed=s).seed_cost
+            for s in range(5)
+        ]
+        assert np.median(costs) < 10 * ref
+
+
+class TestSamplingDistribution:
+    """Line 4's selection probabilities are exactly l*d^2/phi (clipped)."""
+
+    def test_selection_frequency_tracks_d2(self):
+        # Three tight groups at different distances from the first center;
+        # selection frequency of each group must be proportional to its d^2.
+        rng = np.random.default_rng(0)
+        base = np.zeros((50, 2))
+        near = np.array([10.0, 0.0]) + rng.normal(0, 0.01, size=(50, 2))
+        far = np.array([30.0, 0.0]) + rng.normal(0, 0.01, size=(50, 2))
+        X = np.vstack([base, near, far])
+        d2 = min_sq_dists(X, np.zeros((1, 2)))
+        phi = d2.sum()
+        l = 3.0
+        probs = np.minimum(1.0, l * d2 / phi)
+
+        counts = np.zeros(3)
+        trials = 400
+        gen = np.random.default_rng(1)
+        for _ in range(trials):
+            mask = gen.random(X.shape[0]) < probs
+            counts += [mask[:50].sum(), mask[50:100].sum(), mask[100:].sum()]
+        empirical = counts / trials
+        expected = np.array(
+            [probs[:50].sum(), probs[50:100].sum(), probs[100:].sum()]
+        )
+        np.testing.assert_allclose(empirical, expected, rtol=0.2, atol=0.05)

@@ -1,0 +1,187 @@
+"""Tests for repro.linalg.distances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.distances import (
+    assign_labels,
+    min_sq_dists,
+    pairwise_sq_dists,
+    sq_dists_to_point,
+    update_min_sq_dists,
+    update_min_sq_dists_argmin,
+)
+
+
+def brute_pairwise(X, C):
+    """Reference O(nkd) implementation via explicit differences."""
+    return ((X[:, None, :] - C[None, :, :]) ** 2).sum(axis=2)
+
+
+class TestPairwiseSqDists:
+    def test_matches_brute_force(self, rng):
+        X = rng.normal(size=(40, 5))
+        C = rng.normal(size=(7, 5))
+        np.testing.assert_allclose(
+            pairwise_sq_dists(X, C), brute_pairwise(X, C), atol=1e-9
+        )
+
+    def test_hand_computed(self, tiny):
+        C = np.array([[0.0], [10.0]])
+        expected = np.array([[0, 100], [1, 81], [16, 36], [81, 1]], dtype=float)
+        np.testing.assert_allclose(pairwise_sq_dists(tiny, C), expected)
+
+    def test_self_distance_zero(self, rng):
+        X = rng.normal(size=(10, 4))
+        d2 = pairwise_sq_dists(X, X)
+        np.testing.assert_allclose(np.diag(d2), 0.0, atol=1e-8)
+
+    def test_never_negative_under_roundoff(self, rng):
+        # Nearly-identical large-magnitude points provoke catastrophic
+        # cancellation in the GEMM expansion; the clamp must hold.
+        base = rng.normal(size=(1, 6)) * 1e8
+        X = base + rng.normal(size=(50, 6)) * 1e-4
+        d2 = pairwise_sq_dists(X, X[:5])
+        assert (d2 >= 0).all()
+
+    def test_precomputed_norms(self, rng):
+        X = rng.normal(size=(20, 3))
+        C = rng.normal(size=(4, 3))
+        norms = np.einsum("ij,ij->i", X, X)
+        np.testing.assert_allclose(
+            pairwise_sq_dists(X, C, x_norms_sq=norms),
+            pairwise_sq_dists(X, C),
+        )
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(Exception, match="dimension mismatch"):
+            pairwise_sq_dists(rng.normal(size=(5, 3)), rng.normal(size=(2, 4)))
+
+
+class TestSqDistsToPoint:
+    def test_matches_pairwise(self, rng):
+        X = rng.normal(size=(30, 4))
+        c = rng.normal(size=4)
+        np.testing.assert_allclose(
+            sq_dists_to_point(X, c),
+            pairwise_sq_dists(X, c.reshape(1, -1)).ravel(),
+            atol=1e-9,
+        )
+
+    def test_accepts_2d_single_row(self, rng):
+        X = rng.normal(size=(10, 3))
+        c = rng.normal(size=(1, 3))
+        assert sq_dists_to_point(X, c).shape == (10,)
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            sq_dists_to_point(rng.normal(size=(5, 3)), np.zeros(4))
+
+
+class TestMinSqDists:
+    def test_matches_brute(self, rng):
+        X = rng.normal(size=(60, 6))
+        C = rng.normal(size=(9, 6))
+        np.testing.assert_allclose(
+            min_sq_dists(X, C), brute_pairwise(X, C).min(axis=1), atol=1e-9
+        )
+
+    def test_chunked_equals_unchunked(self, rng):
+        X = rng.normal(size=(101, 8))
+        C = rng.normal(size=(13, 8))
+        np.testing.assert_allclose(
+            min_sq_dists(X, C, chunk_bytes=1024),
+            min_sq_dists(X, C),
+            atol=1e-9,
+        )
+
+
+class TestUpdateMinSqDists:
+    def test_incremental_equals_batch(self, rng):
+        X = rng.normal(size=(50, 4))
+        C1 = rng.normal(size=(3, 4))
+        C2 = rng.normal(size=(2, 4))
+        d2 = min_sq_dists(X, C1)
+        update_min_sq_dists(X, C2, d2)
+        np.testing.assert_allclose(d2, min_sq_dists(X, np.vstack([C1, C2])), atol=1e-9)
+
+    def test_in_place_and_returned(self, rng):
+        X = rng.normal(size=(10, 2))
+        d2 = min_sq_dists(X, X[:1])
+        out = update_min_sq_dists(X, X[5:6], d2)
+        assert out is d2
+
+    def test_single_vector_center(self, rng):
+        X = rng.normal(size=(10, 3))
+        d2 = np.full(10, np.inf)
+        update_min_sq_dists(X, X[0], d2)  # 1-d new center reshaped
+        assert d2[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_new_centers_noop(self, rng):
+        X = rng.normal(size=(10, 3))
+        d2 = min_sq_dists(X, X[:2])
+        before = d2.copy()
+        update_min_sq_dists(X, np.empty((0, 3)), d2)
+        np.testing.assert_array_equal(d2, before)
+
+    def test_monotone_non_increasing(self, rng):
+        X = rng.normal(size=(30, 5))
+        d2 = min_sq_dists(X, X[:1])
+        before = d2.copy()
+        update_min_sq_dists(X, X[10:15], d2)
+        assert (d2 <= before + 1e-12).all()
+
+    def test_length_mismatch_rejected(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="length"):
+            update_min_sq_dists(X, X[:1], np.zeros(5))
+
+
+class TestUpdateMinSqDistsArgmin:
+    def test_tracks_global_argmin(self, rng):
+        X = rng.normal(size=(80, 4))
+        C = rng.normal(size=(6, 4))
+        d2 = np.full(80, np.inf)
+        nearest = np.full(80, -1, dtype=np.int64)
+        # Fold in two batches with correct offsets.
+        update_min_sq_dists_argmin(X, C[:2], d2, nearest, offset=0)
+        update_min_sq_dists_argmin(X, C[2:], d2, nearest, offset=2)
+        expected = brute_pairwise(X, C).argmin(axis=1)
+        np.testing.assert_array_equal(nearest, expected)
+
+    def test_distances_match_plain_update(self, rng):
+        X = rng.normal(size=(40, 3))
+        C = rng.normal(size=(5, 3))
+        d2a = np.full(40, np.inf)
+        nearest = np.full(40, -1, dtype=np.int64)
+        update_min_sq_dists_argmin(X, C, d2a, nearest, offset=0)
+        np.testing.assert_allclose(d2a, min_sq_dists(X, C), atol=1e-12)
+
+
+class TestAssignLabels:
+    def test_matches_brute(self, rng):
+        X = rng.normal(size=(50, 4))
+        C = rng.normal(size=(6, 4))
+        np.testing.assert_array_equal(
+            assign_labels(X, C), brute_pairwise(X, C).argmin(axis=1)
+        )
+
+    def test_returns_sq_dists(self, rng):
+        X = rng.normal(size=(25, 3))
+        C = rng.normal(size=(4, 3))
+        labels, d2 = assign_labels(X, C, return_sq_dists=True)
+        np.testing.assert_allclose(d2, min_sq_dists(X, C), atol=1e-9)
+
+    def test_tie_breaks_to_lowest_index(self):
+        X = np.array([[0.0, 0.0]])
+        C = np.array([[1.0, 0.0], [-1.0, 0.0]])  # equidistant
+        assert assign_labels(X, C)[0] == 0
+
+    def test_chunking_consistency(self, rng):
+        X = rng.normal(size=(97, 5))
+        C = rng.normal(size=(8, 5))
+        np.testing.assert_array_equal(
+            assign_labels(X, C, chunk_bytes=512), assign_labels(X, C)
+        )

@@ -1,0 +1,97 @@
+"""Tests for repro.mapreduce.cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.cluster import ClusterModel, PhaseTime
+
+
+class TestPhaseTime:
+    def test_total(self):
+        t = PhaseTime(overhead=1.0, map=2.0, shuffle=3.0, reduce=4.0)
+        assert t.total == 10.0
+
+
+class TestClusterModel:
+    def test_defaults_valid(self):
+        ClusterModel()
+
+    def test_paper_preset(self):
+        cl = ClusterModel.paper_2012()
+        assert cl.n_workers == 64
+        assert cl.job_overhead_s == 600.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ClusterModel(n_workers=0)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ClusterModel(worker_flops=0)
+
+    def test_negative_overhead(self):
+        with pytest.raises(ValueError):
+            ClusterModel(job_overhead_s=-1.0)
+
+
+class TestScheduling:
+    def test_empty(self):
+        assert ClusterModel().schedule([]) == 0.0
+
+    def test_single_worker_sums(self):
+        cl = ClusterModel(n_workers=1)
+        assert cl.schedule([1.0, 2.0, 3.0]) == pytest.approx(6.0)
+
+    def test_perfect_parallelism(self):
+        cl = ClusterModel(n_workers=4)
+        assert cl.schedule([2.0, 2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_makespan_with_imbalance(self):
+        cl = ClusterModel(n_workers=2)
+        # Greedy list scheduling: [5] on w1; [1,1,1,1] on w2 -> makespan 5.
+        assert cl.schedule([5.0, 1.0, 1.0, 1.0, 1.0]) == pytest.approx(5.0)
+
+    def test_more_workers_never_slower(self):
+        tasks = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0]
+        small = ClusterModel(n_workers=2).schedule(tasks)
+        big = ClusterModel(n_workers=8).schedule(tasks)
+        assert big <= small
+
+    def test_negative_task_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterModel().schedule([-1.0])
+
+
+class TestJobTime:
+    def test_phases_accounted(self):
+        cl = ClusterModel(
+            n_workers=2,
+            worker_flops=100.0,
+            scan_bytes_per_s=100.0,
+            shuffle_bytes_per_s=50.0,
+            job_overhead_s=7.0,
+        )
+        t = cl.job_time(
+            map_flops_per_split=[100.0, 100.0],
+            map_bytes_per_split=[100.0, 100.0],
+            shuffle_bytes=100.0,
+            reduce_flops=200.0,
+        )
+        assert t.overhead == 7.0
+        assert t.map == pytest.approx(2.0)  # (1s scan + 1s compute) parallel
+        assert t.shuffle == pytest.approx(2.0)
+        assert t.reduce == pytest.approx(2.0)
+
+    def test_sequential_seconds(self):
+        cl = ClusterModel(sequential_flops=10.0)
+        assert cl.sequential_seconds(100.0) == pytest.approx(10.0)
+
+    def test_sequential_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterModel().sequential_seconds(-1.0)
+
+    def test_parallel_group_seconds(self):
+        cl = ClusterModel(n_workers=2, worker_flops=10.0)
+        # Two groups of 100 flops -> 10 s each, in parallel.
+        assert cl.parallel_group_seconds([100.0, 100.0]) == pytest.approx(10.0)

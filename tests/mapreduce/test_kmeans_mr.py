@@ -1,0 +1,114 @@
+"""Tests for the MapReduce k-means drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import potential
+from repro.mapreduce.cluster import ClusterModel
+from repro.mapreduce.kmeans_mr import (
+    mr_lloyd,
+    mr_random_kmeans,
+    mr_scalable_kmeans,
+    naive_kmeanspp_flops,
+)
+from repro.mapreduce.runtime import LocalMapReduceRuntime
+
+
+class TestMRLloyd:
+    def test_converges_on_blobs(self, blobs):
+        X, true_centers = blobs
+        rt = LocalMapReduceRuntime(X, n_splits=4, seed=0)
+        centers, phi, n_iter = mr_lloyd(rt, true_centers + 0.2, max_iter=20)
+        assert phi == pytest.approx(potential(X, centers))
+        assert n_iter < 20
+
+    def test_matches_sequential_lloyd(self, blobs):
+        from repro.core.lloyd import lloyd
+
+        X, _ = blobs
+        start = X[:5].copy()
+        rt = LocalMapReduceRuntime(X, n_splits=4, seed=0)
+        mr_centers, mr_phi, _ = mr_lloyd(rt, start, max_iter=50)
+        seq = lloyd(X, start, max_iter=50, empty_policy="keep")
+        assert mr_phi == pytest.approx(seq.cost, rel=1e-9)
+        np.testing.assert_allclose(
+            np.sort(mr_centers, axis=0), np.sort(seq.centers, axis=0), atol=1e-9
+        )
+
+    def test_respects_cap(self, blobs):
+        X, _ = blobs
+        rt = LocalMapReduceRuntime(X, n_splits=4, seed=0)
+        _, _, n_iter = mr_lloyd(rt, X[:5], max_iter=3)
+        assert n_iter <= 3
+
+
+class TestMRScalableKMeans:
+    def test_full_pipeline(self, blobs):
+        X, _ = blobs
+        report = mr_scalable_kmeans(X, 5, l=10.0, r=5, n_splits=4, seed=0)
+        assert report.centers.shape == (5, 3)
+        assert report.method == "k-means||"
+        assert report.n_candidates >= 5
+        assert report.final_cost <= report.seed_cost
+        assert report.simulated_minutes > 0
+        assert set(report.breakdown) == {"init", "weights", "recluster", "lloyd"}
+
+    def test_quality_comparable_to_sequential(self, blobs):
+        from repro.core.init_scalable import ScalableKMeans
+        from repro.core.lloyd import lloyd
+
+        X, _ = blobs
+        report = mr_scalable_kmeans(X, 5, l=10.0, r=5, n_splits=4, seed=1)
+        seq_init = ScalableKMeans(oversampling=10.0, n_rounds=5).run(X, 5, seed=1)
+        seq = lloyd(X, seq_init.centers)
+        # Both find the 5-blob structure.
+        assert report.final_cost < 3 * seq.cost
+
+    def test_job_count_accounting(self, blobs):
+        X, _ = blobs
+        report = mr_scalable_kmeans(X, 5, l=10.0, r=3, n_splits=4, seed=0,
+                                    lloyd_max_iter=5)
+        # 1 sample + (3 cost + <=3 sample) + final fold + weights +
+        # sequential pseudo-job + <=5 lloyd
+        assert report.n_jobs <= 1 + 6 + 1 + 1 + 1 + 5
+        assert report.n_jobs >= 8
+
+    def test_summary_string(self, blobs):
+        X, _ = blobs
+        report = mr_scalable_kmeans(X, 5, l=10.0, r=2, n_splits=4, seed=0)
+        text = report.summary()
+        assert "k-means||" in text and "simulated" in text
+
+
+class TestMRRandomKMeans:
+    def test_pipeline(self, blobs):
+        X, _ = blobs
+        report = mr_random_kmeans(X, 5, n_splits=4, seed=0)
+        assert report.method == "random"
+        assert report.centers.shape == (5, 3)
+        assert report.lloyd_iters <= 20
+        assert report.final_cost <= report.seed_cost
+
+    def test_custom_cluster_model_changes_time(self, blobs):
+        X, _ = blobs
+        fast = mr_random_kmeans(
+            X, 5, n_splits=4, seed=0,
+            cluster=ClusterModel(job_overhead_s=1.0),
+        )
+        slow = mr_random_kmeans(
+            X, 5, n_splits=4, seed=0,
+            cluster=ClusterModel(job_overhead_s=1000.0),
+        )
+        assert slow.simulated_minutes > fast.simulated_minutes
+
+
+class TestNaiveKMeansPPFlops:
+    def test_quadratic_in_k(self):
+        assert naive_kmeanspp_flops(100, 20, 5) > 3.5 * naive_kmeanspp_flops(100, 10, 5)
+
+    def test_linear_in_m(self):
+        assert naive_kmeanspp_flops(200, 10, 5) == pytest.approx(
+            2 * naive_kmeanspp_flops(100, 10, 5)
+        )

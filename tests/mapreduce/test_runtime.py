@@ -1,0 +1,214 @@
+"""Tests for repro.mapreduce.runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MapReduceError
+from repro.mapreduce.job import BlockMapper, MapReduceJob, Reducer
+from repro.mapreduce.runtime import LocalMapReduceRuntime, estimate_nbytes
+
+
+class RowSumMapper(BlockMapper):
+    """Emit the sum of each split's rows under one key."""
+
+    def map_block(self, block):
+        self.work += block.size
+        yield "sum", block.sum()
+
+
+class CountMapper(BlockMapper):
+    def map_block(self, block):
+        # Also exercise per-split state persistence across jobs.
+        self.ctx.state["rows_seen"] = self.ctx.state.get("rows_seen", 0) + block.shape[0]
+        yield "count", block.shape[0]
+        yield "state", self.ctx.state["rows_seen"]
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values):
+        self.work += len(values)
+        yield key, sum(values)
+
+
+class FailingMapper(BlockMapper):
+    def map_block(self, block):
+        raise RuntimeError("kaboom")
+        yield  # pragma: no cover
+
+
+class FailingReducer(Reducer):
+    def reduce(self, key, values):
+        raise RuntimeError("reduce-kaboom")
+        yield  # pragma: no cover
+
+
+def make_job(mapper=RowSumMapper, reducer=SumReducer, combiner=None):
+    return MapReduceJob(
+        name="test",
+        mapper_factory=mapper,
+        reducer_factory=reducer,
+        combiner_factory=combiner,
+    )
+
+
+class TestEstimateNbytes:
+    def test_ndarray(self):
+        assert estimate_nbytes(np.zeros(10)) == 80
+
+    def test_scalar(self):
+        assert estimate_nbytes(3.14) == 8
+
+    def test_string(self):
+        assert estimate_nbytes("abcd") == 4
+
+    def test_tuple_framed(self):
+        assert estimate_nbytes((1.0, 2.0)) == 8 * 2 + 16
+
+    def test_dict(self):
+        assert estimate_nbytes({"a": 1.0}) == 24
+
+    def test_bytes(self):
+        assert estimate_nbytes(b"xyz") == 3
+
+
+class TestRuntimeBasics:
+    def test_sum_matches_sequential(self, rng):
+        X = rng.normal(size=(100, 3))
+        rt = LocalMapReduceRuntime(X, n_splits=7, seed=0)
+        result = rt.run_job(make_job())
+        assert result.single("sum") == pytest.approx(X.sum())
+
+    def test_split_count_capped_by_rows(self):
+        X = np.ones((3, 2))
+        rt = LocalMapReduceRuntime(X, n_splits=10)
+        assert rt.n_splits == 3
+
+    def test_splits_cover_data(self, rng):
+        X = rng.normal(size=(53, 2))
+        rt = LocalMapReduceRuntime(X, n_splits=8)
+        np.testing.assert_array_equal(np.vstack(rt.splits), X)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(MapReduceError):
+            LocalMapReduceRuntime(np.empty((0, 2)))
+
+    def test_state_persists_across_jobs(self, rng):
+        X = rng.normal(size=(40, 2))
+        rt = LocalMapReduceRuntime(X, n_splits=4, seed=0)
+        rt.run_job(make_job(mapper=CountMapper))
+        second = rt.run_job(make_job(mapper=CountMapper))
+        # Second job sees rows_seen doubled in every split.
+        assert second.single("state") == 2 * 40
+
+    def test_mapper_error_wrapped(self, rng):
+        X = rng.normal(size=(10, 2))
+        rt = LocalMapReduceRuntime(X, n_splits=2)
+        with pytest.raises(MapReduceError, match="mapper failed.*split 0"):
+            rt.run_job(make_job(mapper=FailingMapper))
+
+    def test_reducer_error_wrapped(self, rng):
+        X = rng.normal(size=(10, 2))
+        rt = LocalMapReduceRuntime(X, n_splits=2)
+        with pytest.raises(MapReduceError, match="reducer failed"):
+            rt.run_job(make_job(reducer=FailingReducer))
+
+    def test_single_raises_on_missing_key(self, rng):
+        X = rng.normal(size=(10, 2))
+        rt = LocalMapReduceRuntime(X, n_splits=2)
+        result = rt.run_job(make_job())
+        with pytest.raises(MapReduceError, match="no output"):
+            result.single("nope")
+
+    def test_per_split_rngs_differ(self, rng):
+        class RngMapper(BlockMapper):
+            def map_block(self, block):
+                yield "draw", float(self.ctx.rng.random())
+
+        X = rng.normal(size=(40, 2))
+        rt = LocalMapReduceRuntime(X, n_splits=4, seed=0)
+        draws = rt.run_job(
+            MapReduceJob(name="rng", mapper_factory=RngMapper, reducer_factory=SumReducer)
+        )
+        # SumReducer sums 4 distinct uniforms; with identical streams the
+        # sum would be 4x one value — astronomically unlikely otherwise.
+        class CollectReducer(Reducer):
+            def reduce(self, key, values):
+                yield key, values
+
+        rt2 = LocalMapReduceRuntime(X, n_splits=4, seed=0)
+        collected = rt2.run_job(
+            MapReduceJob(name="rng", mapper_factory=RngMapper,
+                         reducer_factory=CollectReducer)
+        ).single("draw")
+        assert len(set(collected)) == 4
+
+    def test_deterministic_across_replays(self, rng):
+        class RngMapper(BlockMapper):
+            def map_block(self, block):
+                yield "draw", float(self.ctx.rng.random())
+
+        X = rng.normal(size=(40, 2))
+        a = LocalMapReduceRuntime(X, n_splits=4, seed=7).run_job(
+            MapReduceJob(name="rng", mapper_factory=RngMapper, reducer_factory=SumReducer)
+        )
+        b = LocalMapReduceRuntime(X, n_splits=4, seed=7).run_job(
+            MapReduceJob(name="rng", mapper_factory=RngMapper, reducer_factory=SumReducer)
+        )
+        assert a.single("draw") == b.single("draw")
+
+
+class TestCombinerSemantics:
+    def test_combiner_preserves_result(self, rng):
+        X = rng.normal(size=(60, 2))
+        with_comb = LocalMapReduceRuntime(X, n_splits=6, seed=0).run_job(
+            make_job(combiner=SumReducer)
+        )
+        without = LocalMapReduceRuntime(X, n_splits=6, seed=0).run_job(make_job())
+        assert with_comb.single("sum") == pytest.approx(without.single("sum"))
+
+    def test_combiner_reduces_shuffle(self, rng):
+        class PerRowMapper(BlockMapper):
+            def map_block(self, block):
+                for value in block[:, 0]:
+                    yield "sum", float(value)
+
+        X = rng.normal(size=(60, 2))
+        with_comb = LocalMapReduceRuntime(X, n_splits=6, seed=0).run_job(
+            make_job(mapper=PerRowMapper, combiner=SumReducer)
+        )
+        without = LocalMapReduceRuntime(X, n_splits=6, seed=0).run_job(
+            make_job(mapper=PerRowMapper)
+        )
+        assert with_comb.stats.shuffle_records < without.stats.shuffle_records
+        assert with_comb.single("sum") == pytest.approx(without.single("sum"))
+
+
+class TestSimulatedClock:
+    def test_clock_advances(self, rng):
+        X = rng.normal(size=(30, 2))
+        rt = LocalMapReduceRuntime(X, n_splits=3, seed=0)
+        assert rt.simulated_seconds == 0.0
+        rt.run_job(make_job())
+        after_one = rt.simulated_seconds
+        assert after_one > 0.0
+        rt.run_job(make_job())
+        assert rt.simulated_seconds > after_one
+
+    def test_charge_sequential(self, rng):
+        X = rng.normal(size=(10, 2))
+        rt = LocalMapReduceRuntime(X, n_splits=2, seed=0)
+        seconds = rt.charge_sequential(rt.cluster.sequential_flops * 3, label="recluster")
+        assert seconds == pytest.approx(3.0)
+        assert rt.job_log[-1].name == "[sequential] recluster"
+
+    def test_job_log_records(self, rng):
+        X = rng.normal(size=(30, 2))
+        rt = LocalMapReduceRuntime(X, n_splits=3, seed=0)
+        rt.run_job(make_job())
+        stats = rt.job_log[0]
+        assert stats.map_records == 30
+        assert stats.n_splits == 3
+        assert stats.time is not None
+        assert rt.simulated_minutes == pytest.approx(rt.simulated_seconds / 60.0)

@@ -1,0 +1,71 @@
+"""Shared hypothesis strategies for the property tests.
+
+Generates small but adversarial clustering instances: arbitrary finite
+floats (bounded to avoid overflow in squared distances), occasional
+duplicate rows, and weight vectors with zeros.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+__all__ = ["points", "points_and_k", "weights_for", "d2_atol", "cost_atol"]
+
+
+def d2_atol(X: np.ndarray) -> float:
+    """Absolute tolerance for one squared distance on data like ``X``.
+
+    The GEMM expansion ``||x||^2 - 2<x,c> + ||c||^2`` loses up to
+    ``O(eps * ||x||^2 * d)`` to cancellation, and different summation
+    orders (chunked vs whole, (n,k) vs (k,n)) realize different roundoff.
+    """
+    scale_sq = float(max(1.0, np.abs(X).max()) ** 2) * X.shape[1]
+    return 1e-10 * scale_sq
+
+
+def cost_atol(X: np.ndarray) -> float:
+    """Absolute tolerance for a potential (sum of n squared distances)."""
+    return d2_atol(X) * X.shape[0]
+
+#: Coordinate bound: squares must not overflow in sums over ~1e3 points.
+COORD = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                  allow_infinity=False, width=64)
+
+
+@st.composite
+def points(draw, min_rows: int = 1, max_rows: int = 40, max_dim: int = 5):
+    """A small (n, d) float64 array, possibly with duplicate rows."""
+    n = draw(st.integers(min_rows, max_rows))
+    d = draw(st.integers(1, max_dim))
+    X = draw(
+        arrays(np.float64, (n, d), elements=COORD)
+    )
+    # Occasionally force duplicates (the classic degenerate case).
+    if n >= 2 and draw(st.booleans()):
+        X[draw(st.integers(0, n - 1))] = X[draw(st.integers(0, n - 1))]
+    return X
+
+
+@st.composite
+def points_and_k(draw, min_rows: int = 2, max_rows: int = 40):
+    """An (X, k) pair with 1 <= k <= n."""
+    X = draw(points(min_rows=min_rows, max_rows=max_rows))
+    k = draw(st.integers(1, X.shape[0]))
+    return X, k
+
+
+@st.composite
+def weights_for(draw, n: int):
+    """A non-negative weight vector of length n with positive total."""
+    w = draw(
+        arrays(
+            np.float64,
+            (n,),
+            elements=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        )
+    )
+    if w.sum() <= 0:
+        w[draw(st.integers(0, n - 1))] = 1.0
+    return w

@@ -1,0 +1,129 @@
+"""Property-based tests for the core algorithms' invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import normalized_d2, potential
+from repro.core.init_kmeanspp import KMeansPlusPlus
+from repro.core.init_random import RandomInit
+from repro.core.init_scalable import ScalableKMeans
+from repro.core.lloyd import lloyd
+from tests.properties.strategies import points, points_and_k, weights_for
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+class TestPotentialProperties:
+    @given(data=points_and_k())
+    @settings(**SETTINGS)
+    def test_non_negative(self, data):
+        X, k = data
+        assert potential(X, X[:k]) >= 0.0
+
+    @given(data=points_and_k())
+    @settings(**SETTINGS)
+    def test_monotone_in_center_set(self, data):
+        X, k = data
+        phi_small = potential(X, X[:1])
+        phi_large = potential(X, X[:k])
+        assert phi_large <= phi_small + 1e-6 * max(1.0, phi_small)
+
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_weighted_potential_scales_linearly(self, data):
+        X = data.draw(points(min_rows=2))
+        w = data.draw(weights_for(X.shape[0]))
+        phi = potential(X, X[:1], weights=w)
+        phi2 = potential(X, X[:1], weights=2 * w)
+        assert phi2 == pytest.approx(2 * phi, rel=1e-9, abs=1e-9)
+
+    @given(data=points_and_k())
+    @settings(**SETTINGS)
+    def test_d2_distribution_normalized(self, data):
+        X, k = data
+        from repro.linalg.distances import min_sq_dists
+
+        p = normalized_d2(min_sq_dists(X, X[:k]))
+        assert p.shape == (X.shape[0],)
+        assert p.min() >= 0.0
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestInitializerContracts:
+    """Invariants every initializer must satisfy on arbitrary inputs."""
+
+    @given(data=points_and_k(min_rows=2), seed=st.integers(0, 2**16))
+    @settings(**SETTINGS)
+    def test_random_contract(self, data, seed):
+        X, k = data
+        result = RandomInit().run(X, k, seed=seed)
+        assert result.centers.shape == (k, X.shape[1])
+        assert np.isfinite(result.centers).all()
+        assert result.seed_cost >= 0.0
+
+    @given(data=points_and_k(min_rows=2, max_rows=25), seed=st.integers(0, 2**16))
+    @settings(**SETTINGS)
+    def test_kmeanspp_contract(self, data, seed):
+        X, k = data
+        result = KMeansPlusPlus().run(X, k, seed=seed)
+        assert result.centers.shape == (k, X.shape[1])
+        assert result.seed_cost >= 0.0
+        # Every center is a data point.
+        for c in result.centers:
+            assert (np.abs(X - c).max(axis=1) < 1e-9).any()
+
+    @given(
+        data=points_and_k(min_rows=2, max_rows=25),
+        seed=st.integers(0, 2**16),
+        factor=st.sampled_from([0.5, 1.0, 2.0]),
+        rounds=st.integers(1, 6),
+    )
+    @settings(**SETTINGS)
+    def test_scalable_contract(self, data, seed, factor, rounds):
+        X, k = data
+        result = ScalableKMeans(
+            oversampling_factor=factor, n_rounds=rounds
+        ).run(X, k, seed=seed)
+        assert result.centers.shape == (k, X.shape[1])
+        assert result.seed_cost >= 0.0
+        # Step 7 invariant: candidate weights partition the data mass.
+        assert result.candidate_weights.sum() == pytest.approx(X.shape[0])
+        # Round trace is monotone in cost.
+        costs = result.round_costs()
+        assert (np.diff(costs) <= 1e-6 * max(1.0, costs[0])).all()
+
+
+class TestLloydProperties:
+    @given(data=points_and_k(min_rows=2, max_rows=30), seed=st.integers(0, 2**16))
+    @settings(**SETTINGS)
+    def test_cost_never_increases(self, data, seed):
+        X, k = data
+        rng = np.random.default_rng(seed)
+        start = X[rng.choice(X.shape[0], size=k, replace=False)]
+        result = lloyd(X, start, max_iter=20)
+        hist = np.asarray(result.cost_history)
+        scale = max(1.0, hist[0])
+        assert (np.diff(hist) <= 1e-7 * scale).all()
+
+    @given(data=points_and_k(min_rows=2, max_rows=30), seed=st.integers(0, 2**16))
+    @settings(**SETTINGS)
+    def test_final_no_worse_than_seed(self, data, seed):
+        X, k = data
+        rng = np.random.default_rng(seed)
+        start = X[rng.choice(X.shape[0], size=k, replace=False)]
+        result = lloyd(X, start, max_iter=20)
+        seed_cost = potential(X, start)
+        assert result.cost <= seed_cost + 1e-7 * max(1.0, seed_cost)
+
+    @given(data=points_and_k(min_rows=2, max_rows=30), seed=st.integers(0, 2**16))
+    @settings(**SETTINGS)
+    def test_centers_stay_finite(self, data, seed):
+        X, k = data
+        rng = np.random.default_rng(seed)
+        start = X[rng.choice(X.shape[0], size=k, replace=False)]
+        result = lloyd(X, start, max_iter=10)
+        assert np.isfinite(result.centers).all()

@@ -1,0 +1,65 @@
+"""Property-based tests for the KMeans facade contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kmeans import KMeans
+from tests.properties.strategies import cost_atol, d2_atol, points_and_k
+
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+class TestFacadeContract:
+    @given(
+        data=points_and_k(min_rows=3, max_rows=30),
+        init=st.sampled_from(["k-means||", "k-means++", "random"]),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(**SETTINGS)
+    def test_fit_invariants(self, data, init, seed):
+        X, k = data
+        model = KMeans(n_clusters=k, init=init, max_iter=10, seed=seed).fit(X)
+        assert model.cluster_centers_.shape == (k, X.shape[1])
+        assert np.isfinite(model.cluster_centers_).all()
+        assert model.labels_.shape == (X.shape[0],)
+        assert 0 <= model.labels_.min() and model.labels_.max() < k
+        assert model.inertia_ >= 0.0
+        # Final cost never exceeds the seed cost (up to cancellation noise
+        # on large-magnitude coordinates).
+        assert model.inertia_ <= model.init_result_.seed_cost + cost_atol(X)
+
+    @given(data=points_and_k(min_rows=3, max_rows=30), seed=st.integers(0, 2**16))
+    @settings(**SETTINGS)
+    def test_predict_is_consistent_with_score(self, data, seed):
+        X, k = data
+        model = KMeans(n_clusters=k, max_iter=5, seed=seed).fit(X)
+        # predict must be *cost-equivalent* to labels_ (duplicate centers
+        # make exact label equality too strong: ties can break either way),
+        # and score is exactly the negative inertia.
+        predicted = model.predict(X)
+        tol = max(1e-6 * model.inertia_, cost_atol(X))
+        d_pred = np.einsum(
+            "ij,ij->i", X - model.cluster_centers_[predicted],
+            X - model.cluster_centers_[predicted],
+        )
+        d_fit = np.einsum(
+            "ij,ij->i", X - model.cluster_centers_[model.labels_],
+            X - model.cluster_centers_[model.labels_],
+        )
+        np.testing.assert_allclose(d_pred, d_fit, rtol=1e-7, atol=d2_atol(X))
+        assert model.score(X) == pytest.approx(-model.inertia_, rel=1e-9, abs=tol)
+
+    @given(data=points_and_k(min_rows=3, max_rows=25), seed=st.integers(0, 2**16))
+    @settings(**SETTINGS)
+    def test_transform_squares_match_potential(self, data, seed):
+        X, k = data
+        model = KMeans(n_clusters=k, max_iter=5, seed=seed).fit(X)
+        D = model.transform(X)
+        reconstructed = float((D.min(axis=1) ** 2).sum())
+        assert reconstructed == pytest.approx(
+            model.inertia_, rel=1e-6, abs=1e-6 * max(1.0, model.inertia_)
+        )

@@ -1,0 +1,123 @@
+"""Property-based tests for the distance/centroid kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.centroids import weighted_centroids
+from repro.linalg.distances import (
+    assign_labels,
+    min_sq_dists,
+    pairwise_sq_dists,
+    update_min_sq_dists,
+)
+from tests.properties.strategies import (
+    cost_atol,
+    d2_atol,
+    points,
+    points_and_k,
+    weights_for,
+)
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+
+class TestDistanceProperties:
+    @given(data=points_and_k())
+    @settings(**SETTINGS)
+    def test_pairwise_non_negative(self, data):
+        X, k = data
+        d2 = pairwise_sq_dists(X, X[:k])
+        assert (d2 >= 0).all()
+
+    @given(data=points_and_k())
+    @settings(**SETTINGS)
+    def test_pairwise_symmetry_through_transpose(self, data):
+        X, k = data
+        C = X[:k]
+        np.testing.assert_allclose(
+            pairwise_sq_dists(X, C),
+            pairwise_sq_dists(C, X).T,
+            rtol=1e-7,
+            atol=d2_atol(X),
+        )
+
+    @given(data=points_and_k())
+    @settings(**SETTINGS)
+    def test_min_is_row_minimum(self, data):
+        X, k = data
+        C = X[:k]
+        np.testing.assert_allclose(
+            min_sq_dists(X, C), pairwise_sq_dists(X, C).min(axis=1),
+            rtol=1e-9, atol=1e-9,
+        )
+
+    @given(data=points_and_k())
+    @settings(**SETTINGS)
+    def test_incremental_update_equals_batch(self, data):
+        X, k = data
+        C = X[:k]
+        split = max(1, k // 2)
+        d2 = min_sq_dists(X, C[:split])
+        update_min_sq_dists(X, C[split:], d2) if split < k else None
+        np.testing.assert_allclose(
+            d2, min_sq_dists(X, C), rtol=1e-7, atol=d2_atol(X)
+        )
+
+    @given(data=points_and_k())
+    @settings(**SETTINGS)
+    def test_labels_within_range_and_consistent(self, data):
+        X, k = data
+        C = X[:k]
+        labels, d2 = assign_labels(X, C, return_sq_dists=True)
+        assert labels.min() >= 0 and labels.max() < k
+        full = pairwise_sq_dists(X, C)
+        picked = full[np.arange(X.shape[0]), labels]
+        np.testing.assert_allclose(picked, full.min(axis=1), rtol=1e-9, atol=1e-9)
+
+    @given(data=points_and_k())
+    @settings(**SETTINGS)
+    def test_adding_centers_never_increases_min(self, data):
+        X, k = data
+        base = min_sq_dists(X, X[:1])
+        more = min_sq_dists(X, X[:k])
+        assert (more <= base + d2_atol(X)).all()
+
+
+class TestCentroidProperties:
+    @given(data=points_and_k(), seed=st.integers(0, 2**16))
+    @settings(**SETTINGS)
+    def test_mass_conserved(self, data, seed):
+        X, k = data
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, k, size=X.shape[0])
+        _, mass = weighted_centroids(X, labels, k)
+        assert mass.sum() == X.shape[0]
+
+    @given(data=points_and_k(), seed=st.integers(0, 2**16))
+    @settings(**SETTINGS)
+    def test_centroids_within_bounding_box(self, data, seed):
+        X, k = data
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, k, size=X.shape[0])
+        centers, mass = weighted_centroids(X, labels, k)
+        lo, hi = X.min(axis=0), X.max(axis=0)
+        for j in range(k):
+            if mass[j] > 0:
+                assert (centers[j] >= lo - 1e-6).all()
+                assert (centers[j] <= hi + 1e-6).all()
+
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_weighted_centroid_is_weighted_mean(self, data):
+        X = data.draw(points(min_rows=3))
+        w = data.draw(weights_for(X.shape[0]))
+        labels = np.zeros(X.shape[0], dtype=np.int64)
+        centers, mass = weighted_centroids(X, labels, 1, weights=w)
+        if mass[0] > 0:
+            np.testing.assert_allclose(
+                centers[0], (X * w[:, None]).sum(axis=0) / w.sum(),
+                rtol=1e-7, atol=1e-6,
+            )

@@ -1,0 +1,80 @@
+"""Property-based tests: MapReduce results must equal sequential results.
+
+The deep invariant of Section 3.5 is that distributing the computation
+changes *nothing* about the values: partial potentials sum to the exact
+potential, weight vectors sum to the exact counts, and one distributed
+Lloyd round equals one sequential Lloyd round — for any split count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import potential
+from repro.linalg.centroids import cluster_sizes
+from repro.linalg.distances import assign_labels
+from repro.mapreduce.jobs.cost_job import PHI_KEY, make_cost_job
+from repro.mapreduce.jobs.lloyd_job import collect_new_centers, make_lloyd_job
+from repro.mapreduce.jobs.weight_job import WEIGHTS_KEY, make_weight_job
+from repro.mapreduce.runtime import LocalMapReduceRuntime
+from tests.properties.strategies import cost_atol, d2_atol, points_and_k
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+class TestDistributionInvariance:
+    @given(data=points_and_k(min_rows=2), n_splits=st.integers(1, 9))
+    @settings(**SETTINGS)
+    def test_cost_job_split_invariant(self, data, n_splits):
+        X, k = data
+        C = X[:k]
+        rt = LocalMapReduceRuntime(X, n_splits=n_splits, seed=0)
+        phi = rt.run_job(make_cost_job(C)).single(PHI_KEY)
+        assert phi == pytest.approx(potential(X, C), rel=1e-7, abs=cost_atol(X))
+
+    @given(data=points_and_k(min_rows=2), n_splits=st.integers(1, 9))
+    @settings(**SETTINGS)
+    def test_weight_job_split_invariant(self, data, n_splits):
+        X, k = data
+        C = X[:k]
+        rt = LocalMapReduceRuntime(X, n_splits=n_splits, seed=0)
+        weights = rt.run_job(make_weight_job(C)).single(WEIGHTS_KEY)
+        expected = cluster_sizes(assign_labels(X, C), k)
+        np.testing.assert_allclose(weights, expected)
+
+    @given(data=points_and_k(min_rows=2), n_splits=st.integers(1, 9))
+    @settings(**SETTINGS)
+    def test_lloyd_round_split_invariant(self, data, n_splits):
+        X, k = data
+        C = X[:k].copy()
+        rt = LocalMapReduceRuntime(X, n_splits=n_splits, seed=0)
+        out = rt.run_job(make_lloyd_job(C))
+        new_centers, phi = collect_new_centers(out.output, C)
+        labels = assign_labels(X, C)
+        for j in range(k):
+            members = X[labels == j]
+            if members.shape[0]:
+                np.testing.assert_allclose(
+                    new_centers[j], members.mean(axis=0), rtol=1e-7,
+                    atol=1e-7 * max(1.0, np.abs(X).max()),
+                )
+        assert phi == pytest.approx(potential(X, C), rel=1e-7, abs=cost_atol(X))
+
+    @given(data=points_and_k(min_rows=2), n_splits=st.integers(1, 6))
+    @settings(**SETTINGS)
+    def test_combiner_invariance_on_lloyd(self, data, n_splits):
+        X, k = data
+        C = X[:k].copy()
+        with_comb = LocalMapReduceRuntime(X, n_splits=n_splits, seed=0).run_job(
+            make_lloyd_job(C, granularity="point", use_combiner=True)
+        )
+        without = LocalMapReduceRuntime(X, n_splits=n_splits, seed=0).run_job(
+            make_lloyd_job(C, granularity="point", use_combiner=False)
+        )
+        ca, pa = collect_new_centers(with_comb.output, C)
+        cb, pb = collect_new_centers(without.output, C)
+        np.testing.assert_allclose(ca, cb, rtol=1e-9, atol=1e-7)
+        assert pa == pytest.approx(pb, rel=1e-12)
