@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Kernel-performance entry point: run the core benches, emit BENCH_core.json.
+
+Runs ``bench_core_ops.py`` (kernel micro-benchmarks) and
+``bench_lloyd_accel.py`` (accelerated vs reference Lloyd at n=100k)
+under pytest-benchmark and condenses the results into one
+machine-readable file, so successive PRs have a perf trajectory to
+regress against::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # serial
+    PYTHONPATH=src python benchmarks/run_bench.py --workers 4     # threaded engine
+    PYTHONPATH=src python benchmarks/run_bench.py --quick         # core ops only
+
+Output (default ``benchmarks/results/BENCH_core.json``)::
+
+    {
+      "meta": {"numpy": "...", "engine_workers": 4, ...},
+      "benchmarks": {
+        "test_assign_labels": {"mean_s": ..., "stddev_s": ..., ...},
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_OUT = HERE / "results" / "BENCH_core.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_OUT,
+        help=f"output JSON path (default: {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="engine worker threads (sets REPRO_ENGINE_WORKERS for the run)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="only run the kernel micro-benchmarks (skip the n=100k Lloyd sweep)",
+    )
+    return parser
+
+
+def condense(raw: dict, *, workers: int | None) -> dict:
+    """Strip a pytest-benchmark JSON dump down to the regression signal."""
+    import numpy
+
+    benches = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        benches[bench["name"]] = {
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "min_s": stats["min"],
+            "rounds": stats["rounds"],
+            **{k: v for k, v in bench.get("extra_info", {}).items()},
+        }
+    return {
+        "meta": {
+            "numpy": numpy.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "engine_workers": workers
+            or int(os.environ.get("REPRO_ENGINE_WORKERS", "0") or 0)
+            or 1,
+        },
+        "benchmarks": benches,
+    }
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.workers is not None:
+        os.environ["REPRO_ENGINE_WORKERS"] = str(args.workers)
+
+    import pytest
+
+    targets = [str(HERE / "bench_core_ops.py")]
+    if not args.quick:
+        targets.append(str(HERE / "bench_lloyd_accel.py"))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = pathlib.Path(tmp) / "bench.json"
+        code = pytest.main(
+            [
+                *targets,
+                "--benchmark-only",
+                f"--benchmark-json={raw_path}",
+                "-q",
+                "-p", "no:cacheprovider",
+            ]
+        )
+        if code != 0:
+            print(f"benchmark run failed (pytest exit {code})", file=sys.stderr)
+            return int(code)
+        raw = json.loads(raw_path.read_text(encoding="utf-8"))
+
+    result = condense(raw, workers=args.workers)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {args.out} ({len(result['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

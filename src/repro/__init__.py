@@ -42,6 +42,7 @@ from repro.exceptions import (
     ReproError,
     ValidationError,
 )
+from repro.linalg.engine import Engine, get_engine, set_engine, use_engine
 
 __all__ = [
     "__version__",
@@ -52,6 +53,10 @@ __all__ = [
     "InitResult",
     "potential",
     "lloyd",
+    "Engine",
+    "get_engine",
+    "set_engine",
+    "use_engine",
     "scalable_init",
     "kmeanspp_init",
     "random_init",

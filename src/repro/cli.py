@@ -29,8 +29,34 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction harness for 'Scalable K-Means++' (Bahmani et al., "
             "VLDB 2012): regenerate every table and figure of Section 5."
         ),
+        epilog=(
+            "Kernel parallelism can also be configured via the environment: "
+            "REPRO_ENGINE_WORKERS (threads fanning out row blocks of every "
+            "distance/centroid kernel) and REPRO_ENGINE_CHUNK_BYTES (scratch "
+            "budget per block)."
+        ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--engine-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan kernel row blocks out over N threads (default: "
+            "$REPRO_ENGINE_WORKERS or 1 = serial)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-mib",
+        type=int,
+        default=None,
+        metavar="MIB",
+        help=(
+            "per-block scratch budget for the chunked kernels, in MiB "
+            "(default: $REPRO_ENGINE_CHUNK_BYTES or 32 MiB)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiment ids")
@@ -50,9 +76,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _configure_engine(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Install a process-wide engine when the knobs were given."""
+    if args.engine_workers is None and args.chunk_mib is None:
+        return
+    from repro.exceptions import ValidationError
+    from repro.linalg.engine import Engine, set_engine
+
+    chunk_bytes = None if args.chunk_mib is None else args.chunk_mib * 1024 * 1024
+    try:
+        set_engine(Engine(workers=args.engine_workers, chunk_bytes=chunk_bytes))
+    except ValidationError as exc:
+        parser.error(str(exc))
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _configure_engine(parser, args)
     # Deferred import: keep `repro --version` fast and allow `list` to work
     # even if an experiment module has issues.
     from repro.evaluation.experiments.registry import EXPERIMENTS, run_experiment

@@ -18,7 +18,7 @@ from repro.core.init_kmeanspp import KMeansPlusPlus, kmeanspp_init
 from repro.core.init_random import RandomInit, random_init
 from repro.core.init_scalable import ScalableKMeans, scalable_init
 from repro.core.kmeans import KMeans
-from repro.core.lloyd import LloydResult, lloyd
+from repro.core.lloyd import ACCELERATE_MODES, EMPTY_POLICIES, LloydResult, lloyd
 from repro.core.reclustering import (
     KMeansPlusPlusReclusterer,
     Reclusterer,
@@ -40,6 +40,8 @@ __all__ = [
     "KMeans",
     "lloyd",
     "LloydResult",
+    "ACCELERATE_MODES",
+    "EMPTY_POLICIES",
     "Reclusterer",
     "KMeansPlusPlusReclusterer",
     "TopUpPolicy",

@@ -11,12 +11,40 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from repro.core.results import InitResult
+from repro.exceptions import ValidationError
 from repro.types import FloatArray, SeedLike
 from repro.utils.rng import ensure_generator
 from repro.utils.validation import check_array, check_positive_int, check_weights
 
-__all__ = ["Initializer"]
+__all__ = ["Initializer", "resolve_working_dtype"]
+
+
+def resolve_working_dtype(X: FloatArray, working_dtype) -> FloatArray:
+    """The array the seeding distance kernels should run on.
+
+    ``None`` keeps the validated float64 input; ``"float32"`` returns a
+    one-time downcast copy so every subsequent kernel call runs the GEMM
+    in single precision. Selected centers are always copied back out of
+    the *original* ``X``, so the returned center coordinates stay exact.
+    """
+    if working_dtype is None:
+        return X
+    try:
+        dt = np.dtype(working_dtype)
+    except TypeError as exc:
+        raise ValidationError(
+            f"working_dtype must be float32 or float64, got {working_dtype!r}"
+        ) from exc
+    if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValidationError(
+            f"working_dtype must be float32 or float64, got {working_dtype!r}"
+        )
+    if X.dtype == dt:
+        return X
+    return np.ascontiguousarray(X, dtype=dt)
 
 
 class Initializer(abc.ABC):

@@ -25,10 +25,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.costs import normalized_d2, potential_from_d2
-from repro.core.init_base import Initializer
+from repro.core.init_base import Initializer, resolve_working_dtype
 from repro.core.results import InitResult, RoundRecord
 from repro.exceptions import ValidationError
-from repro.linalg.distances import sq_dists_to_point, update_min_sq_dists
+from repro.linalg.distances import row_norms_sq, sq_dists_to_point, update_min_sq_dists
 from repro.types import FloatArray, SeedLike
 from repro.utils.validation import check_positive_int
 
@@ -46,13 +46,24 @@ class KMeansPlusPlus(Initializer):
     record_rounds:
         Keep a per-step :class:`~repro.core.results.RoundRecord` trace.
         Off by default because ``k`` can be large and the trace is O(k).
+    working_dtype:
+        Optional dtype for the distance kernels (``"float32"`` halves the
+        GEMM cost of every D^2 update); selected centers are still copied
+        out of the full-precision input.
     """
 
     name = "k-means++"
 
-    def __init__(self, n_local_trials: int = 1, record_rounds: bool = False):
+    def __init__(
+        self,
+        n_local_trials: int = 1,
+        record_rounds: bool = False,
+        *,
+        working_dtype: str | None = None,
+    ):
         self.n_local_trials = check_positive_int(n_local_trials, name="n_local_trials")
         self.record_rounds = bool(record_rounds)
+        self.working_dtype = working_dtype
 
     def _run(self, X, k, weights, rng) -> InitResult:
         n, d = X.shape
@@ -61,11 +72,20 @@ class KMeansPlusPlus(Initializer):
         centers = np.empty((k, d), dtype=np.float64)
         rounds: list[RoundRecord] = []
 
+        # Every D^2 refresh below hits the same X, so pay the O(nd)
+        # row-norm pass exactly once (in the working dtype).
+        Xw = resolve_working_dtype(X, self.working_dtype)
+        x_norms = row_norms_sq(Xw)
+
         # Line 1: first center uniformly at random (mass-proportional when
         # seeding a weighted set).
         first = int(rng.choice(n, p=weights / weights.sum()))
         centers[0] = X[first]
-        d2 = sq_dists_to_point(X, centers[0])
+        # The D^2 profile stays float64 (sampling distributions must sum
+        # to 1 at float64 tolerance) even when the GEMM runs in float32.
+        d2 = sq_dists_to_point(Xw, Xw[first], x_norms_sq=x_norms).astype(
+            np.float64, copy=False
+        )
 
         for i in range(1, k):
             cost = potential_from_d2(d2, weights=weights)
@@ -78,9 +98,9 @@ class KMeansPlusPlus(Initializer):
                 # Line 3: sample x with probability d^2(x, C) / phi_X(C).
                 idx = int(rng.choice(n, p=probs))
             else:
-                idx = self._best_of_trials(X, d2, probs, weights, rng)
+                idx = self._best_of_trials(Xw, d2, probs, weights, rng, x_norms)
             centers[i] = X[idx]
-            update_min_sq_dists(X, centers[i : i + 1], d2)
+            update_min_sq_dists(Xw, Xw[idx : idx + 1], d2, x_norms_sq=x_norms)
 
         seed_cost = potential_from_d2(d2, weights=weights)
         if self.record_rounds:
@@ -100,12 +120,14 @@ class KMeansPlusPlus(Initializer):
             params={"k": k, "n_local_trials": self.n_local_trials},
         )
 
-    def _best_of_trials(self, X, d2, probs, weights, rng) -> int:
+    def _best_of_trials(self, X, d2, probs, weights, rng, x_norms_sq=None) -> int:
         """Greedy variant: keep the trial candidate minimizing the potential."""
         candidates = rng.choice(X.shape[0], size=self.n_local_trials, p=probs)
         best_idx, best_cost = -1, np.inf
         for c in candidates:
-            trial = np.minimum(d2, sq_dists_to_point(X, X[int(c)]))
+            trial = np.minimum(
+                d2, sq_dists_to_point(X, X[int(c)], x_norms_sq=x_norms_sq)
+            )
             cost = potential_from_d2(trial, weights=weights)
             if cost < best_cost:
                 best_idx, best_cost = int(c), cost
@@ -119,7 +141,8 @@ def kmeanspp_init(
     weights: FloatArray | None = None,
     seed: SeedLike = None,
     n_local_trials: int = 1,
+    working_dtype: str | None = None,
 ) -> FloatArray:
     """Functional shortcut returning only the ``(k, d)`` center array."""
-    init = KMeansPlusPlus(n_local_trials=n_local_trials)
+    init = KMeansPlusPlus(n_local_trials=n_local_trials, working_dtype=working_dtype)
     return init.run(X, k, weights=weights, seed=seed).centers

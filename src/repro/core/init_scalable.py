@@ -34,7 +34,7 @@ import math
 import numpy as np
 
 from repro.core.costs import normalized_d2, potential, potential_from_d2
-from repro.core.init_base import Initializer
+from repro.core.init_base import Initializer, resolve_working_dtype
 from repro.core.reclustering import (
     KMeansPlusPlusReclusterer,
     Reclusterer,
@@ -44,7 +44,12 @@ from repro.core.reclustering import (
 from repro.core.results import InitResult, RoundRecord
 from repro.exceptions import ValidationError
 from repro.linalg.centroids import cluster_sizes
-from repro.linalg.distances import assign_labels, sq_dists_to_point, update_min_sq_dists
+from repro.linalg.distances import (
+    assign_labels,
+    row_norms_sq,
+    sq_dists_to_point,
+    update_min_sq_dists,
+)
 from repro.types import FloatArray, SeedLike
 from repro.utils.validation import check_in_range
 
@@ -84,6 +89,10 @@ class ScalableKMeans(Initializer):
         (:class:`~repro.core.reclustering.TopUpPolicy`; default ``PAD``).
     max_rounds:
         Safety cap applied to the ``"log-psi"`` schedule.
+    working_dtype:
+        Optional dtype for the distance kernels (``"float32"`` halves the
+        GEMM cost of every round's D^2 fold); sampled candidates are still
+        copied out of the full-precision input.
 
     Examples
     --------
@@ -110,6 +119,7 @@ class ScalableKMeans(Initializer):
         reclusterer: Reclusterer | None = None,
         top_up: TopUpPolicy | str = TopUpPolicy.PAD,
         max_rounds: int = 100,
+        working_dtype: str | None = None,
     ):
         if oversampling is not None and oversampling_factor is not None:
             raise ValidationError(
@@ -142,6 +152,7 @@ class ScalableKMeans(Initializer):
         self.reclusterer = reclusterer if reclusterer is not None else KMeansPlusPlusReclusterer()
         self.top_up = TopUpPolicy(top_up)
         self.max_rounds = int(max_rounds)
+        self.working_dtype = working_dtype
 
     # ------------------------------------------------------------------
     def resolve_l(self, k: int) -> float:
@@ -164,11 +175,20 @@ class ScalableKMeans(Initializer):
             raise ValidationError(f"k={k} exceeds the number of points n={n}")
         l = self.resolve_l(k)
 
+        # Rounds 1..r all fold distances against the same X; compute the
+        # row norms once (in the working dtype) and reuse them throughout.
+        Xw = resolve_working_dtype(X, self.working_dtype)
+        x_norms = row_norms_sq(Xw)
+
         # Step 1: C <- one point sampled uniformly at random (mass-
         # proportional for weighted inputs).
         first = int(rng.choice(n, p=weights / weights.sum()))
         candidates = [X[first].copy()]
-        d2 = sq_dists_to_point(X, X[first])
+        # Kept float64 so the D^2 sampling distribution sums to 1 at
+        # float64 tolerance even when the GEMM runs in float32.
+        d2 = sq_dists_to_point(Xw, Xw[first], x_norms_sq=x_norms).astype(
+            np.float64, copy=False
+        )
 
         # Step 2: psi <- phi_X(C).
         psi = potential_from_d2(d2, weights=weights)
@@ -192,13 +212,15 @@ class ScalableKMeans(Initializer):
             if idx.size:
                 new_points = X[idx]
                 candidates.append(new_points)
-                update_min_sq_dists(X, new_points, d2)
+                update_min_sq_dists(Xw, Xw[idx], d2, x_norms_sq=x_norms)
                 n_candidates += int(idx.size)
 
         candidate_arr = np.vstack([c.reshape(-1, X.shape[1]) for c in candidates])
 
-        # Step 7: weight each candidate by the mass of points nearest it.
-        labels = assign_labels(X, candidate_arr)
+        # Step 7: weight each candidate by the mass of points nearest it
+        # (full-precision pass: the weights feed Step 8's reclustering).
+        x_norms64 = x_norms if Xw is X else row_norms_sq(X)
+        labels = assign_labels(X, candidate_arr, x_norms_sq=x_norms64)
         cand_weights = cluster_sizes(labels, candidate_arr.shape[0], weights=weights)
 
         # Step 8: recluster the weighted candidates into k centers.
@@ -259,11 +281,13 @@ def scalable_init(
     n_rounds: int | str = 5,
     weights: FloatArray | None = None,
     seed: SeedLike = None,
+    working_dtype: str | None = None,
 ) -> FloatArray:
     """Functional shortcut for :class:`ScalableKMeans` returning the centers."""
     init = ScalableKMeans(
         oversampling,
         oversampling_factor=oversampling_factor,
         n_rounds=n_rounds,
+        working_dtype=working_dtype,
     )
     return init.run(X, k, weights=weights, seed=seed).centers

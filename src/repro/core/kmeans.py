@@ -29,14 +29,19 @@ __all__ = ["KMeans", "INIT_ALIASES"]
 INIT_ALIASES = ("k-means||", "k-means++", "random")
 
 
-def _make_initializer(init, oversampling_factor, n_rounds) -> Initializer:
+def _make_initializer(init, oversampling_factor, n_rounds, working_dtype) -> Initializer:
     if isinstance(init, Initializer):
         return init
     if init == "k-means||":
-        return ScalableKMeans(oversampling_factor=oversampling_factor, n_rounds=n_rounds)
+        return ScalableKMeans(
+            oversampling_factor=oversampling_factor,
+            n_rounds=n_rounds,
+            working_dtype=working_dtype,
+        )
     if init == "k-means++":
-        return KMeansPlusPlus()
+        return KMeansPlusPlus(working_dtype=working_dtype)
     if init == "random":
+        # Uniform sampling does no distance work; nothing to downcast.
         return RandomInit()
     raise ValidationError(
         f"init must be one of {INIT_ALIASES}, an Initializer instance, or an "
@@ -62,6 +67,14 @@ class KMeans:
         and repeat at the harness level.
     max_iter / tol / empty_policy:
         Passed to :func:`repro.core.lloyd.lloyd`.
+    accelerate:
+        Lloyd assignment strategy: ``"auto"`` (bounds-accelerated once the
+        instance is large enough), ``"hamerly"``, or ``"none"``; forwarded
+        to :func:`repro.core.lloyd.lloyd`.
+    working_dtype:
+        Optional dtype for the distance kernels (``"float32"`` halves GEMM
+        time); forwarded to :func:`repro.core.lloyd.lloyd` and to the
+        seeding algorithms that support it.
     oversampling_factor / n_rounds:
         Forwarded to :class:`~repro.core.init_scalable.ScalableKMeans` when
         ``init="k-means||"`` (ignored otherwise).
@@ -102,6 +115,8 @@ class KMeans:
         max_iter: int = 300,
         tol: float = 0.0,
         empty_policy: str = "reseed-farthest",
+        accelerate: str = "none",
+        working_dtype: str | None = None,
         oversampling_factor: float = 2.0,
         n_rounds: int | str = 5,
         seed: SeedLike = None,
@@ -112,6 +127,8 @@ class KMeans:
         self.max_iter = check_positive_int(max_iter, name="max_iter")
         self.tol = float(tol)
         self.empty_policy = empty_policy
+        self.accelerate = accelerate
+        self.working_dtype = working_dtype
         self.oversampling_factor = oversampling_factor
         self.n_rounds = n_rounds
         self.seed = seed
@@ -143,7 +160,8 @@ class KMeans:
                 init_result = None
             else:
                 initializer = _make_initializer(
-                    self.init, self.oversampling_factor, self.n_rounds
+                    self.init, self.oversampling_factor, self.n_rounds,
+                    self.working_dtype,
                 )
                 init_result = initializer.run(X, self.n_clusters, weights=w, seed=rng)
                 centers = init_result.centers
@@ -155,6 +173,8 @@ class KMeans:
                 tol=self.tol,
                 empty_policy=self.empty_policy,
                 seed=rng,
+                accelerate=self.accelerate,
+                working_dtype=self.working_dtype,
             )
             if best is None or run.cost < best[0]:
                 best = (run.cost, run, init_result)

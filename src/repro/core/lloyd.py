@@ -13,6 +13,19 @@ counts iterations carefully and exposes the stopping rule explicitly.
 The weighted variant is required by Step 8 of ``k-means||``: the
 oversampled candidate set carries integer weights ``w_x`` and must be
 clustered as a weighted instance.
+
+Two execution paths share this entry point:
+
+* the **reference path** (``accelerate="none"``) — one full ``(n, k)``
+  assignment per iteration, chunked through the
+  :mod:`~repro.linalg.engine`;
+* the **bounds-accelerated path** (``accelerate="hamerly"``, in
+  :mod:`repro.core.lloyd_fast`) — Hamerly-style per-point upper/lower
+  bounds let stable points skip the distance pass entirely while
+  producing the same labels, iteration count, and final cost.
+
+Both report how much distance work they actually did via
+``LloydResult.n_dist_evals``.
 """
 
 from __future__ import annotations
@@ -22,9 +35,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.init_base import resolve_working_dtype
 from repro.exceptions import ConvergenceWarning, EmptyClusterError, ValidationError
 from repro.linalg.centroids import weighted_centroids
-from repro.linalg.distances import assign_labels
+from repro.linalg.distances import assign_labels, row_norms_sq
 from repro.types import FloatArray, SeedLike
 from repro.utils.rng import ensure_generator
 from repro.utils.validation import (
@@ -35,10 +49,19 @@ from repro.utils.validation import (
     check_weights,
 )
 
-__all__ = ["LloydResult", "lloyd", "EMPTY_POLICIES"]
+__all__ = ["LloydResult", "lloyd", "EMPTY_POLICIES", "ACCELERATE_MODES"]
 
 #: Valid values of the ``empty_policy`` argument.
 EMPTY_POLICIES = ("reseed-farthest", "keep", "drop", "error")
+
+#: Valid values of the ``accelerate`` argument.
+ACCELERATE_MODES = ("auto", "hamerly", "none")
+
+#: ``accelerate="auto"`` switches to the bounds-accelerated path once the
+#: instance is big enough that skipped distance passes outweigh the
+#: bookkeeping (per-point bounds + an O(k^2 d) center-separation pass).
+_AUTO_MIN_POINTS = 4096
+_AUTO_MIN_CLUSTERS = 8
 
 
 @dataclass
@@ -63,8 +86,19 @@ class LloydResult:
         before ``max_iter``.
     cost_history:
         Potential before each update step (length ``n_iter``), then the
-        final cost appended; monotone non-increasing (a property test
-        enforces this).
+        final cost appended. Monotone non-increasing up to floating-point
+        round-off: exactly so on the reference path (a property test
+        enforces this); the accelerated path evaluates intermediate
+        entries point-wise rather than via the assignment block, so
+        adjacent entries can differ from the reference's by expansion
+        round-off (the final cost is always the reference kernel's).
+    n_dist_evals:
+        Point-center distance evaluations actually performed. The
+        reference path pays ``n * k`` per iteration; the accelerated path
+        reports how much of that its bounds avoided.
+    accelerated:
+        Which assignment path produced this result (``"none"`` or
+        ``"hamerly"``).
     """
 
     centers: FloatArray
@@ -73,6 +107,8 @@ class LloydResult:
     n_iter: int
     converged: bool
     cost_history: list[float] = field(default_factory=list)
+    n_dist_evals: int = 0
+    accelerated: str = "none"
 
 
 def lloyd(
@@ -86,6 +122,8 @@ def lloyd(
     empty_policy: str = "reseed-farthest",
     seed: SeedLike = None,
     warn_on_max_iter: bool = False,
+    accelerate: str = "none",
+    working_dtype: str | np.dtype | None = None,
 ) -> LloydResult:
     """Run Lloyd's iteration from the given seed until stable.
 
@@ -130,6 +168,17 @@ def lloyd(
     warn_on_max_iter:
         Emit a :class:`~repro.exceptions.ConvergenceWarning` when the cap
         is hit without convergence.
+    accelerate:
+        ``"none"`` (default) runs the reference full-assignment loop;
+        ``"hamerly"`` runs the bounds-accelerated assignment of
+        :mod:`repro.core.lloyd_fast` (same labels / iterations / final
+        cost, far fewer distance evaluations once ``k`` is large);
+        ``"auto"`` picks ``"hamerly"`` when the instance is big enough to
+        benefit.
+    working_dtype:
+        Optional dtype the *distance kernels* run in (``"float32"`` halves
+        GEMM time and memory traffic). Centroid updates and cost
+        accumulation stay in float64. Default: the input dtype (float64).
     """
     X = check_array(X, name="X")
     centers = check_array(centers, name="centers", copy=True)
@@ -143,7 +192,82 @@ def lloyd(
         raise ValidationError(
             f"empty_policy must be one of {EMPTY_POLICIES}, got {empty_policy!r}"
         )
+    if accelerate not in ACCELERATE_MODES:
+        raise ValidationError(
+            f"accelerate must be one of {ACCELERATE_MODES}, got {accelerate!r}"
+        )
     rng = ensure_generator(seed)
+    Xw = resolve_working_dtype(X, working_dtype)
+
+    mode = accelerate
+    if mode == "auto":
+        # rel_tol gates on the potential, which the bounds path can only
+        # reproduce exactly by buying the full profile anyway — no win.
+        mode = (
+            "hamerly"
+            if (
+                rel_tol is None
+                and X.shape[0] >= _AUTO_MIN_POINTS
+                and centers.shape[0] >= _AUTO_MIN_CLUSTERS
+            )
+            else "none"
+        )
+    if mode == "hamerly":
+        from repro.core.lloyd_fast import lloyd_hamerly
+
+        return lloyd_hamerly(
+            X,
+            Xw,
+            centers,
+            w,
+            max_iter=max_iter,
+            tol=tol,
+            rel_tol=rel_tol,
+            empty_policy=empty_policy,
+            rng=rng,
+            warn_on_max_iter=warn_on_max_iter,
+        )
+    return _lloyd_reference(
+        X,
+        Xw,
+        centers,
+        w,
+        max_iter=max_iter,
+        tol=tol,
+        rel_tol=rel_tol,
+        empty_policy=empty_policy,
+        rng=rng,
+        warn_on_max_iter=warn_on_max_iter,
+    )
+
+
+def _lloyd_reference(
+    X: FloatArray,
+    Xw: FloatArray,
+    centers: FloatArray,
+    w: FloatArray,
+    *,
+    max_iter: int,
+    tol: float,
+    rel_tol: float | None,
+    empty_policy: str,
+    rng: np.random.Generator,
+    warn_on_max_iter: bool,
+) -> LloydResult:
+    """The exact full-assignment loop; the oracle the fast path must match."""
+    n = X.shape[0]
+    x_norms = row_norms_sq(Xw)
+    n_dist = 0
+
+    def assign(C: FloatArray) -> tuple[np.ndarray, np.ndarray]:
+        nonlocal n_dist
+        n_dist += n * C.shape[0]
+        return assign_labels(
+            Xw,
+            np.ascontiguousarray(C, dtype=Xw.dtype),
+            x_norms_sq=x_norms,
+            return_sq_dists=True,
+        )
 
     cost_history: list[float] = []
     prev_labels: np.ndarray | None = None
@@ -153,7 +277,7 @@ def lloyd(
     converged = False
 
     for _ in range(max_iter):
-        labels, d2 = assign_labels(X, centers, return_sq_dists=True)
+        labels, d2 = assign(centers)
         cost_history.append(float(np.dot(d2, w)))
         if prev_labels is not None and np.array_equal(labels, prev_labels):
             converged = True
@@ -173,7 +297,7 @@ def lloyd(
         empties = np.flatnonzero(mass == 0)
         if empties.size:
             new_centers, labels, d2 = _repair_empties(
-                X, new_centers, labels, d2, w, empties, empty_policy, rng
+                X, new_centers, labels, d2, w, empties, empty_policy, rng, assign
             )
         if new_centers.shape[0] == centers.shape[0]:
             shift_sq = float(np.max(np.einsum("ij,ij->i", new_centers - centers,
@@ -186,7 +310,7 @@ def lloyd(
             converged = True
             # Refresh the assignment so the reported labels/cost match the
             # final centers.
-            labels, d2 = assign_labels(X, centers, return_sq_dists=True)
+            labels, d2 = assign(centers)
             break
 
     final_cost = float(np.dot(d2, w))
@@ -195,7 +319,7 @@ def lloyd(
         warnings.warn(
             f"Lloyd's iteration did not converge in {max_iter} iterations",
             ConvergenceWarning,
-            stacklevel=2,
+            stacklevel=3,
         )
     return LloydResult(
         centers=centers,
@@ -204,11 +328,18 @@ def lloyd(
         n_iter=n_iter,
         converged=converged,
         cost_history=cost_history,
+        n_dist_evals=n_dist,
+        accelerated="none",
     )
 
 
-def _repair_empties(X, centers, labels, d2, w, empties, policy, rng):
-    """Apply the empty-cluster policy; returns possibly-updated state."""
+def _repair_empties(X, centers, labels, d2, w, empties, policy, rng, assign):
+    """Apply the empty-cluster policy; returns possibly-updated state.
+
+    ``assign`` is the caller's counted assignment closure (used by the
+    ``"drop"`` policy, which must reassign against the shrunken center
+    set).
+    """
     if policy == "error":
         raise EmptyClusterError(
             f"{empties.size} cluster(s) became empty (indices {empties.tolist()})"
@@ -228,7 +359,7 @@ def _repair_empties(X, centers, labels, d2, w, empties, policy, rng):
         keep = np.ones(centers.shape[0], dtype=bool)
         keep[empties] = False
         centers = centers[keep]
-        labels, d2 = assign_labels(X, centers, return_sq_dists=True)
+        labels, d2 = assign(centers)
         return centers, labels, d2
     # "reseed-farthest": move each empty center onto the point contributing
     # most to the current potential, claiming it (and recompute its d2=0).

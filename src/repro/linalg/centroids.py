@@ -10,7 +10,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.linalg.engine import get_engine
+from repro.utils.chunking import DEFAULT_CHUNK_BYTES
+
 __all__ = ["cluster_sums", "cluster_sizes", "weighted_centroids"]
+
+#: Fixed block budget for the cluster_sums fold. Deliberately NOT the
+#: engine's tunable budget: the fold order (and therefore the float
+#: rounding of the centroids) depends on the block boundaries, and a
+#: reproduction harness must produce the same centroids whatever
+#: REPRO_ENGINE_CHUNK_BYTES / --chunk-mib the operator picked. Worker
+#: count stays free — blocks fold in chunk order either way.
+_SUMS_CHUNK_BYTES = DEFAULT_CHUNK_BYTES
 
 
 def cluster_sums(
@@ -19,22 +30,47 @@ def cluster_sums(
     k: int,
     *,
     weights: np.ndarray | None = None,
+    chunk_bytes: int | None = None,
 ) -> np.ndarray:
     """Per-cluster (weighted) coordinate sums, shape ``(k, d)``.
 
-    Uses ``np.add.at``-free bincount per dimension, which is the fastest
-    pure-numpy scatter-add for this shape.
+    One flattened-index bincount per row block (``labels * d + dim`` maps
+    every coordinate to a unique bin), which is the fastest pure-numpy
+    scatter-add for this shape — a single C-loop over ``n * d`` entries
+    instead of ``d`` passes over ``labels``.  Blocks run through the
+    current :mod:`~repro.linalg.engine` and fold in chunk order over a
+    *fixed* block size (see ``_SUMS_CHUNK_BYTES``), so the result is
+    independent of both worker count and the engine's tunable budget;
+    only an explicit ``chunk_bytes`` argument changes the fold
+    boundaries.
     """
     if labels.shape[0] != X.shape[0]:
         raise ValueError(f"labels length {labels.shape[0]} != n={X.shape[0]}")
     if labels.size and (labels.min() < 0 or labels.max() >= k):
         raise ValueError(f"labels outside [0, {k})")
-    d = X.shape[1]
-    out = np.empty((k, d), dtype=np.float64)
-    for j in range(d):
-        col = X[:, j] if weights is None else X[:, j] * weights
-        out[:, j] = np.bincount(labels, weights=col, minlength=k)
-    return out
+    n, d = X.shape
+    if n == 0:
+        return np.zeros((k, d), dtype=np.float64)
+    dim_offsets = np.arange(d, dtype=np.int64)
+
+    def work(sl: slice) -> np.ndarray:
+        block = X[sl]
+        vals = block if weights is None else block * weights[sl][:, None]
+        flat = (labels[sl].astype(np.int64) * d)[:, None] + dim_offsets
+        return np.bincount(
+            flat.ravel(), weights=np.ascontiguousarray(vals, dtype=np.float64).ravel(),
+            minlength=k * d,
+        )
+
+    # Scratch per row: the flat int64 index row + a float64 value row
+    # (+ the weighted copy when weights are given). Each block also
+    # yields a (k*d,) partial; reduce_chunks keeps only ~workers of
+    # those alive at once.
+    total = get_engine().reduce_chunks(
+        n, 24 * d, work,
+        chunk_bytes=_SUMS_CHUNK_BYTES if chunk_bytes is None else chunk_bytes,
+    )
+    return total.reshape(k, d)
 
 
 def cluster_sizes(

@@ -12,14 +12,27 @@ sampling distribution).
 Memory discipline: the full ``(n, k)`` matrix is only materialized by
 :func:`pairwise_sq_dists`; the reduction kernels (:func:`min_sq_dists`,
 :func:`assign_labels`) walk the rows in chunks so peak scratch stays at
-``O(chunk_rows * k)`` regardless of ``n``.
+``O(chunk_rows * k)`` regardless of ``n``.  Chunk scheduling — block size
+and (optional) thread fan-out — is owned by :mod:`repro.linalg.engine`;
+every kernel here routes its row blocks through the current engine, so
+``set_engine(Engine(workers=4))`` parallelizes all of them at once.
+
+Hot callers (Lloyd, the seeding loops) evaluate distances against the
+same ``X`` many times; each kernel therefore accepts a precomputed
+``x_norms_sq`` so the O(nd) row-norm pass is paid once per dataset, not
+once per call.
+
+Dtype policy: when ``X`` and the centers share a float dtype (float32 or
+float64) the GEMM runs in that dtype — this is what makes the optional
+float32 working mode ~2x faster — otherwise both operands are upcast to
+float64 so mixed-precision inputs cannot silently poison the expansion.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.chunking import DEFAULT_CHUNK_BYTES, iter_chunks, rows_per_chunk
+from repro.linalg.engine import get_engine
 from repro.utils.validation import check_matching_dims
 
 __all__ = [
@@ -29,12 +42,53 @@ __all__ = [
     "update_min_sq_dists",
     "update_min_sq_dists_argmin",
     "assign_labels",
+    "row_norms_sq",
 ]
 
+#: Float dtypes the kernels will compute in natively.
+_WORKING_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
-def _row_norms_sq(X: np.ndarray) -> np.ndarray:
-    """``||x_i||^2`` for each row, via einsum (no intermediate square array)."""
+
+def row_norms_sq(X: np.ndarray) -> np.ndarray:
+    """``||x_i||^2`` for each row, via einsum (no intermediate square array).
+
+    Public so hot loops can compute the norms once and pass them back in
+    through the ``x_norms_sq`` argument of every kernel below.
+    """
     return np.einsum("ij,ij->i", X, X)
+
+
+def _common_dtype(X: np.ndarray, C: np.ndarray) -> np.dtype:
+    """The dtype a kernel should compute in for operands ``X`` and ``C``.
+
+    Matching float32/float64 operands keep their precision; anything else
+    (mixed precision, integers, float16) is normalized to float64.
+    """
+    if X.dtype == C.dtype and X.dtype in _WORKING_DTYPES:
+        return X.dtype
+    return np.dtype(np.float64)
+
+
+def _as_working(X: np.ndarray, C: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    dt = _common_dtype(X, C)
+    if X.dtype != dt:
+        X = np.ascontiguousarray(X, dtype=dt)
+    if C.dtype != dt:
+        C = np.ascontiguousarray(C, dtype=dt)
+    return X, C
+
+
+def _check_norms(x_norms_sq: np.ndarray | None, n: int) -> np.ndarray | None:
+    if x_norms_sq is not None and x_norms_sq.shape[0] != n:
+        raise ValueError(
+            f"x_norms_sq has length {x_norms_sq.shape[0]}, expected {n}"
+        )
+    return x_norms_sq
+
+
+#: Scratch bytes per row of a (chunk, k) float64 distance block.
+def _row_scratch(k: int) -> int:
+    return 8 * max(1, k)
 
 
 def pairwise_sq_dists(
@@ -62,36 +116,55 @@ def pairwise_sq_dists(
         ``D`` with ``D[i, j] = ||X[i] - C[j]||^2 >= 0``.
     """
     check_matching_dims(X, C)
+    X, C = _as_working(X, C)
+    _check_norms(x_norms_sq, X.shape[0])
     if x_norms_sq is None:
-        x_norms_sq = _row_norms_sq(X)
-    c_norms_sq = _row_norms_sq(C)
+        x_norms_sq = row_norms_sq(X)
+    c_norms_sq = row_norms_sq(C)
     # GEMM dominates; the rank-1 corrections broadcast.
     d2 = x_norms_sq[:, None] - 2.0 * (X @ C.T) + c_norms_sq[None, :]
     np.maximum(d2, 0.0, out=d2)
     return d2
 
 
-def sq_dists_to_point(X: np.ndarray, c: np.ndarray) -> np.ndarray:
+def sq_dists_to_point(
+    X: np.ndarray,
+    c: np.ndarray,
+    *,
+    x_norms_sq: np.ndarray | None = None,
+) -> np.ndarray:
     """Squared distances from every row of ``X`` to the single point ``c``.
 
     Cheaper than :func:`pairwise_sq_dists` with a 1-row center matrix
-    because it avoids materializing an ``(n, 1)`` result.
+    because it avoids materializing an ``(n, 1)`` result.  ``X`` and ``c``
+    are normalized to a common dtype (see the module dtype policy) so a
+    float32 ``X`` against a float64 ``c`` — or vice versa — cannot run the
+    GEMM expansion in silently mismatched precision.
     """
-    c = np.asarray(c, dtype=np.float64).ravel()
-    if X.shape[1] != c.shape[0]:
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
+    c = np.asarray(c).reshape(1, -1)
+    if X.shape[1] != c.shape[1]:
         raise ValueError(
-            f"dimension mismatch: points have d={X.shape[1]}, point has d={c.shape[0]}"
+            f"dimension mismatch: points have d={X.shape[1]}, point has d={c.shape[1]}"
         )
-    diff_free = _row_norms_sq(X) - 2.0 * (X @ c) + float(c @ c)
-    np.maximum(diff_free, 0.0, out=diff_free)
-    return diff_free
+    X, c = _as_working(X, c)
+    _check_norms(x_norms_sq, X.shape[0])
+    if x_norms_sq is None:
+        x_norms_sq = row_norms_sq(X)
+    c = c.ravel()
+    d2 = x_norms_sq - 2.0 * (X @ c) + c @ c
+    np.maximum(d2, 0.0, out=d2)
+    return d2
 
 
 def min_sq_dists(
     X: np.ndarray,
     C: np.ndarray,
     *,
-    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    x_norms_sq: np.ndarray | None = None,
+    chunk_bytes: int | None = None,
 ) -> np.ndarray:
     """``d^2(x, C) = min_j ||x - c_j||^2`` for every point, chunked.
 
@@ -99,14 +172,20 @@ def min_sq_dists(
     the workhorse of both ``k-means++`` and ``k-means||`` sampling.
     """
     check_matching_dims(X, C)
-    n = X.shape[0]
+    X, C = _as_working(X, C)
+    norms = _check_norms(x_norms_sq, X.shape[0])
+    n, k = X.shape[0], C.shape[0]
     out = np.empty(n, dtype=np.float64)
-    chunk_rows = rows_per_chunk(8 * max(1, C.shape[0]), chunk_bytes)
-    c_norms_sq = _row_norms_sq(C)
-    for sl, block in iter_chunks(X, chunk_rows):
-        d2 = _row_norms_sq(block)[:, None] - 2.0 * (block @ C.T) + c_norms_sq[None, :]
+    c_norms_sq = row_norms_sq(C)
+
+    def work(sl: slice) -> None:
+        block = X[sl]
+        xn = row_norms_sq(block) if norms is None else norms[sl]
+        d2 = xn[:, None] - 2.0 * (block @ C.T) + c_norms_sq[None, :]
         np.maximum(d2, 0.0, out=d2)
         out[sl] = d2.min(axis=1)
+
+    get_engine().run_chunks(n, _row_scratch(k), work, chunk_bytes=chunk_bytes)
     return out
 
 
@@ -115,7 +194,8 @@ def update_min_sq_dists(
     new_centers: np.ndarray,
     current: np.ndarray,
     *,
-    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    x_norms_sq: np.ndarray | None = None,
+    chunk_bytes: int | None = None,
 ) -> np.ndarray:
     """Refresh ``d^2(x, C)`` after ``new_centers`` joined ``C`` — in place.
 
@@ -135,16 +215,19 @@ def update_min_sq_dists(
         raise ValueError(
             f"current has length {current.shape[0]}, expected {X.shape[0]}"
         )
-    chunk_rows = rows_per_chunk(8 * max(1, new_centers.shape[0]), chunk_bytes)
-    c_norms_sq = _row_norms_sq(new_centers)
-    for sl, block in iter_chunks(X, chunk_rows):
-        d2 = (
-            _row_norms_sq(block)[:, None]
-            - 2.0 * (block @ new_centers.T)
-            + c_norms_sq[None, :]
-        )
+    X, new_centers = _as_working(X, new_centers)
+    norms = _check_norms(x_norms_sq, X.shape[0])
+    k_new = new_centers.shape[0]
+    c_norms_sq = row_norms_sq(new_centers)
+
+    def work(sl: slice) -> None:
+        block = X[sl]
+        xn = row_norms_sq(block) if norms is None else norms[sl]
+        d2 = xn[:, None] - 2.0 * (block @ new_centers.T) + c_norms_sq[None, :]
         np.maximum(d2, 0.0, out=d2)
         np.minimum(current[sl], d2.min(axis=1), out=current[sl])
+
+    get_engine().run_chunks(X.shape[0], _row_scratch(k_new), work, chunk_bytes=chunk_bytes)
     return current
 
 
@@ -155,7 +238,8 @@ def update_min_sq_dists_argmin(
     nearest: np.ndarray,
     *,
     offset: int,
-    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    x_norms_sq: np.ndarray | None = None,
+    chunk_bytes: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Like :func:`update_min_sq_dists` but also maintains the argmin.
 
@@ -174,24 +258,27 @@ def update_min_sq_dists_argmin(
     check_matching_dims(X, new_centers)
     if current.shape[0] != X.shape[0] or nearest.shape[0] != X.shape[0]:
         raise ValueError("current/nearest must have one entry per point")
-    chunk_rows = rows_per_chunk(8 * max(1, new_centers.shape[0]), chunk_bytes)
-    c_norms_sq = _row_norms_sq(new_centers)
-    for sl, block in iter_chunks(X, chunk_rows):
-        d2 = (
-            _row_norms_sq(block)[:, None]
-            - 2.0 * (block @ new_centers.T)
-            + c_norms_sq[None, :]
-        )
+    X, new_centers = _as_working(X, new_centers)
+    norms = _check_norms(x_norms_sq, X.shape[0])
+    k_new = new_centers.shape[0]
+    c_norms_sq = row_norms_sq(new_centers)
+
+    def work(sl: slice) -> None:
+        block = X[sl]
+        xn = row_norms_sq(block) if norms is None else norms[sl]
+        d2 = xn[:, None] - 2.0 * (block @ new_centers.T) + c_norms_sq[None, :]
         np.maximum(d2, 0.0, out=d2)
         idx = d2.argmin(axis=1)
-        best_new = d2[np.arange(block.shape[0]), idx]
-        improved = best_new < current[sl]
+        best_new = np.take_along_axis(d2, idx[:, None], axis=1).ravel()
+        # Slices are views: writing through `cur`/`near` updates the
+        # caller's arrays directly.
         cur = current[sl]
         near = nearest[sl]
+        improved = best_new < cur
         cur[improved] = best_new[improved]
         near[improved] = idx[improved] + offset
-        current[sl] = cur
-        nearest[sl] = near
+
+    get_engine().run_chunks(X.shape[0], _row_scratch(k_new), work, chunk_bytes=chunk_bytes)
     return current, nearest
 
 
@@ -199,7 +286,8 @@ def assign_labels(
     X: np.ndarray,
     C: np.ndarray,
     *,
-    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    x_norms_sq: np.ndarray | None = None,
+    chunk_bytes: int | None = None,
     return_sq_dists: bool = False,
 ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """Nearest-center index for every point (ties -> lowest index).
@@ -211,18 +299,24 @@ def assign_labels(
         (what Lloyd's iteration needs to track the potential for free).
     """
     check_matching_dims(X, C)
-    n = X.shape[0]
+    X, C = _as_working(X, C)
+    norms = _check_norms(x_norms_sq, X.shape[0])
+    n, k = X.shape[0], C.shape[0]
     labels = np.empty(n, dtype=np.int64)
     best = np.empty(n, dtype=np.float64) if return_sq_dists else None
-    chunk_rows = rows_per_chunk(8 * max(1, C.shape[0]), chunk_bytes)
-    c_norms_sq = _row_norms_sq(C)
-    for sl, block in iter_chunks(X, chunk_rows):
-        d2 = _row_norms_sq(block)[:, None] - 2.0 * (block @ C.T) + c_norms_sq[None, :]
+    c_norms_sq = row_norms_sq(C)
+
+    def work(sl: slice) -> None:
+        block = X[sl]
+        xn = row_norms_sq(block) if norms is None else norms[sl]
+        d2 = xn[:, None] - 2.0 * (block @ C.T) + c_norms_sq[None, :]
         np.maximum(d2, 0.0, out=d2)
         idx = d2.argmin(axis=1)
         labels[sl] = idx
         if best is not None:
-            best[sl] = d2[np.arange(block.shape[0]), idx]
+            best[sl] = np.take_along_axis(d2, idx[:, None], axis=1).ravel()
+
+    get_engine().run_chunks(n, _row_scratch(k), work, chunk_bytes=chunk_bytes)
     if best is not None:
         return labels, best
     return labels

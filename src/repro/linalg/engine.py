@@ -1,0 +1,283 @@
+"""Chunk-scheduling compute engine for the dense kernels.
+
+Every reduction kernel in :mod:`repro.linalg` walks its input in row
+blocks (see :mod:`repro.utils.chunking`).  The engine owns two decisions
+those kernels used to make locally:
+
+* **how big a block is** — the scratch budget in bytes, and
+* **who runs each block** — inline on the calling thread, or fanned out
+  across a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+
+Threading helps because the block body of every kernel is one GEMM plus
+a couple of elementwise reductions: NumPy releases the GIL inside BLAS,
+so row blocks on separate threads genuinely overlap on multicore
+machines.  Each block writes a *disjoint* row slice of preallocated
+output arrays, so results are bitwise independent of which thread ran
+which block; ordered reductions (:meth:`Engine.map_chunks` consumers)
+fold partials in chunk order so they are also independent of worker
+count.
+
+Configuration
+-------------
+``REPRO_ENGINE_WORKERS``
+    Default worker count for new engines (``1`` = serial, the default).
+``REPRO_ENGINE_CHUNK_BYTES``
+    Default scratch budget per block (bytes).
+
+Programmatic control::
+
+    from repro.linalg import Engine, set_engine, use_engine
+
+    set_engine(Engine(workers=4))            # process-wide
+    with use_engine(workers=4):              # scoped
+        labels = assign_labels(X, C)
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, TypeVar
+
+from repro.exceptions import ValidationError
+from repro.utils.chunking import DEFAULT_CHUNK_BYTES, chunk_slices, rows_per_chunk
+
+__all__ = [
+    "Engine",
+    "get_engine",
+    "set_engine",
+    "use_engine",
+    "ENV_WORKERS",
+    "ENV_CHUNK_BYTES",
+]
+
+T = TypeVar("T")
+
+#: Environment variable read for the default worker count.
+ENV_WORKERS = "REPRO_ENGINE_WORKERS"
+#: Environment variable read for the default per-block scratch budget.
+ENV_CHUNK_BYTES = "REPRO_ENGINE_CHUNK_BYTES"
+
+
+def _env_int(name: str, fallback: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return fallback
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValidationError(f"{name} must be an integer, got {raw!r}") from exc
+    return value
+
+
+class Engine:
+    """Schedules row blocks of a kernel, serially or across threads.
+
+    Parameters
+    ----------
+    workers:
+        Number of blocks allowed in flight at once.  ``1`` runs every
+        block inline on the calling thread (no pool, no overhead);
+        ``None`` reads ``REPRO_ENGINE_WORKERS`` (default ``1``).
+    chunk_bytes:
+        Scratch budget per block in bytes; ``None`` reads
+        ``REPRO_ENGINE_CHUNK_BYTES`` (default
+        :data:`~repro.utils.chunking.DEFAULT_CHUNK_BYTES`).
+    """
+
+    def __init__(self, workers: int | None = None, chunk_bytes: int | None = None):
+        if workers is None:
+            workers = _env_int(ENV_WORKERS, 1)
+        if chunk_bytes is None:
+            chunk_bytes = _env_int(ENV_CHUNK_BYTES, DEFAULT_CHUNK_BYTES)
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        if chunk_bytes < 1:
+            raise ValidationError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+        self.workers = int(workers)
+        self.chunk_bytes = int(chunk_bytes)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _get_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-engine"
+                )
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Tear down the thread pool (it is rebuilt lazily on next use)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    # ------------------------------------------------------------------
+    def resolve_chunk_rows(
+        self, row_scratch_bytes: int, chunk_bytes: int | None = None
+    ) -> int:
+        """Rows per block under this engine's (or an override) budget."""
+        return rows_per_chunk(
+            row_scratch_bytes, self.chunk_bytes if chunk_bytes is None else chunk_bytes
+        )
+
+    def _slices(
+        self, n_rows: int, row_scratch_bytes: int, chunk_bytes: int | None
+    ) -> list[slice]:
+        return list(
+            chunk_slices(n_rows, self.resolve_chunk_rows(row_scratch_bytes, chunk_bytes))
+        )
+
+    def run_chunks(
+        self,
+        n_rows: int,
+        row_scratch_bytes: int,
+        work: Callable[[slice], Any],
+        *,
+        chunk_bytes: int | None = None,
+    ) -> int:
+        """Invoke ``work(sl)`` for every row block; returns the block count.
+
+        ``work`` must write its results into preallocated arrays at the
+        disjoint slice ``sl`` — that is what makes the parallel schedule
+        race-free and bitwise equal to the serial one.
+        """
+        slices = self._slices(n_rows, row_scratch_bytes, chunk_bytes)
+        if self.workers == 1 or len(slices) <= 1:
+            for sl in slices:
+                work(sl)
+            return len(slices)
+        pool = self._get_pool()
+        futures = [pool.submit(work, sl) for sl in slices]
+        for fut in futures:
+            fut.result()
+        return len(slices)
+
+    def map_chunks(
+        self,
+        n_rows: int,
+        row_scratch_bytes: int,
+        work: Callable[[slice], T],
+        *,
+        chunk_bytes: int | None = None,
+    ) -> list[T]:
+        """Like :meth:`run_chunks` but collects return values *in chunk order*.
+
+        Callers that fold the partials (e.g. per-cluster sums) therefore
+        see one fixed reduction order regardless of worker count.
+        """
+        slices = self._slices(n_rows, row_scratch_bytes, chunk_bytes)
+        if self.workers == 1 or len(slices) <= 1:
+            return [work(sl) for sl in slices]
+        pool = self._get_pool()
+        futures = [pool.submit(work, sl) for sl in slices]
+        return [fut.result() for fut in futures]
+
+    def reduce_chunks(
+        self,
+        n_rows: int,
+        row_scratch_bytes: int,
+        work: Callable[[slice], T],
+        *,
+        chunk_bytes: int | None = None,
+    ) -> T:
+        """Run ``work`` per block and fold the results with ``+`` in chunk order.
+
+        Unlike :meth:`map_chunks`, partials are consumed as they are
+        produced: at most ``workers + 2`` are alive at once (the window
+        throttles submission), so a reduction over many blocks does not
+        materialize one partial per block. The fold order is the chunk
+        order regardless of worker count, keeping float results
+        deterministic. ``n_rows`` must be positive (there is nothing to
+        fold otherwise).
+        """
+        slices = self._slices(n_rows, row_scratch_bytes, chunk_bytes)
+        if not slices:
+            raise ValidationError("reduce_chunks needs at least one row")
+        if self.workers == 1 or len(slices) <= 1:
+            it = iter(slices)
+            total = work(next(it))
+            for sl in it:
+                total = total + work(sl)
+            return total
+        pool = self._get_pool()
+        pending: deque = deque()
+        total: T | None = None
+
+        def drain_one() -> None:
+            nonlocal total
+            result = pending.popleft().result()
+            total = result if total is None else total + result
+
+        for sl in slices:
+            pending.append(pool.submit(work, sl))
+            if len(pending) > self.workers + 2:
+                drain_one()
+        while pending:
+            drain_one()
+        return total
+
+    def __repr__(self) -> str:
+        return f"Engine(workers={self.workers}, chunk_bytes={self.chunk_bytes})"
+
+
+# ----------------------------------------------------------------------
+# Process-wide current engine.
+
+_engine_lock = threading.Lock()
+_current_engine: Engine | None = None
+
+
+def get_engine() -> Engine:
+    """The engine the kernels are currently routed through."""
+    global _current_engine
+    with _engine_lock:
+        if _current_engine is None:
+            _current_engine = Engine()
+        return _current_engine
+
+
+def set_engine(engine: Engine | None) -> Engine | None:
+    """Install ``engine`` process-wide; returns the previous one.
+
+    ``None`` resets to a fresh default-configured engine on next use.
+    """
+    global _current_engine
+    with _engine_lock:
+        previous = _current_engine
+        _current_engine = engine
+    return previous
+
+
+@contextmanager
+def use_engine(
+    engine: Engine | None = None,
+    *,
+    workers: int | None = None,
+    chunk_bytes: int | None = None,
+) -> Iterator[Engine]:
+    """Scoped engine override (restores the previous engine on exit).
+
+    Pass either a prebuilt :class:`Engine` or the constructor knobs::
+
+        with use_engine(workers=4):
+            labels = assign_labels(X, C)
+    """
+    if engine is not None and (workers is not None or chunk_bytes is not None):
+        raise ValidationError("pass either an engine or workers/chunk_bytes, not both")
+    if engine is None:
+        engine = Engine(workers=workers, chunk_bytes=chunk_bytes)
+    previous = set_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_engine(previous)
+        # Don't leak the scope's pool threads; if the caller reuses the
+        # engine later, the pool is rebuilt lazily on first use.
+        engine.shutdown()

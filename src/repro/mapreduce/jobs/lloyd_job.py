@@ -25,11 +25,21 @@ import numpy as np
 
 from repro.exceptions import JobSpecError
 from repro.linalg.centroids import cluster_sizes, cluster_sums
-from repro.linalg.distances import assign_labels
+from repro.linalg.distances import assign_labels, row_norms_sq
 from repro.mapreduce.job import BlockMapper, KeyValue, MapReduceJob, Reducer
 from repro.mapreduce.jobs.common import FLOPS_PER_DIST, ScalarSumReducer
 
-__all__ = ["LloydMapper", "SumCountReducer", "make_lloyd_job", "AGG_KEY", "PHI_KEY"]
+__all__ = [
+    "LloydMapper",
+    "SumCountReducer",
+    "make_lloyd_job",
+    "AGG_KEY",
+    "PHI_KEY",
+    "STATE_NORMS",
+]
+
+#: Split-state key caching the split's ``||x||^2`` rows across jobs.
+STATE_NORMS = "lloyd-x-norms-sq"
 
 #: Output key prefix of per-cluster aggregates.
 AGG_KEY = "agg"
@@ -40,7 +50,13 @@ GRANULARITIES = ("split", "point")
 
 
 class LloydMapper(BlockMapper):
-    """Assignment + partial aggregation for one split."""
+    """Assignment + partial aggregation for one split.
+
+    The split's ``||x||^2`` rows are cached in the per-split state (the
+    runtime's RDD-caching model, same mechanism the cost job uses for its
+    ``d^2`` profile), so the driver's one-job-per-Lloyd-round loop pays
+    the O(nd) norm pass once per split, not once per round.
+    """
 
     def __init__(self, centers: np.ndarray, granularity: str = "split"):
         super().__init__()
@@ -53,7 +69,15 @@ class LloydMapper(BlockMapper):
 
     def map_block(self, block: np.ndarray) -> Iterable[KeyValue]:
         k = self.centers.shape[0]
-        labels, d2 = assign_labels(block, self.centers, return_sq_dists=True)
+        norms = None
+        if self.ctx is not None:
+            norms = self.ctx.state.get(STATE_NORMS)
+            if norms is None or norms.shape[0] != block.shape[0]:
+                norms = row_norms_sq(block)
+                self.ctx.state[STATE_NORMS] = norms
+        labels, d2 = assign_labels(
+            block, self.centers, x_norms_sq=norms, return_sq_dists=True
+        )
         self.work += block.shape[0] * k * block.shape[1] * FLOPS_PER_DIST
         yield PHI_KEY, float(d2.sum())
         if self.granularity == "split":

@@ -1,0 +1,139 @@
+"""Unit tests for the bounds-accelerated Lloyd path (lloyd_fast)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lloyd import ACCELERATE_MODES, lloyd
+from repro.exceptions import EmptyClusterError, ValidationError
+from repro.linalg.engine import use_engine
+
+
+def assert_identical(a, b):
+    """The accelerated result must be indistinguishable from the reference."""
+    np.testing.assert_array_equal(a.labels, b.labels)
+    np.testing.assert_array_equal(a.centers, b.centers)
+    assert a.cost == b.cost
+    assert a.n_iter == b.n_iter
+    assert a.converged == b.converged
+    np.testing.assert_allclose(a.cost_history, b.cost_history, rtol=1e-9)
+
+
+class TestDispatch:
+    def test_invalid_mode(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValidationError, match="accelerate"):
+            lloyd(X, X[:3], accelerate="yes-please")
+
+    def test_modes_exported(self):
+        assert set(ACCELERATE_MODES) == {"auto", "hamerly", "none"}
+
+    def test_auto_small_instance_uses_reference(self, blobs):
+        X, _ = blobs
+        res = lloyd(X, X[:5], accelerate="auto")
+        assert res.accelerated == "none"
+
+    def test_auto_large_instance_uses_hamerly(self, rng):
+        X = rng.normal(size=(5000, 3))
+        res = lloyd(X, X[:10], max_iter=3, accelerate="auto")
+        assert res.accelerated == "hamerly"
+
+    def test_explicit_hamerly_reported(self, blobs):
+        X, _ = blobs
+        assert lloyd(X, X[:5], accelerate="hamerly").accelerated == "hamerly"
+
+
+class TestEquivalence:
+    def test_blobs_identical(self, blobs):
+        X, _ = blobs
+        seeds = X[[0, 60, 120, 180, 240]]
+        ref = lloyd(X, seeds, accelerate="none")
+        fast = lloyd(X, seeds, accelerate="hamerly")
+        assert_identical(fast, ref)
+        assert ref.converged
+
+    def test_single_cluster(self, rng):
+        X = rng.normal(size=(50, 3))
+        ref = lloyd(X, X[:1], accelerate="none")
+        fast = lloyd(X, X[:1], accelerate="hamerly")
+        assert_identical(fast, ref)
+
+    def test_duplicate_centers(self, rng):
+        # Ties between identical centers must resolve to the lowest index
+        # on both paths.
+        X = rng.normal(size=(80, 2))
+        seeds = np.vstack([X[0], X[0], X[40]])
+        ref = lloyd(X, seeds, accelerate="none")
+        fast = lloyd(X, seeds, accelerate="hamerly")
+        assert_identical(fast, ref)
+
+    def test_max_iter_exhaustion(self, rng):
+        X = rng.normal(size=(300, 4))
+        seeds = X[:12]
+        for cap in (1, 2, 3):
+            ref = lloyd(X, seeds, max_iter=cap, accelerate="none")
+            fast = lloyd(X, seeds, max_iter=cap, accelerate="hamerly")
+            assert_identical(fast, ref)
+
+    def test_error_policy_raises_on_both_paths(self):
+        X = np.array([[0.0], [0.1], [100.0]])
+        seeds = np.array([[0.0], [0.05], [200.0]])
+        for mode in ("none", "hamerly"):
+            with pytest.raises(EmptyClusterError):
+                lloyd(X, seeds, empty_policy="error", accelerate=mode)
+
+    def test_under_parallel_engine(self, rng):
+        # Both runs under the SAME engine: chunked partial sums fold in a
+        # fixed order, so parity holds per engine configuration (a
+        # different chunking legitimately rounds centroids differently).
+        X = rng.normal(size=(400, 5))
+        seeds = X[:16]
+        with use_engine(workers=4, chunk_bytes=8192):
+            ref = lloyd(X, seeds, accelerate="none")
+            fast = lloyd(X, seeds, accelerate="hamerly")
+        assert_identical(fast, ref)
+
+
+class TestDistanceCounter:
+    def test_reference_counts_full_work(self, blobs):
+        X, _ = blobs
+        res = lloyd(X, X[:5], accelerate="none")
+        # n*k per assignment; at least one assignment per recorded cost.
+        assert res.n_dist_evals >= X.shape[0] * 5 * (res.n_iter + 1)
+
+    def test_hamerly_saves_distance_work(self, rng):
+        # Well-separated clusters converge with most points never re-tested.
+        centers = rng.normal(size=(20, 6)) * 100.0
+        X = np.vstack([c + rng.normal(size=(200, 6)) for c in centers])
+        seeds = X[rng.choice(X.shape[0], 40, replace=False)]
+        ref = lloyd(X, seeds, accelerate="none")
+        fast = lloyd(X, seeds, accelerate="hamerly")
+        assert_identical(fast, ref)
+        assert ref.n_iter >= 2  # otherwise there is nothing to skip
+        assert fast.n_dist_evals < ref.n_dist_evals
+        # The bulk of iterations past the first should be nearly free.
+        assert fast.n_dist_evals < 0.75 * ref.n_dist_evals
+
+
+class TestWorkingDtype:
+    def test_float32_runs_and_labels_sane(self, blobs):
+        X, _ = blobs
+        seeds = X[[0, 60, 120, 180, 240]]
+        ref = lloyd(X, seeds)
+        for mode in ("none", "hamerly"):
+            res = lloyd(X, seeds, working_dtype="float32", accelerate=mode)
+            np.testing.assert_array_equal(res.labels, ref.labels)
+            np.testing.assert_allclose(res.cost, ref.cost, rtol=1e-4)
+
+    def test_invalid_dtype_rejected(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValidationError, match="working_dtype"):
+            lloyd(X, X[:3], working_dtype="int8")
+
+    def test_float64_is_noop(self, blobs):
+        X, _ = blobs
+        ref = lloyd(X, X[:5])
+        res = lloyd(X, X[:5], working_dtype="float64")
+        assert res.cost == ref.cost
+        np.testing.assert_array_equal(res.labels, ref.labels)

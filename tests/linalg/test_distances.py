@@ -185,3 +185,58 @@ class TestAssignLabels:
         np.testing.assert_array_equal(
             assign_labels(X, C, chunk_bytes=512), assign_labels(X, C)
         )
+
+
+class TestDtypePolicy:
+    """X and the centers must land on one well-defined working dtype."""
+
+    def test_matching_float32_stays_float32(self, rng):
+        X = rng.normal(size=(30, 4)).astype(np.float32)
+        c = X[0]
+        d2 = sq_dists_to_point(X, c)
+        assert d2.dtype == np.float32
+        D = pairwise_sq_dists(X, X[:3])
+        assert D.dtype == np.float32
+
+    def test_mixed_precision_upcasts_both(self, rng):
+        X64 = rng.normal(size=(30, 4))
+        X32 = X64.astype(np.float32)
+        # float32 points vs float64 point: both sides must be upcast, so
+        # the result equals the all-float64 computation on the f32 data.
+        ref = sq_dists_to_point(X32.astype(np.float64), X64[0])
+        got = sq_dists_to_point(X32, X64[0])
+        assert got.dtype == np.float64
+        np.testing.assert_array_equal(got, ref)
+        # ...and the symmetric case: float64 points vs float32 point.
+        got2 = sq_dists_to_point(X64, X32[0])
+        assert got2.dtype == np.float64
+        np.testing.assert_allclose(
+            got2, sq_dists_to_point(X64, X32[0].astype(np.float64))
+        )
+
+    def test_integer_inputs_promoted_to_float64(self):
+        X = np.array([[0, 0], [3, 4]], dtype=np.int64)
+        d2 = sq_dists_to_point(X, np.array([0, 0], dtype=np.int32))
+        assert d2.dtype == np.float64
+        np.testing.assert_array_equal(d2, [0.0, 25.0])
+
+    def test_point_kernel_rejects_1d_points_matrix(self, rng):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            sq_dists_to_point(rng.normal(size=5), np.zeros(5))
+
+    def test_min_and_assign_accept_float32(self, rng):
+        X = rng.normal(size=(60, 3)).astype(np.float32)
+        C = X[:7]
+        labels64 = assign_labels(X.astype(np.float64), C.astype(np.float64))
+        np.testing.assert_array_equal(assign_labels(X, C), labels64)
+        np.testing.assert_allclose(
+            min_sq_dists(X, C),
+            min_sq_dists(X.astype(np.float64), C.astype(np.float64)),
+            atol=1e-4,
+        )
+
+    def test_precomputed_norms_length_checked(self, rng):
+        X = rng.normal(size=(10, 3))
+        C = rng.normal(size=(2, 3))
+        with pytest.raises(ValueError, match="x_norms_sq"):
+            min_sq_dists(X, C, x_norms_sq=np.ones(5))

@@ -1,0 +1,116 @@
+"""Property tests: accelerated Lloyd is indistinguishable from the oracle.
+
+The Hamerly path promises the *same* answers as the reference loop —
+identical labels, iteration count, convergence flag, final centers and
+final cost — across arbitrary instances, weightings, empty policies and
+stopping rules, while doing no more distance work.  These properties pin
+that contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lloyd import lloyd
+from tests.properties.strategies import cost_atol, points_and_k, weights_for
+
+SETTINGS = dict(max_examples=40, deadline=None)
+
+#: Policies safe to sample blindly ("error" raises by design).
+POLICIES = st.sampled_from(["reseed-farthest", "keep", "drop"])
+
+#: Stopping-rule corner cases: exact stability, center-shift, relative cost.
+STOPPING = st.sampled_from([(0.0, None), (1e-8, None), (0.5, None), (0.0, 1e-3)])
+
+
+def run_both(X, seeds, **kwargs):
+    ref = lloyd(X, seeds, accelerate="none", **kwargs)
+    fast = lloyd(X, seeds, accelerate="hamerly", **kwargs)
+    return ref, fast
+
+
+def assert_same_outcome(ref, fast, X):
+    np.testing.assert_array_equal(fast.labels, ref.labels)
+    np.testing.assert_array_equal(fast.centers, ref.centers)
+    assert fast.cost == ref.cost
+    assert fast.n_iter == ref.n_iter
+    assert fast.converged == ref.converged
+    assert len(fast.cost_history) == len(ref.cost_history)
+    # Intermediate entries come from the same math evaluated point-wise
+    # vs block-wise; on cancellation-dominated data (huge equal
+    # coordinates) the two roundings differ by up to the GEMM-expansion
+    # error bound, which is what cost_atol measures.
+    np.testing.assert_allclose(
+        fast.cost_history, ref.cost_history, rtol=1e-9, atol=cost_atol(X)
+    )
+
+
+class TestHamerlyMatchesReference:
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_unweighted(self, data):
+        X, k = data.draw(points_and_k(min_rows=2))
+        policy = data.draw(POLICIES)
+        tol, rel_tol = data.draw(STOPPING)
+        seeds = X[:k]
+        ref, fast = run_both(
+            X, seeds, max_iter=30, tol=tol, rel_tol=rel_tol,
+            empty_policy=policy, seed=0,
+        )
+        assert_same_outcome(ref, fast, X)
+
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_weighted(self, data):
+        X, k = data.draw(points_and_k(min_rows=2))
+        w = data.draw(weights_for(X.shape[0]))
+        policy = data.draw(POLICIES)
+        tol, rel_tol = data.draw(STOPPING)
+        seeds = X[:k]
+        ref, fast = run_both(
+            X, seeds, weights=w, max_iter=30, tol=tol, rel_tol=rel_tol,
+            empty_policy=policy, seed=0,
+        )
+        assert_same_outcome(ref, fast, X)
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_tight_iteration_caps(self, data):
+        # Exhaustion at every cap must report the same (labels, centers,
+        # cost) pairing the reference reports — including the subtle case
+        # where the final cost refers to the pre-update centers.
+        X, k = data.draw(points_and_k(min_rows=3))
+        cap = data.draw(st.integers(1, 4))
+        seeds = X[:k]
+        ref, fast = run_both(X, seeds, max_iter=cap, seed=0)
+        assert_same_outcome(ref, fast, X)
+
+    @given(data=st.data())
+    @settings(**SETTINGS)
+    def test_never_more_distance_work(self, data):
+        X, k = data.draw(points_and_k(min_rows=2))
+        seeds = X[:k]
+        ref, fast = run_both(X, seeds, max_iter=30, seed=0)
+        n, kk = X.shape[0], k
+        # Allowance for the fast path's fixed bookkeeping: the per-
+        # iteration O(n) potential pass and O(k^2) center separations,
+        # one extra n*k profile purchase per empty-cluster repair, and
+        # the final exact profile pass.
+        per_iter = n + kk * kk + n * kk
+        overhead = (ref.n_iter + 2) * per_iter
+        assert fast.n_dist_evals <= ref.n_dist_evals + overhead
+
+
+class TestHamerlySavesWork:
+    def test_separated_clusters_measurably_fewer(self):
+        rng = np.random.default_rng(3)
+        centers = rng.normal(size=(12, 4)) * 50.0
+        X = np.vstack([c + rng.normal(size=(150, 4)) for c in centers])
+        seeds = X[rng.choice(X.shape[0], 24, replace=False)]
+        ref, fast = run_both(X, seeds, max_iter=100, seed=0)
+        assert_same_outcome(ref, fast, X)
+        assert ref.n_iter >= 2
+        assert fast.n_dist_evals < ref.n_dist_evals
