@@ -77,17 +77,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _configure_engine(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
-    """Install a process-wide engine when the knobs were given."""
-    if args.engine_workers is None and args.chunk_mib is None:
-        return
+    """Install a process-wide engine when the knobs were given.
+
+    Even with no flags, construct the default engine once so a bad
+    ``REPRO_ENGINE_*`` env value fails at startup with a clean parser
+    error instead of a traceback at the first kernel call mid-run.
+    """
     from repro.exceptions import ValidationError
     from repro.linalg.engine import Engine, set_engine
 
     chunk_bytes = None if args.chunk_mib is None else args.chunk_mib * 1024 * 1024
     try:
-        set_engine(Engine(workers=args.engine_workers, chunk_bytes=chunk_bytes))
+        engine = Engine(workers=args.engine_workers, chunk_bytes=chunk_bytes)
     except ValidationError as exc:
         parser.error(str(exc))
+    if args.engine_workers is not None or args.chunk_mib is not None:
+        set_engine(engine)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

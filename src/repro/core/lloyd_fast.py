@@ -73,54 +73,53 @@ def _expansion_slack(x_norms, c_norms, d, dtype) -> float:
     return 4.0 * eps * (d + 4.0) * scale
 
 
-def _assign_all_bounds(Xw, Cw, x_norms, c_norms, labels, ub, lb, slack):
-    """Full exact assignment that also fills the Hamerly bounds.
+def _assign_bounds(Xw, Cw, x_norms, c_norms, labels, ub, lb, slack, rows=None):
+    """Exact assignment of all rows (``rows=None``) or an index subset,
+    filling the Hamerly bounds.
 
     Identical arithmetic (and therefore identical labels) to
     :func:`~repro.linalg.distances.assign_labels`; additionally records
     the distance to the winner (``ub``, padded up by ``slack``) and to
     the runner-up (``lb``, padded down).
     """
-    n, k = Xw.shape[0], Cw.shape[0]
+    n = Xw.shape[0] if rows is None else rows.shape[0]
+    k = Cw.shape[0]
 
     def work(sl: slice) -> None:
-        block = Xw[sl]
-        d2 = x_norms[sl][:, None] - 2.0 * (block @ Cw.T) + c_norms[None, :]
+        idxs = sl if rows is None else rows[sl]
+        block = Xw[idxs]
+        d2 = x_norms[idxs][:, None] - 2.0 * (block @ Cw.T) + c_norms[None, :]
         np.maximum(d2, 0.0, out=d2)
         idx = d2.argmin(axis=1)
-        labels[sl] = idx
+        labels[idxs] = idx
         best = np.take_along_axis(d2, idx[:, None], axis=1).ravel()
-        ub[sl] = np.sqrt(best + slack)
+        ub[idxs] = np.sqrt(best + slack)
         if k >= 2:
             second = np.partition(d2, 1, axis=1)[:, 1]
-            lb[sl] = np.sqrt(np.maximum(second - slack, 0.0))
+            lb[idxs] = np.sqrt(np.maximum(second - slack, 0.0))
         else:
-            lb[sl] = np.inf
+            lb[idxs] = np.inf
 
     get_engine().run_chunks(n, _row_scratch(k), work)
     return n * k
 
 
-def _reassign_rows(rows, Xw, Cw, x_norms, c_norms, labels, ub, lb, slack):
-    """Exact re-assignment of the given row indices against all centers."""
-    k = Cw.shape[0]
+def _tighten_upper_bounds(cand, Xw, Cw, x_norms, c_norms, labels, ub, slack):
+    """Replace drifted ``ub`` with the exact current distance, chunked."""
+    d = Xw.shape[1]
 
     def work(sl: slice) -> None:
-        idxs = rows[sl]
+        idxs = cand[sl]
         block = Xw[idxs]
-        d2 = x_norms[idxs][:, None] - 2.0 * (block @ Cw.T) + c_norms[None, :]
-        np.maximum(d2, 0.0, out=d2)
-        a = d2.argmin(axis=1)
-        labels[idxs] = a
-        best = np.take_along_axis(d2, a[:, None], axis=1).ravel()
-        ub[idxs] = np.sqrt(best + slack)
-        if k >= 2:
-            lb[idxs] = np.sqrt(np.maximum(np.partition(d2, 1, axis=1)[:, 1] - slack, 0.0))
-        else:
-            lb[idxs] = np.inf
+        lab = labels[idxs]
+        g = Cw[lab]
+        d2c = x_norms[idxs] - 2.0 * np.einsum("ij,ij->i", block, g) + c_norms[lab]
+        np.maximum(d2c, 0.0, out=d2c)
+        ub[idxs] = np.sqrt(d2c + slack)
 
-    get_engine().run_chunks(rows.shape[0], _row_scratch(k), work)
-    return rows.shape[0] * k
+    # Scratch per row: the gathered center row + the point row copy.
+    get_engine().run_chunks(cand.shape[0], 16 * max(1, d), work)
+    return cand.shape[0]
 
 
 def _d2_to_assigned(Xw, Cw, labels, x_norms, c_norms):
@@ -220,7 +219,7 @@ def lloyd_hamerly(
         if exact_profile:
             labels, d2a = assign(centers)
         elif not bounds_valid:
-            n_dist += _assign_all_bounds(Xw, Cw, x_norms, c_norms, labels, ub, lb, slack)
+            n_dist += _assign_bounds(Xw, Cw, x_norms, c_norms, labels, ub, lb, slack)
             bounds_valid = True
         else:
             # Drift the bounds instead of touching the data.
@@ -236,17 +235,13 @@ def lloyd_hamerly(
             if cand.size:
                 # First tighten ub to the exact current distance — that
                 # alone clears most candidates for one distance each.
-                block = Xw[cand]
-                lab = labels[cand]
-                g = Cw[lab]
-                d2c = x_norms[cand] - 2.0 * np.einsum("ij,ij->i", block, g) + c_norms[lab]
-                np.maximum(d2c, 0.0, out=d2c)
-                ub[cand] = np.sqrt(d2c + slack)
-                n_dist += int(cand.size)
+                n_dist += _tighten_upper_bounds(
+                    cand, Xw, Cw, x_norms, c_norms, labels, ub, slack
+                )
                 still = cand[ub[cand] >= limit[cand]]
                 if still.size:
-                    n_dist += _reassign_rows(
-                        still, Xw, Cw, x_norms, c_norms, labels, ub, lb, slack
+                    n_dist += _assign_bounds(
+                        Xw, Cw, x_norms, c_norms, labels, ub, lb, slack, rows=still
                     )
         assign_centers = centers
         repaired_d2 = None
@@ -292,8 +287,20 @@ def lloyd_hamerly(
             )
             shift_sq = float(np.max(move_sq))
             # Padded up a hair: drift must never under-state a center's
-            # movement or the drifted bounds stop being bounds.
-            drift = np.sqrt(move_sq) * (1.0 + 1e-12)
+            # movement or the drifted bounds stop being bounds. In a
+            # narrower working dtype, measure the movement between the
+            # *cast* center sets — the ones the kernels actually measure
+            # distances to — since the float64 movement can under-state
+            # it by the cast error.
+            if wdt == np.float64:
+                drift = np.sqrt(move_sq) * (1.0 + 1e-12)
+            else:
+                cast_diff = np.ascontiguousarray(new_centers, dtype=wdt).astype(
+                    np.float64
+                ) - Cw.astype(np.float64)
+                drift = np.sqrt(
+                    np.einsum("ij,ij->i", cast_diff, cast_diff)
+                ) * (1.0 + 1e-12)
         else:  # "drop" changed k; cannot compare shapes
             shift_sq = np.inf
             drift = None

@@ -15,7 +15,7 @@ from hypothesis import strategies as st
 
 from repro.core.costs import potential
 from repro.linalg.centroids import cluster_sizes
-from repro.linalg.distances import assign_labels
+from repro.linalg.distances import assign_labels, pairwise_sq_dists
 from repro.mapreduce.jobs.cost_job import PHI_KEY, make_cost_job
 from repro.mapreduce.jobs.lloyd_job import collect_new_centers, make_lloyd_job
 from repro.mapreduce.jobs.weight_job import WEIGHTS_KEY, make_weight_job
@@ -23,6 +23,22 @@ from repro.mapreduce.runtime import LocalMapReduceRuntime
 from tests.properties.strategies import cost_atol, d2_atol, points_and_k
 
 SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def has_assignment_ties(X, C) -> bool:
+    """True when some point's nearest center is ambiguous at round-off.
+
+    Whole-matrix and per-split assignments compute the GEMM expansion
+    with different blockings, so their round-off differs by up to
+    ``d2_atol``; where the best and second-best distances are closer
+    than that, the argmin legitimately lands on different centers and
+    exact label-derived quantities (weights, members, centroids) are not
+    comparable. Such degenerate instances fall back to weaker checks.
+    """
+    if C.shape[0] < 2:
+        return False
+    d2 = np.sort(pairwise_sq_dists(X, C), axis=1)
+    return bool((d2[:, 1] - d2[:, 0] <= d2_atol(X)).any())
 
 
 class TestDistributionInvariance:
@@ -42,8 +58,11 @@ class TestDistributionInvariance:
         C = X[:k]
         rt = LocalMapReduceRuntime(X, n_splits=n_splits, seed=0)
         weights = rt.run_job(make_weight_job(C)).single(WEIGHTS_KEY)
-        expected = cluster_sizes(assign_labels(X, C), k)
-        np.testing.assert_allclose(weights, expected)
+        # Total mass is conserved no matter how ties break.
+        assert weights.sum() == pytest.approx(X.shape[0])
+        if not has_assignment_ties(X, C):
+            expected = cluster_sizes(assign_labels(X, C), k)
+            np.testing.assert_allclose(weights, expected)
 
     @given(data=points_and_k(min_rows=2), n_splits=st.integers(1, 9))
     @settings(**SETTINGS)
@@ -53,14 +72,15 @@ class TestDistributionInvariance:
         rt = LocalMapReduceRuntime(X, n_splits=n_splits, seed=0)
         out = rt.run_job(make_lloyd_job(C))
         new_centers, phi = collect_new_centers(out.output, C)
-        labels = assign_labels(X, C)
-        for j in range(k):
-            members = X[labels == j]
-            if members.shape[0]:
-                np.testing.assert_allclose(
-                    new_centers[j], members.mean(axis=0), rtol=1e-7,
-                    atol=1e-7 * max(1.0, np.abs(X).max()),
-                )
+        if not has_assignment_ties(X, C):
+            labels = assign_labels(X, C)
+            for j in range(k):
+                members = X[labels == j]
+                if members.shape[0]:
+                    np.testing.assert_allclose(
+                        new_centers[j], members.mean(axis=0), rtol=1e-7,
+                        atol=1e-7 * max(1.0, np.abs(X).max()),
+                    )
         assert phi == pytest.approx(potential(X, C), rel=1e-7, abs=cost_atol(X))
 
     @given(data=points_and_k(min_rows=2), n_splits=st.integers(1, 6))
