@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run table1 [--scale bench|scaled|paper] [--seed 0]
     python -m repro run all --scale scaled --out results.txt
+    python -m repro --mr-workers 4 mr --splits-from data.npy -k 50
 
 ``repro-experiments`` (installed by the package) is an alias of
 ``python -m repro``.
@@ -30,10 +31,11 @@ def build_parser() -> argparse.ArgumentParser:
             "VLDB 2012): regenerate every table and figure of Section 5."
         ),
         epilog=(
-            "Kernel parallelism can also be configured via the environment: "
+            "Parallelism can also be configured via the environment: "
             "REPRO_ENGINE_WORKERS (threads fanning out row blocks of every "
-            "distance/centroid kernel) and REPRO_ENGINE_CHUNK_BYTES (scratch "
-            "budget per block)."
+            "distance/centroid kernel), REPRO_ENGINE_CHUNK_BYTES (scratch "
+            "budget per block), and REPRO_MR_WORKERS (threads executing "
+            "MapReduce map tasks; defaults to the engine worker count)."
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
@@ -57,6 +59,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: $REPRO_ENGINE_CHUNK_BYTES or 32 MiB)"
         ),
     )
+    parser.add_argument(
+        "--mr-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "threads executing MapReduce map tasks (default: $REPRO_MR_WORKERS, "
+            "falling back to the engine worker count)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiment ids")
@@ -73,6 +85,46 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--out", type=str, default=None, help="also append rendered output to this file"
     )
+
+    mr_p = sub.add_parser(
+        "mr",
+        help="run the k-means|| MapReduce pipeline over a dataset file",
+        description=(
+            "Run the full k-means|| (or the Random baseline) MapReduce "
+            "pipeline over a .npy/.npz dataset, memory-mapping the input so "
+            "splits stream from disk — datasets larger than RAM work."
+        ),
+    )
+    mr_p.add_argument(
+        "--splits-from",
+        required=True,
+        metavar="PATH",
+        help="dataset to cluster: a .npy array or a save_dataset() .npz bundle",
+    )
+    mr_p.add_argument("-k", type=int, required=True, help="number of clusters")
+    mr_p.add_argument(
+        "--method",
+        choices=("scalable", "random"),
+        default="scalable",
+        help="initialization: k-means|| (default) or the uniform Random baseline",
+    )
+    mr_p.add_argument(
+        "--l", type=float, default=None, metavar="L",
+        help="oversampling per round, absolute (default: 2k)",
+    )
+    mr_p.add_argument(
+        "--rounds", type=int, default=5, metavar="R",
+        help="number of k-means|| sampling rounds (default: 5)",
+    )
+    mr_p.add_argument(
+        "--n-splits", type=int, default=8, metavar="S",
+        help="input splits / map tasks per job (default: 8)",
+    )
+    mr_p.add_argument(
+        "--lloyd-max-iter", type=int, default=20, metavar="I",
+        help="cap on MapReduce Lloyd refinement rounds (default: 20)",
+    )
+    mr_p.add_argument("--seed", type=int, default=0, help="master seed")
     return parser
 
 
@@ -94,12 +146,60 @@ def _configure_engine(parser: argparse.ArgumentParser, args: argparse.Namespace)
     if args.engine_workers is not None or args.chunk_mib is not None:
         set_engine(engine)
 
+    from repro.mapreduce.runtime import resolve_mr_workers, set_default_mr_workers
+
+    try:
+        if args.mr_workers is not None:
+            set_default_mr_workers(args.mr_workers)
+        else:
+            resolve_mr_workers()  # fail fast on a bad $REPRO_MR_WORKERS
+    except ValidationError as exc:
+        parser.error(str(exc))
+
+
+def _run_mr(args: argparse.Namespace) -> int:
+    """The ``mr`` subcommand: the pipeline over a memory-mapped dataset."""
+    from repro.mapreduce.kmeans_mr import mr_random_kmeans, mr_scalable_kmeans
+
+    if args.method == "scalable":
+        l = args.l if args.l is not None else 2.0 * args.k
+        report = mr_scalable_kmeans(
+            args.splits_from,
+            args.k,
+            l=l,
+            r=args.rounds,
+            n_splits=args.n_splits,
+            seed=args.seed,
+            lloyd_max_iter=args.lloyd_max_iter,
+        )
+    else:
+        report = mr_random_kmeans(
+            args.splits_from,
+            args.k,
+            n_splits=args.n_splits,
+            seed=args.seed,
+            lloyd_max_iter=args.lloyd_max_iter,
+        )
+    print(report.summary())
+    print(f"    workers={report.params['workers']} splits={args.n_splits} "
+          f"candidates={report.n_candidates}")
+    for phase, minutes in report.breakdown.items():
+        print(f"    {phase:<10} {minutes:10.2f} simulated min")
+    return 0
+
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     _configure_engine(parser, args)
+    if args.command == "mr":
+        from repro.exceptions import MapReduceError, ValidationError
+
+        try:
+            return _run_mr(args)
+        except (ValidationError, MapReduceError) as exc:
+            parser.error(str(exc))
     # Deferred import: keep `repro --version` fast and allow `list` to work
     # even if an experiment module has issues.
     from repro.evaluation.experiments.registry import EXPERIMENTS, run_experiment

@@ -279,15 +279,27 @@ def scalable_init(
     oversampling: float | None = None,
     oversampling_factor: float | None = None,
     n_rounds: int | str = 5,
+    sampling: str = "independent",
+    reclusterer: Reclusterer | None = None,
+    top_up: TopUpPolicy | str = TopUpPolicy.PAD,
     weights: FloatArray | None = None,
     seed: SeedLike = None,
     working_dtype: str | None = None,
 ) -> FloatArray:
-    """Functional shortcut for :class:`ScalableKMeans` returning the centers."""
+    """Functional shortcut for :class:`ScalableKMeans` returning the centers.
+
+    Forwards the full constructor surface — in particular ``sampling``
+    (``"independent"`` / the Section 5.3 ``"exact"`` mode), ``reclusterer``
+    (Step 8 strategy), and ``top_up`` (short-candidate-set policy) — so
+    the functional API can express every configuration the class can.
+    """
     init = ScalableKMeans(
         oversampling,
         oversampling_factor=oversampling_factor,
         n_rounds=n_rounds,
+        sampling=sampling,
+        reclusterer=reclusterer,
+        top_up=top_up,
         working_dtype=working_dtype,
     )
     return init.run(X, k, weights=weights, seed=seed).centers

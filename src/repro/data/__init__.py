@@ -17,9 +17,16 @@ report costs relative to a near-optimal reference clustering.
 
 from repro.data.dataset import Dataset
 from repro.data.gauss_mixture import GaussMixtureConfig, make_gauss_mixture
+from repro.data.io import dataset_cache_path, ensure_mmap_npy, load_dataset, save_dataset
 from repro.data.kddcup import KDDCupConfig, make_kddcup
 from repro.data.sampling import reservoir_sample, uniform_sample
 from repro.data.spambase import SpambaseConfig, make_spambase
+from repro.data.splits import (
+    ArraySplitSource,
+    MmapSplitSource,
+    SplitSource,
+    as_split_source,
+)
 from repro.data.synthetic import (
     make_anisotropic_blobs,
     make_blobs_with_outliers,
@@ -41,4 +48,12 @@ __all__ = [
     "make_grid_clusters",
     "make_anisotropic_blobs",
     "make_blobs_with_outliers",
+    "save_dataset",
+    "load_dataset",
+    "dataset_cache_path",
+    "ensure_mmap_npy",
+    "SplitSource",
+    "ArraySplitSource",
+    "MmapSplitSource",
+    "as_split_source",
 ]

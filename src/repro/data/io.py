@@ -5,11 +5,17 @@ harness caches generated datasets on disk so repeated runs of different
 tables against the same workload pay generation once. Format: a ``.npz``
 bundle (points / labels / true centers) plus a sidecar ``.json`` with the
 name and metadata — both human-inspectable, no pickle.
+
+:func:`ensure_mmap_npy` supports the out-of-core MapReduce split sources
+(:mod:`repro.data.splits`): given a saved dataset it produces a plain
+``.npy`` file that :func:`numpy.load` can memory-map, extracting the
+``X`` array from a ``.npz`` bundle once and caching the result next to it.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import numpy as np
@@ -17,25 +23,47 @@ import numpy as np
 from repro.data.dataset import Dataset
 from repro.exceptions import ValidationError
 
-__all__ = ["save_dataset", "load_dataset", "dataset_cache_path"]
+__all__ = ["save_dataset", "load_dataset", "dataset_cache_path", "ensure_mmap_npy"]
+
+#: Suffixes this module owns. Only these are ever stripped from a user
+#: path — anything else (``thing.whatever``, ``gauss__l=0.5``) is part of
+#: the dataset's *name*, not an extension. Stripping arbitrary suffixes
+#: corrupted cache filenames containing dots: ``gauss__l=0.5_n=100000``
+#: became ``gauss__l=0`` and distinct configs collided on one cache entry.
+_KNOWN_SUFFIXES = (".npz", ".json")
+
+
+def _strip_known_suffix(path: str | pathlib.Path) -> pathlib.Path:
+    """Drop a trailing ``.npz``/``.json`` (ours); keep every other dot."""
+    base = pathlib.Path(path)
+    if base.suffix.lower() in _KNOWN_SUFFIXES:
+        return base.with_suffix("")
+    return base
+
+
+def _with_suffix(base: pathlib.Path, suffix: str) -> pathlib.Path:
+    """Append ``suffix`` to ``base`` without treating dots in the name."""
+    return base.with_name(base.name + suffix)
 
 
 def save_dataset(dataset: Dataset, path: str | pathlib.Path) -> pathlib.Path:
     """Write ``dataset`` to ``<path>.npz`` + ``<path>.json``; returns the npz path.
 
-    Any extension on ``path`` is replaced; parent directories are created.
+    A trailing ``.npz``/``.json`` on ``path`` is normalized away; any other
+    dotted segment is preserved as part of the filename. Parent directories
+    are created.
     """
-    base = pathlib.Path(path).with_suffix("")
+    base = _strip_known_suffix(path)
     base.parent.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {"X": dataset.X}
     if dataset.labels is not None:
         arrays["labels"] = dataset.labels
     if dataset.true_centers is not None:
         arrays["true_centers"] = dataset.true_centers
-    npz_path = base.with_suffix(".npz")
+    npz_path = _with_suffix(base, ".npz")
     np.savez_compressed(npz_path, **arrays)
     sidecar = {"name": dataset.name, "metadata": dataset.metadata}
-    base.with_suffix(".json").write_text(
+    _with_suffix(base, ".json").write_text(
         json.dumps(sidecar, indent=2, default=str), encoding="utf-8"
     )
     return npz_path
@@ -43,9 +71,9 @@ def save_dataset(dataset: Dataset, path: str | pathlib.Path) -> pathlib.Path:
 
 def load_dataset(path: str | pathlib.Path) -> Dataset:
     """Load a dataset previously written by :func:`save_dataset`."""
-    base = pathlib.Path(path).with_suffix("")
-    npz_path = base.with_suffix(".npz")
-    json_path = base.with_suffix(".json")
+    base = _strip_known_suffix(path)
+    npz_path = _with_suffix(base, ".npz")
+    json_path = _with_suffix(base, ".json")
     if not npz_path.exists():
         raise ValidationError(f"no dataset at {npz_path}")
     with np.load(npz_path) as bundle:
@@ -69,9 +97,114 @@ def dataset_cache_path(
     """Deterministic cache location for a generated dataset.
 
     ``params`` (e.g. ``n=100000, seed=0``) are folded into the filename in
-    sorted order so different configurations never collide.
+    sorted order so different configurations never collide. Float params
+    put dots in the name (``gauss__l=0.5_n=100000``); :func:`save_dataset`
+    and :func:`load_dataset` preserve them.
     """
     safe = name.replace("/", "_").replace(" ", "_")
     suffix = "_".join(f"{k}={params[k]}" for k in sorted(params))
     filename = f"{safe}__{suffix}" if suffix else safe
     return pathlib.Path(cache_dir) / filename
+
+
+def ensure_mmap_npy(path: str | pathlib.Path) -> pathlib.Path:
+    """Resolve ``path`` to a plain ``.npy`` file that can be memory-mapped.
+
+    Accepts:
+
+    * a ``.npy`` file — returned as-is;
+    * a ``.npz`` bundle written by :func:`save_dataset` (or any npz with an
+      ``X`` member) — the ``X`` array is extracted once to a sibling
+      ``<base>.X.npy`` cache file (refreshed when the npz is newer) and
+      that path is returned;
+    * a bare dataset base path — ``<path>.npy`` then ``<path>.npz`` are
+      tried in that order.
+
+    The extraction pass loads ``X`` into memory once; every later open is
+    a pure ``mmap`` and never reads the file up front.
+    """
+    p = pathlib.Path(path)
+    if p.suffix.lower() == ".npy":
+        if not p.exists():
+            raise ValidationError(f"no array file at {p}")
+        return p
+    if p.suffix.lower() == ".npz":
+        npz = p
+    else:
+        bare_npy = _with_suffix(p, ".npy")
+        if bare_npy.exists():
+            return bare_npy
+        npz = _with_suffix(p, ".npz")
+    if not npz.exists():
+        raise ValidationError(f"no dataset at {npz} (tried .npy and .npz)")
+    cache = _with_suffix(npz.with_suffix(""), ".X.npy")
+    if not cache.exists() or cache.stat().st_mtime < npz.stat().st_mtime:
+        # Unique temp name (concurrent extractors must not share one file)
+        # ending in .npy so np.save does not append a suffix; the atomic
+        # rename means readers only ever see a complete cache file.
+        tmp = _with_suffix(npz.with_suffix(""), f".X.tmp{os.getpid()}.npy")
+        try:
+            if not _stream_npz_member(npz, "X.npy", tmp):
+                # Exotic header (fortran order / object dtype / unknown
+                # version): fall back to one in-memory pass.
+                with np.load(npz) as bundle:
+                    np.save(tmp, bundle["X"])
+            tmp.replace(cache)
+        finally:
+            tmp.unlink(missing_ok=True)
+    return cache
+
+
+def _stream_npz_member(
+    npz: pathlib.Path,
+    member: str,
+    out_path: pathlib.Path,
+    chunk_bytes: int = 32 * 1024 * 1024,
+) -> bool:
+    """Copy one ``.npy`` member of ``npz`` to ``out_path`` in bounded memory.
+
+    Decompresses through the zip stream chunk by chunk into a writable
+    memmap, so extracting an ``X`` larger than RAM never materializes it.
+    Returns ``False`` when the member's layout can't be streamed (caller
+    falls back to an in-memory pass); raises for a missing member or a
+    truncated stream.
+    """
+    import zipfile
+
+    from numpy.lib import format as npy_format
+
+    with zipfile.ZipFile(npz) as zf:
+        if member not in zf.namelist():
+            raise ValidationError(
+                f"{npz} has no {member!r} member; not a save_dataset() bundle"
+            )
+        with zf.open(member) as fh:
+            version = npy_format.read_magic(fh)
+            if version == (1, 0):
+                shape, fortran, dtype = npy_format.read_array_header_1_0(fh)
+            elif version == (2, 0):
+                shape, fortran, dtype = npy_format.read_array_header_2_0(fh)
+            else:
+                return False
+            if fortran or dtype.hasobject or len(shape) == 0:
+                return False
+            out = npy_format.open_memmap(
+                out_path, mode="w+", dtype=dtype, shape=shape
+            )
+            try:
+                flat = out.reshape(-1)
+                total, pos = flat.shape[0], 0
+                chunk_items = max(1, chunk_bytes // dtype.itemsize)
+                while pos < total:
+                    n_items = min(chunk_items, total - pos)
+                    buf = fh.read(n_items * dtype.itemsize)
+                    if len(buf) != n_items * dtype.itemsize:
+                        raise ValidationError(
+                            f"truncated {member!r} member in {npz}"
+                        )
+                    flat[pos : pos + n_items] = np.frombuffer(buf, dtype=dtype)
+                    pos += n_items
+                out.flush()
+            finally:
+                del out
+    return True

@@ -1,0 +1,156 @@
+"""Row-partitioned input sources for the MapReduce runtime.
+
+The runtime used to require the whole dataset as one in-memory array; a
+:class:`SplitSource` decouples *what a split is* from *where its bytes
+live* so the same jobs run over
+
+* an in-memory array (:class:`ArraySplitSource` — the classic path), or
+* a memory-mapped ``.npy``/``.npz`` file on disk
+  (:class:`MmapSplitSource`), in which case a map task only faults in the
+  pages of its own split: datasets larger than RAM stream through the
+  pipeline with the OS page cache as the working set.
+
+Both sources hand out *views* (array slices / memmap slices) — no split
+is ever copied just to be scheduled — and both present identical shapes,
+dtypes and bytes, so pipeline output is bit-identical between them (the
+integration tests assert this).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import pathlib
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "SplitSource",
+    "ArraySplitSource",
+    "MmapSplitSource",
+    "as_split_source",
+]
+
+
+class SplitSource(abc.ABC):
+    """A 2-d row-partitionable dataset the runtime can slice into splits."""
+
+    @property
+    @abc.abstractmethod
+    def shape(self) -> tuple[int, int]:
+        """``(n_rows, n_cols)`` of the full dataset."""
+
+    @property
+    @abc.abstractmethod
+    def dtype(self) -> np.dtype:
+        """Element dtype (drives the simulated scan-bytes accounting)."""
+
+    @abc.abstractmethod
+    def block(self, start: int, stop: int) -> np.ndarray:
+        """Rows ``[start, stop)`` as a read-only-by-convention view."""
+
+    @abc.abstractmethod
+    def as_array(self) -> np.ndarray:
+        """The full dataset as one array-like (a memmap for file sources).
+
+        Used by driver-side sections (seed-cost evaluation, top-up
+        sampling) whose kernels already walk rows in chunks, so a memmap
+        here still streams rather than materializing.
+        """
+
+    # ------------------------------------------------------------------
+    def block_nbytes(self, start: int, stop: int) -> int:
+        """Bytes a map task scans for rows ``[start, stop)``."""
+        return (stop - start) * self.shape[1] * self.dtype.itemsize
+
+    def _validate(self) -> None:
+        shape = self.shape
+        if len(shape) != 2 or shape[0] == 0:
+            raise ValidationError(
+                f"split source must be a non-empty 2-d dataset, got shape {shape}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n, d = self.shape
+        return f"{type(self).__name__}(shape=({n}, {d}), dtype={self.dtype})"
+
+
+class ArraySplitSource(SplitSource):
+    """Splits over an array already resident in memory."""
+
+    def __init__(self, X: np.ndarray):
+        self._X = np.asarray(X)
+        self._validate()
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._X.shape  # type: ignore[return-value]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._X.dtype
+
+    def block(self, start: int, stop: int) -> np.ndarray:
+        return self._X[start:stop]
+
+    def as_array(self) -> np.ndarray:
+        return self._X
+
+
+class MmapSplitSource(SplitSource):
+    """Splits over a memory-mapped ``.npy``/``.npz`` file.
+
+    ``.npz`` bundles (as written by :func:`repro.data.io.save_dataset`)
+    are resolved through :func:`repro.data.io.ensure_mmap_npy`, which
+    extracts the ``X`` member to a sibling ``.X.npy`` cache once; every
+    subsequent open memory-maps that file without reading it.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        # Deferred import: repro.data.io imports Dataset; keep this module
+        # importable from the mapreduce layer without that dependency.
+        from repro.data.io import ensure_mmap_npy
+
+        self.path = pathlib.Path(path)
+        self.npy_path = ensure_mmap_npy(self.path)
+        self._mmap = np.load(self.npy_path, mmap_mode="r")
+        if self._mmap.ndim != 2:
+            raise ValidationError(
+                f"{self.npy_path} holds a {self._mmap.ndim}-d array; "
+                "split sources need 2-d row data"
+            )
+        self._validate()
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._mmap.shape  # type: ignore[return-value]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._mmap.dtype
+
+    def block(self, start: int, stop: int) -> np.ndarray:
+        return self._mmap[start:stop]
+
+    def as_array(self) -> np.ndarray:
+        return self._mmap
+
+
+def as_split_source(data) -> SplitSource:
+    """Coerce ``data`` into a :class:`SplitSource`.
+
+    Accepts an existing source (returned unchanged), a 2-d array, or a
+    filesystem path (``str`` / ``PathLike``) to a ``.npy``/``.npz`` file.
+    """
+    if isinstance(data, SplitSource):
+        return data
+    if isinstance(data, (str, os.PathLike)):
+        return MmapSplitSource(data)
+    if isinstance(data, np.ndarray):
+        return ArraySplitSource(data)
+    raise ValidationError(
+        "expected an ndarray, a SplitSource, or a path to a .npy/.npz file, "
+        f"got {type(data).__name__}"
+    )

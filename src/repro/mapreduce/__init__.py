@@ -32,7 +32,14 @@ from repro.mapreduce.kmeans_mr import (
     mr_scalable_kmeans,
     simulate_partition_time,
 )
-from repro.mapreduce.runtime import JobResult, JobStats, LocalMapReduceRuntime
+from repro.mapreduce.runtime import (
+    ENV_MR_WORKERS,
+    JobResult,
+    JobStats,
+    LocalMapReduceRuntime,
+    resolve_mr_workers,
+    set_default_mr_workers,
+)
 
 __all__ = [
     "ClusterModel",
@@ -49,4 +56,7 @@ __all__ = [
     "mr_random_kmeans",
     "mr_lloyd",
     "simulate_partition_time",
+    "resolve_mr_workers",
+    "set_default_mr_workers",
+    "ENV_MR_WORKERS",
 ]

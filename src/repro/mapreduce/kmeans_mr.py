@@ -15,10 +15,18 @@
 
 Every driver returns an :class:`MRKMeansReport` with both the clustering
 outcome and the simulated-time breakdown that Table 4 aggregates.
+
+Drivers accept the dataset as an in-memory array, a
+:class:`~repro.data.splits.SplitSource`, or a path to a ``.npy``/``.npz``
+file (memory-mapped; datasets larger than RAM stream split by split), and
+a ``workers`` count that fans real map tasks out across threads — see
+:class:`~repro.mapreduce.runtime.LocalMapReduceRuntime`. Results are
+bit-identical for any worker count and either source kind.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +34,7 @@ import numpy as np
 from repro.core.init_kmeanspp import KMeansPlusPlus
 from repro.core.lloyd import lloyd as sequential_lloyd
 from repro.core.reclustering import TopUpPolicy, apply_top_up
+from repro.data.splits import SplitSource, as_split_source
 from repro.exceptions import MapReduceError
 from repro.linalg.distances import min_sq_dists
 from repro.mapreduce.cluster import ClusterModel
@@ -121,7 +130,7 @@ def mr_lloyd(
 
 
 def mr_scalable_kmeans(
-    X: FloatArray,
+    X: FloatArray | SplitSource | str | os.PathLike,
     k: int,
     *,
     l: float,
@@ -131,137 +140,163 @@ def mr_scalable_kmeans(
     seed: SeedLike = None,
     lloyd_max_iter: int = 20,
     top_up: TopUpPolicy = TopUpPolicy.PAD,
+    workers: int | None = None,
 ) -> MRKMeansReport:
     """Full ``k-means||`` pipeline on the simulated cluster.
 
     Parameters mirror Algorithm 2 (``l`` is absolute, ``r`` the number of
     rounds); ``lloyd_max_iter`` bounds the post-init refinement jobs.
+    ``X`` may be an array, a split source, or a ``.npy``/``.npz`` path
+    (memory-mapped); ``workers`` fans map tasks out across real threads.
     """
-    runtime = LocalMapReduceRuntime(X, n_splits=n_splits, cluster=cluster, seed=seed)
-    rng = np.random.default_rng(
-        runtime._seed_root.integers(0, 2**63)  # driver-side randomness
-    )
-
-    # Step 1: first center, uniformly at random, via a sampling job.
-    first = runtime.run_job(make_uniform_sample_job(1)).single(SAMPLE_KEY)
-    candidates = [np.atleast_2d(first)]
-    new_centers = candidates[0]
-
-    # Steps 2-6: cost job + sample job per round. The cost job folds the
-    # previous round's picks into each split's cached (d^2, argmin) state
-    # and reports the exact current potential; the sample job then flips
-    # the per-point coins against that potential.
-    n_candidates = 1
-    offset = 0
-    for _ in range(r):
-        phi = runtime.run_job(make_cost_job(new_centers, offset=offset)).single(PHI_KEY)
-        offset = n_candidates
-        if phi <= 0.0:
-            new_centers = np.empty((0, X.shape[1]))
-            break
-        sampled = runtime.run_job(make_sample_job(l, phi)).output.get(CANDIDATES_KEY)
-        block = sampled[0] if sampled else None
-        if block is None or len(block) == 0:
-            new_centers = np.empty((0, X.shape[1]))
-            continue
-        candidates.append(block)
-        new_centers = block
-        n_candidates += block.shape[0]
-
-    # Final fold so the caches cover the last round's candidates too.
-    if new_centers.shape[0]:
-        runtime.run_job(make_cost_job(new_centers, offset=offset)).single(PHI_KEY)
-
-    candidate_arr = np.vstack(candidates)
-    init_minutes = runtime.simulated_minutes
-
-    # Step 7: candidate weights — a bincount over the cached argmin column.
-    weights = runtime.run_job(
-        make_cached_weight_job(candidate_arr.shape[0])
-    ).single(WEIGHTS_KEY)
-    weight_minutes = runtime.simulated_minutes - init_minutes
-
-    # Step 8: sequential reclustering on the driver.
-    if candidate_arr.shape[0] <= k:
-        seed_centers = candidate_arr.copy()
-        recluster_iters = 0
-    else:
-        pp = KMeansPlusPlus().run(candidate_arr, k, weights=weights, seed=rng)
-        refined = sequential_lloyd(
-            candidate_arr, pp.centers, weights=weights, max_iter=100, seed=rng
+    source = as_split_source(X)
+    d = source.shape[1]
+    # Driver-side sections (top-up sampling, seed-cost scan) run over this
+    # handle; for a file source it is a memmap and the chunked kernels
+    # stream it rather than materializing.
+    X_arr = source.as_array()
+    with LocalMapReduceRuntime(
+        source, n_splits=n_splits, cluster=cluster, seed=seed, workers=workers
+    ) as runtime:
+        rng = np.random.default_rng(
+            runtime._seed_root.integers(0, 2**63)  # driver-side randomness
         )
-        seed_centers = refined.centers
-        recluster_iters = refined.n_iter
-    seed_centers = apply_top_up(seed_centers, X, k, top_up, rng)
-    m = candidate_arr.shape[0]
-    recluster_flops = naive_kmeanspp_flops(m, k, X.shape[1]) + (
-        recluster_iters * FLOPS_PER_DIST * m * k * X.shape[1]
-    )
-    runtime.charge_sequential(recluster_flops, label="recluster candidates")
-    recluster_minutes = runtime.simulated_minutes - init_minutes - weight_minutes
 
-    seed_cost = float(min_sq_dists(X, seed_centers).sum())
+        # Step 1: first center, uniformly at random, via a sampling job.
+        first = runtime.run_job(make_uniform_sample_job(1)).single(SAMPLE_KEY)
+        candidates = [np.atleast_2d(first)]
+        new_centers = candidates[0]
 
-    # Lloyd refinement, one MR job per round, to convergence.
-    before = runtime.simulated_minutes
-    centers, final_cost, n_iter = mr_lloyd(runtime, seed_centers, max_iter=lloyd_max_iter)
-    lloyd_minutes = runtime.simulated_minutes - before
+        # Steps 2-6: cost job + sample job per round. The cost job folds the
+        # previous round's picks into each split's cached (d^2, argmin) state
+        # and reports the exact current potential; the sample job then flips
+        # the per-point coins against that potential.
+        n_candidates = 1
+        offset = 0
+        for _ in range(r):
+            phi = runtime.run_job(make_cost_job(new_centers, offset=offset)).single(PHI_KEY)
+            offset = n_candidates
+            if phi <= 0.0:
+                new_centers = np.empty((0, d))
+                break
+            sampled = runtime.run_job(make_sample_job(l, phi)).output.get(CANDIDATES_KEY)
+            block = sampled[0] if sampled else None
+            if block is None or len(block) == 0:
+                new_centers = np.empty((0, d))
+                continue
+            candidates.append(block)
+            new_centers = block
+            n_candidates += block.shape[0]
 
-    return MRKMeansReport(
-        method="k-means||",
-        centers=centers,
-        seed_cost=seed_cost,
-        final_cost=final_cost,
-        lloyd_iters=n_iter,
-        n_candidates=int(m),
-        n_jobs=len(runtime.job_log),
-        simulated_minutes=runtime.simulated_minutes,
-        breakdown={
-            "init": init_minutes,
-            "weights": weight_minutes,
-            "recluster": recluster_minutes,
-            "lloyd": lloyd_minutes,
-        },
-        params={"k": k, "l": l, "r": r, "n_splits": n_splits},
-    )
+        # Final fold so the caches cover the last round's candidates too.
+        if new_centers.shape[0]:
+            runtime.run_job(make_cost_job(new_centers, offset=offset)).single(PHI_KEY)
+
+        candidate_arr = np.vstack(candidates)
+        init_minutes = runtime.simulated_minutes
+
+        # Step 7: candidate weights — a bincount over the cached argmin column.
+        weights = runtime.run_job(
+            make_cached_weight_job(candidate_arr.shape[0])
+        ).single(WEIGHTS_KEY)
+        weight_minutes = runtime.simulated_minutes - init_minutes
+
+        # Step 8: sequential reclustering on the driver.
+        if candidate_arr.shape[0] <= k:
+            seed_centers = candidate_arr.copy()
+            recluster_iters = 0
+        else:
+            pp = KMeansPlusPlus().run(candidate_arr, k, weights=weights, seed=rng)
+            refined = sequential_lloyd(
+                candidate_arr, pp.centers, weights=weights, max_iter=100, seed=rng
+            )
+            seed_centers = refined.centers
+            recluster_iters = refined.n_iter
+        seed_centers = apply_top_up(seed_centers, X_arr, k, top_up, rng)
+        m = candidate_arr.shape[0]
+        recluster_flops = naive_kmeanspp_flops(m, k, d) + (
+            recluster_iters * FLOPS_PER_DIST * m * k * d
+        )
+        runtime.charge_sequential(recluster_flops, label="recluster candidates")
+        recluster_minutes = runtime.simulated_minutes - init_minutes - weight_minutes
+
+        seed_cost = float(min_sq_dists(X_arr, seed_centers).sum())
+
+        # Lloyd refinement, one MR job per round, to convergence.
+        before = runtime.simulated_minutes
+        centers, final_cost, n_iter = mr_lloyd(
+            runtime, seed_centers, max_iter=lloyd_max_iter
+        )
+        lloyd_minutes = runtime.simulated_minutes - before
+
+        return MRKMeansReport(
+            method="k-means||",
+            centers=centers,
+            seed_cost=seed_cost,
+            final_cost=final_cost,
+            lloyd_iters=n_iter,
+            n_candidates=int(m),
+            n_jobs=len(runtime.job_log),
+            simulated_minutes=runtime.simulated_minutes,
+            breakdown={
+                "init": init_minutes,
+                "weights": weight_minutes,
+                "recluster": recluster_minutes,
+                "lloyd": lloyd_minutes,
+            },
+            params={
+                "k": k,
+                "l": l,
+                "r": r,
+                "n_splits": n_splits,
+                "workers": runtime.workers,
+            },
+        )
 
 
 def mr_random_kmeans(
-    X: FloatArray,
+    X: FloatArray | SplitSource | str | os.PathLike,
     k: int,
     *,
     n_splits: int = 8,
     cluster: ClusterModel | None = None,
     seed: SeedLike = None,
     lloyd_max_iter: int = 20,
+    workers: int | None = None,
 ) -> MRKMeansReport:
     """The parallel ``Random`` baseline: uniform seed + bounded MR Lloyd.
 
     "In the parallel version, we bounded the number of iterations to 20"
     (Section 4.2).
     """
-    runtime = LocalMapReduceRuntime(X, n_splits=n_splits, cluster=cluster, seed=seed)
-    seed_centers = runtime.run_job(make_uniform_sample_job(k)).single(SAMPLE_KEY)
-    if seed_centers.shape[0] < k:
-        raise MapReduceError(
-            f"uniform sampling returned {seed_centers.shape[0]} < k={k} rows"
+    source = as_split_source(X)
+    X_arr = source.as_array()
+    with LocalMapReduceRuntime(
+        source, n_splits=n_splits, cluster=cluster, seed=seed, workers=workers
+    ) as runtime:
+        seed_centers = runtime.run_job(make_uniform_sample_job(k)).single(SAMPLE_KEY)
+        if seed_centers.shape[0] < k:
+            raise MapReduceError(
+                f"uniform sampling returned {seed_centers.shape[0]} < k={k} rows"
+            )
+        init_minutes = runtime.simulated_minutes
+        seed_cost = float(min_sq_dists(X_arr, seed_centers).sum())
+        centers, final_cost, n_iter = mr_lloyd(
+            runtime, seed_centers, max_iter=lloyd_max_iter
         )
-    init_minutes = runtime.simulated_minutes
-    seed_cost = float(min_sq_dists(X, seed_centers).sum())
-    centers, final_cost, n_iter = mr_lloyd(runtime, seed_centers, max_iter=lloyd_max_iter)
-    return MRKMeansReport(
-        method="random",
-        centers=centers,
-        seed_cost=seed_cost,
-        final_cost=final_cost,
-        lloyd_iters=n_iter,
-        n_candidates=k,
-        n_jobs=len(runtime.job_log),
-        simulated_minutes=runtime.simulated_minutes,
-        breakdown={"init": init_minutes,
-                   "lloyd": runtime.simulated_minutes - init_minutes},
-        params={"k": k, "n_splits": n_splits},
-    )
+        return MRKMeansReport(
+            method="random",
+            centers=centers,
+            seed_cost=seed_cost,
+            final_cost=final_cost,
+            lloyd_iters=n_iter,
+            n_candidates=k,
+            n_jobs=len(runtime.job_log),
+            simulated_minutes=runtime.simulated_minutes,
+            breakdown={"init": init_minutes,
+                       "lloyd": runtime.simulated_minutes - init_minutes},
+            params={"k": k, "n_splits": n_splits, "workers": runtime.workers},
+        )
 
 
 def simulate_partition_time(

@@ -5,26 +5,104 @@ real input splits, with the full map → combine → shuffle → reduce data
 path, Hadoop-style counters, per-split persistent state, and a simulated
 clock driven by :class:`~repro.mapreduce.cluster.ClusterModel`.
 
-Determinism: every (job, split) pair gets its own RNG derived from the
-runtime seed, so a pipeline replayed with the same seed produces the same
-bytes — the integration tests rely on this.
+Parallelism: map (and combine) tasks genuinely fan out across a
+:class:`~concurrent.futures.ThreadPoolExecutor` — the block body of every
+k-means mapper is GIL-releasing NumPy/BLAS, so splits overlap on
+multicore machines. The worker count defaults to the linalg engine's
+configuration (``REPRO_ENGINE_WORKERS`` / :func:`repro.linalg.set_engine`)
+and can be overridden per-runtime, via :func:`set_default_mr_workers`, or
+with the ``REPRO_MR_WORKERS`` environment variable.
+
+Determinism: every (job, split) pair gets its own RNG pre-spawned from
+the runtime seed *before* dispatch, results and counters are collected in
+split order, and the simulated clock is computed from measured work — so
+output, counters, and simulated time are bit-identical for any worker
+count and between in-memory and memory-mapped split sources (the property
+tests rely on this).
+
+Out-of-core input: the dataset is accessed through a
+:class:`~repro.data.splits.SplitSource`; pass a path (or
+:class:`~repro.data.splits.MmapSplitSource`) to stream splits from a
+memory-mapped ``.npy``/``.npz`` file instead of RAM.
 """
 
 from __future__ import annotations
 
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 import numpy as np
 
-from repro.exceptions import MapReduceError
+from repro.data.splits import SplitSource, as_split_source
+from repro.exceptions import MapReduceError, ValidationError
 from repro.mapreduce.cluster import ClusterModel, PhaseTime
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import MapReduceJob, SplitContext
 from repro.types import SeedLike
 from repro.utils.rng import ensure_generator, spawn_generators
 
-__all__ = ["JobStats", "JobResult", "LocalMapReduceRuntime", "estimate_nbytes"]
+__all__ = [
+    "JobStats",
+    "JobResult",
+    "LocalMapReduceRuntime",
+    "estimate_nbytes",
+    "record_nbytes",
+    "resolve_mr_workers",
+    "set_default_mr_workers",
+    "ENV_MR_WORKERS",
+]
+
+#: Environment variable read for the default map-task worker count.
+ENV_MR_WORKERS = "REPRO_MR_WORKERS"
+
+#: Process-wide default installed by :func:`set_default_mr_workers` (the
+#: CLI's ``--mr-workers`` lands here); ``None`` defers to the environment
+#: and then the linalg engine configuration.
+_default_workers: int | None = None
+
+
+def set_default_mr_workers(workers: int | None) -> int | None:
+    """Install a process-wide default MR worker count; returns the previous.
+
+    ``None`` resets to the environment/engine-derived default.
+    """
+    global _default_workers
+    if workers is not None and workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    previous = _default_workers
+    _default_workers = None if workers is None else int(workers)
+    return previous
+
+
+def resolve_mr_workers(workers: int | None = None) -> int:
+    """Resolve the map-phase worker count for a new runtime.
+
+    Precedence: explicit argument > :func:`set_default_mr_workers` >
+    ``REPRO_MR_WORKERS`` > the current linalg engine's worker count
+    (``REPRO_ENGINE_WORKERS`` / :func:`repro.linalg.set_engine`), so one
+    knob configures both layers unless the MR layer is pinned separately.
+    """
+    if workers is None:
+        workers = _default_workers
+    if workers is None:
+        raw = os.environ.get(ENV_MR_WORKERS)
+        if raw is not None and raw.strip():
+            try:
+                workers = int(raw)
+            except ValueError as exc:
+                raise ValidationError(
+                    f"{ENV_MR_WORKERS} must be an integer, got {raw!r}"
+                ) from exc
+    if workers is None:
+        from repro.linalg.engine import get_engine
+
+        workers = get_engine().workers
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    return int(workers)
 
 
 def estimate_nbytes(value: Any) -> int:
@@ -32,7 +110,9 @@ def estimate_nbytes(value: Any) -> int:
 
     Exact wire format is irrelevant — only *relative* shuffle volume
     matters to the model — so: ndarray = its buffer, scalars = 8 bytes,
-    containers = sum of elements + 8 per slot of framing.
+    containers = sum of elements + 8 per slot of framing. Dict entries
+    charge their *keys* through the same rules (a record's key is payload
+    too: string/tuple/array keys ship real bytes through the shuffle).
     """
     if isinstance(value, np.ndarray):
         return int(value.nbytes)
@@ -43,8 +123,15 @@ def estimate_nbytes(value: Any) -> int:
     if isinstance(value, (tuple, list)):
         return 8 * len(value) + sum(estimate_nbytes(v) for v in value)
     if isinstance(value, dict):
-        return sum(16 + estimate_nbytes(v) for v in value.values())
+        return sum(
+            8 + estimate_nbytes(k) + estimate_nbytes(v) for k, v in value.items()
+        )
     return 8  # int / float / bool / None
+
+
+def record_nbytes(key: Hashable, value: Any) -> int:
+    """Shuffle bytes of one emitted record: framing + key + value."""
+    return 8 + estimate_nbytes(key) + estimate_nbytes(value)
 
 
 @dataclass
@@ -85,20 +172,39 @@ class JobResult:
         return values[0]
 
 
+@dataclass
+class _MapTaskResult:
+    """What one map(+combine) task hands back to the driver."""
+
+    emissions: list[tuple[Hashable, Any]]
+    map_emitted: int
+    flops: float
+    counters: Counters
+
+
 class LocalMapReduceRuntime:
-    """Executes jobs over an in-memory dataset partitioned into splits.
+    """Executes jobs over a dataset partitioned into row splits.
 
     Parameters
     ----------
     X:
-        The dataset, partitioned row-wise into ``n_splits`` equal splits
-        (Hadoop's input splits; Spark's partitions).
+        The dataset: an in-memory 2-d array, a
+        :class:`~repro.data.splits.SplitSource`, or a path to a
+        ``.npy``/``.npz`` file (memory-mapped — splits then stream from
+        disk and the dataset may exceed RAM). Partitioned row-wise into
+        ``n_splits`` equal splits (Hadoop's input splits; Spark's
+        partitions).
     n_splits:
         Number of splits / map tasks per job.
     cluster:
         Cost model for the simulated clock (default: a 64-worker cluster).
     seed:
         Master seed; per-(job, split) generators are derived from it.
+    workers:
+        Real threads executing map(+combine) tasks concurrently.
+        ``None`` resolves via :func:`resolve_mr_workers` (CLI/env, then
+        the linalg engine's worker count). ``1`` runs splits inline on
+        the calling thread. Output is identical either way.
 
     Attributes
     ----------
@@ -111,25 +217,31 @@ class LocalMapReduceRuntime:
 
     def __init__(
         self,
-        X: np.ndarray,
+        X: np.ndarray | SplitSource | str | os.PathLike,
         *,
         n_splits: int = 8,
         cluster: ClusterModel | None = None,
         seed: SeedLike = None,
+        workers: int | None = None,
     ):
-        if X.ndim != 2 or X.shape[0] == 0:
-            raise MapReduceError(f"X must be a non-empty 2-d array, got shape {X.shape}")
+        try:
+            self.source = as_split_source(X)
+        except ValidationError as exc:
+            raise MapReduceError(str(exc)) from exc
+        n_rows = self.source.shape[0]
         if n_splits < 1:
             raise MapReduceError(f"n_splits must be >= 1, got {n_splits}")
-        n_splits = min(n_splits, X.shape[0])
-        self.X = X
+        n_splits = min(n_splits, n_rows)
         self.n_splits = n_splits
         self.cluster = cluster if cluster is not None else ClusterModel()
         self._seed_root = ensure_generator(seed)
-        bounds = np.linspace(0, X.shape[0], n_splits + 1).astype(int)
-        self.splits: list[np.ndarray] = [
-            X[bounds[i] : bounds[i + 1]] for i in range(n_splits)
-        ]
+        self._bounds = np.linspace(0, n_rows, n_splits + 1).astype(int)
+        try:
+            self.workers = resolve_mr_workers(workers)
+        except ValidationError as exc:
+            raise MapReduceError(str(exc)) from exc
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
         #: per-split dicts persisting across jobs (models RDD caching).
         self.split_states: list[dict[str, Any]] = [{} for _ in range(n_splits)]
         self.job_log: list[JobStats] = []
@@ -137,65 +249,147 @@ class LocalMapReduceRuntime:
         self._job_counter = 0
 
     # ------------------------------------------------------------------
+    @property
+    def X(self) -> np.ndarray:
+        """The full dataset (a memmap for file-backed sources)."""
+        return self.source.as_array()
+
+    @property
+    def splits(self) -> list[np.ndarray]:
+        """Views of the input splits, in split order."""
+        return [
+            self.source.block(self._bounds[i], self._bounds[i + 1])
+            for i in range(self.n_splits)
+        ]
+
+    # ------------------------------------------------------------------
+    def _get_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-mr"
+                )
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Tear down the map-task pool (rebuilt lazily on next use)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __enter__(self) -> "LocalMapReduceRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    def _run_map_task(
+        self, job: MapReduceJob, split_id: int, rng: np.random.Generator
+    ) -> _MapTaskResult:
+        """One map task (plus its combine, which is split-local).
+
+        Runs on a pool thread when ``workers > 1``; everything it touches
+        is split-private (block view, state dict, RNG, fresh counters), so
+        tasks never share mutable state.
+        """
+        block = self.source.block(self._bounds[split_id], self._bounds[split_id + 1])
+        counters = Counters()
+        ctx = SplitContext(
+            split_id=split_id,
+            n_splits=self.n_splits,
+            rng=rng,
+            state=self.split_states[split_id],
+            counters=counters,
+        )
+        mapper = job.mapper_factory()
+        try:
+            mapper.setup(ctx)
+            emissions = list(mapper.map_block(block))
+            emissions.extend(mapper.cleanup())
+        except Exception as exc:  # surface user-code failures with context
+            raise MapReduceError(
+                f"mapper failed in job {job.name!r} on split {split_id}: {exc}"
+            ) from exc
+        map_emitted = len(emissions)
+        flops = float(mapper.work)
+
+        if job.combiner_factory is not None:
+            grouped = _group(emissions)
+            combiner = job.combiner_factory()
+            combined: list[tuple[Hashable, Any]] = []
+            for key, values in grouped.items():
+                try:
+                    combined.extend(combiner.reduce(key, values))
+                except Exception as exc:
+                    raise MapReduceError(
+                        f"combiner failed in job {job.name!r} on split "
+                        f"{split_id}, key {key!r}: {exc}"
+                    ) from exc
+            flops += float(combiner.work)
+            emissions = combined
+
+        return _MapTaskResult(
+            emissions=emissions,
+            map_emitted=map_emitted,
+            flops=flops,
+            counters=counters,
+        )
+
     def run_job(self, job: MapReduceJob) -> JobResult:
         """Execute one job over all splits; advance the simulated clock."""
         self._job_counter += 1
+        # Pre-spawn every split's RNG on the driver thread, before any
+        # dispatch: stream identity depends only on (seed, job index,
+        # split index), never on execution interleaving.
         split_rngs = spawn_generators(self._seed_root, self.n_splits)
-        counters = Counters()
         broadcast_bytes = estimate_nbytes(job.broadcast) if job.broadcast is not None else 0
 
-        per_split_emissions: list[list[tuple[Hashable, Any]]] = []
-        map_flops: list[float] = []
-        map_records = 0
-        map_emitted = 0
-        # ---- map phase (logically parallel; executed split by split) ----
-        for split_id, (block, rng) in enumerate(zip(self.splits, split_rngs)):
-            ctx = SplitContext(
-                split_id=split_id,
-                n_splits=self.n_splits,
-                rng=rng,
-                state=self.split_states[split_id],
-                counters=counters,
-            )
-            mapper = job.mapper_factory()
-            try:
-                mapper.setup(ctx)
-                emissions = list(mapper.map_block(block))
-                emissions.extend(mapper.cleanup())
-            except Exception as exc:  # surface user-code failures with context
-                raise MapReduceError(
-                    f"mapper failed in job {job.name!r} on split {split_id}: {exc}"
-                ) from exc
-            map_records += block.shape[0]
-            map_emitted += len(emissions)
-            map_flops.append(float(mapper.work))
-            per_split_emissions.append(emissions)
+        # ---- map (+ per-split combine) phase: fan out across threads ----
+        if self.workers == 1 or self.n_splits == 1:
+            task_results = [
+                self._run_map_task(job, split_id, rng)
+                for split_id, rng in enumerate(split_rngs)
+            ]
+        else:
+            pool = self._get_pool()
+            futures = [
+                pool.submit(self._run_map_task, job, split_id, rng)
+                for split_id, rng in enumerate(split_rngs)
+            ]
+            # Collect in split order; the first failing split (by split
+            # order, matching serial semantics) propagates its error —
+            # but only after *every* task has finished, so no straggler
+            # is still mutating split_states when the caller retries.
+            task_results = []
+            first_error: Exception | None = None
+            for fut in futures:
+                try:
+                    task_results.append(fut.result())
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
 
-        # ---- combine phase (per split, optional) ----
-        combine_emitted = 0
-        if job.combiner_factory is not None:
-            combined: list[list[tuple[Hashable, Any]]] = []
-            for split_id, emissions in enumerate(per_split_emissions):
-                grouped = _group(emissions)
-                combiner = job.combiner_factory()
-                out: list[tuple[Hashable, Any]] = []
-                for key, values in grouped.items():
-                    try:
-                        out.extend(combiner.reduce(key, values))
-                    except Exception as exc:
-                        raise MapReduceError(
-                            f"combiner failed in job {job.name!r} on split "
-                            f"{split_id}, key {key!r}: {exc}"
-                        ) from exc
-                map_flops[split_id] += float(combiner.work)
-                combined.append(out)
-                combine_emitted += len(out)
-            per_split_emissions = combined
+        counters = Counters()
+        for result in task_results:  # merged in split order: deterministic
+            counters.merge(result.counters)
+        per_split_emissions = [r.emissions for r in task_results]
+        map_flops = [r.flops for r in task_results]
+        map_records = int(self._bounds[-1] - self._bounds[0])
+        map_emitted = sum(r.map_emitted for r in task_results)
+        combine_emitted = (
+            sum(len(e) for e in per_split_emissions)
+            if job.combiner_factory is not None
+            else 0
+        )
 
         # ---- shuffle ----
         shuffle_records = sum(len(e) for e in per_split_emissions)
         shuffle_bytes = sum(
-            16 + estimate_nbytes(v) for e in per_split_emissions for _, v in e
+            record_nbytes(k, v) for e in per_split_emissions for k, v in e
         )
         grouped = _group(kv for e in per_split_emissions for kv in e)
 
@@ -218,7 +412,11 @@ class LocalMapReduceRuntime:
 
         # ---- simulated clock ----
         bytes_per_split = [
-            float(block.nbytes + broadcast_bytes) for block in self.splits
+            float(
+                self.source.block_nbytes(self._bounds[i], self._bounds[i + 1])
+                + broadcast_bytes
+            )
+            for i in range(self.n_splits)
         ]
         stats = JobStats(
             name=job.name,

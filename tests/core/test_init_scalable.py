@@ -227,3 +227,44 @@ class TestFunctionalWrapper:
         X, _ = blobs
         result = ScalableKMeans(oversampling_factor=2, n_rounds=5).run(X, 5, seed=4)
         assert result.seed_cost == pytest.approx(potential(X, result.centers))
+
+    def test_forwards_exact_sampling(self, blobs):
+        # Regression: scalable_init used to drop sampling=, so the
+        # functional API could never run the Section 5.3 "exact" mode.
+        X, _ = blobs
+        exact = scalable_init(
+            X, 5, oversampling_factor=2.0, n_rounds=4, sampling="exact", seed=0
+        )
+        assert exact.shape == (5, 3)
+        via_class = ScalableKMeans(
+            oversampling_factor=2.0, n_rounds=4, sampling="exact"
+        ).run(X, 5, seed=0)
+        np.testing.assert_array_equal(exact, via_class.centers)
+
+    def test_rejects_bad_sampling_mode(self, blobs):
+        X, _ = blobs
+        with pytest.raises(ValidationError, match="sampling"):
+            scalable_init(X, 5, sampling="sometimes", seed=0)
+
+    def test_forwards_top_up(self, blobs):
+        X, _ = blobs
+        with pytest.raises(InsufficientCentersError):
+            scalable_init(
+                X, 20, oversampling=0.5, n_rounds=1,
+                top_up=TopUpPolicy.ERROR, seed=0,
+            )
+        short = scalable_init(
+            X, 20, oversampling=0.5, n_rounds=1, top_up="truncate", seed=0
+        )
+        assert short.shape[0] < 20
+
+    def test_forwards_reclusterer(self, blobs):
+        X, _ = blobs
+        centers = scalable_init(
+            X, 5, oversampling_factor=2.0, n_rounds=5,
+            reclusterer=RandomReclusterer(), seed=0,
+        )
+        # RandomReclusterer picks existing candidates (data points) rather
+        # than Lloyd-refined centroids, so every center is a data row.
+        for c in centers:
+            assert (np.abs(X - c).sum(axis=1) < 1e-12).any()

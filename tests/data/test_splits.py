@@ -1,0 +1,106 @@
+"""Tests for repro.data.splits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.io import save_dataset
+from repro.data.splits import (
+    ArraySplitSource,
+    MmapSplitSource,
+    SplitSource,
+    as_split_source,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def X(rng) -> np.ndarray:
+    return rng.normal(size=(37, 3))
+
+
+class TestArraySplitSource:
+    def test_shape_and_dtype(self, X):
+        src = ArraySplitSource(X)
+        assert src.shape == (37, 3)
+        assert src.dtype == X.dtype
+
+    def test_block_is_view(self, X):
+        src = ArraySplitSource(X)
+        block = src.block(5, 12)
+        np.testing.assert_array_equal(block, X[5:12])
+        assert block.base is X or block.base is src.as_array()
+
+    def test_as_array(self, X):
+        assert ArraySplitSource(X).as_array() is X
+
+    def test_block_nbytes(self, X):
+        assert ArraySplitSource(X).block_nbytes(3, 10) == 7 * 3 * 8
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty 2-d"):
+            ArraySplitSource(np.empty((0, 3)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError, match="non-empty 2-d"):
+            ArraySplitSource(np.ones(5))
+
+
+class TestMmapSplitSource:
+    def test_from_npy(self, X, tmp_path):
+        path = tmp_path / "x.npy"
+        np.save(path, X)
+        src = MmapSplitSource(path)
+        assert src.shape == X.shape
+        np.testing.assert_array_equal(src.block(4, 9), X[4:9])
+        np.testing.assert_array_equal(np.asarray(src.as_array()), X)
+
+    def test_from_npz_bundle(self, X, tmp_path):
+        npz = save_dataset(Dataset(name="ds", X=X), tmp_path / "bundle")
+        src = MmapSplitSource(npz)
+        np.testing.assert_array_equal(src.block(0, 10), X[:10])
+
+    def test_blocks_match_array_source(self, X, tmp_path):
+        path = tmp_path / "x.npy"
+        np.save(path, X)
+        mem, mm = ArraySplitSource(X), MmapSplitSource(path)
+        assert mem.shape == mm.shape
+        assert mem.dtype == mm.dtype
+        for lo, hi in [(0, 5), (5, 20), (20, 37)]:
+            np.testing.assert_array_equal(mem.block(lo, hi), mm.block(lo, hi))
+            assert mem.block_nbytes(lo, hi) == mm.block_nbytes(lo, hi)
+
+    def test_rejects_1d_file(self, tmp_path):
+        path = tmp_path / "flat.npy"
+        np.save(path, np.arange(10.0))
+        with pytest.raises(ValidationError, match="2-d"):
+            MmapSplitSource(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            MmapSplitSource(tmp_path / "absent.npy")
+
+
+class TestAsSplitSource:
+    def test_passthrough(self, X):
+        src = ArraySplitSource(X)
+        assert as_split_source(src) is src
+
+    def test_from_array(self, X):
+        assert isinstance(as_split_source(X), ArraySplitSource)
+
+    def test_from_path(self, X, tmp_path):
+        path = tmp_path / "x.npy"
+        np.save(path, X)
+        src = as_split_source(str(path))
+        assert isinstance(src, MmapSplitSource)
+        assert isinstance(as_split_source(path), MmapSplitSource)
+
+    def test_rejects_other(self):
+        with pytest.raises(ValidationError, match="expected"):
+            as_split_source(42)
+
+    def test_is_split_source(self, X):
+        assert isinstance(as_split_source(X), SplitSource)

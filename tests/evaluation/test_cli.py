@@ -33,6 +33,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_mr_defaults(self):
+        args = build_parser().parse_args(
+            ["mr", "--splits-from", "data.npy", "-k", "50"]
+        )
+        assert args.command == "mr"
+        assert args.splits_from == "data.npy"
+        assert args.k == 50
+        assert args.method == "scalable"
+        assert args.l is None
+        assert args.rounds == 5
+        assert args.n_splits == 8
+        assert args.mr_workers is None
+
+    def test_mr_requires_dataset_and_k(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mr", "-k", "5"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mr", "--splits-from", "x.npy"])
+
+    def test_mr_workers_global_flag(self):
+        args = build_parser().parse_args(
+            ["--mr-workers", "4", "mr", "--splits-from", "x.npy", "-k", "3"]
+        )
+        assert args.mr_workers == 4
+
 
 class TestMain:
     def test_list_prints_experiments(self, capsys):
@@ -59,3 +84,58 @@ class TestMain:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
+
+
+class TestMRCommand:
+    @pytest.fixture
+    def dataset_npy(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        X = np.vstack([
+            c + rng.normal(0.0, 0.4, size=(80, 3))
+            for c in ([0, 0, 0], [9, 0, 0], [0, 9, 0])
+        ])
+        path = tmp_path / "blobs.npy"
+        np.save(path, X)
+        return path
+
+    @pytest.fixture(autouse=True)
+    def _reset_mr_workers_default(self):
+        from repro.mapreduce.runtime import set_default_mr_workers
+
+        previous = set_default_mr_workers(None)
+        yield
+        set_default_mr_workers(previous)
+
+    def test_scalable_over_mmap_file(self, dataset_npy, capsys):
+        code = main([
+            "--mr-workers", "2", "mr",
+            "--splits-from", str(dataset_npy),
+            "-k", "3", "--rounds", "2", "--n-splits", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "k-means||" in out
+        assert "workers=2" in out
+        assert "lloyd" in out
+
+    def test_random_baseline(self, dataset_npy, capsys):
+        assert main([
+            "mr", "--splits-from", str(dataset_npy),
+            "-k", "3", "--method", "random", "--lloyd-max-iter", "3",
+        ]) == 0
+        assert "random:" in capsys.readouterr().out
+
+    def test_missing_dataset_is_clean_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["mr", "--splits-from", str(tmp_path / "nope.npy"), "-k", "3"])
+        assert exc.value.code == 2
+
+    def test_bad_mr_workers_rejected(self, dataset_npy):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "--mr-workers", "0", "mr",
+                "--splits-from", str(dataset_npy), "-k", "3",
+            ])
+        assert exc.value.code == 2

@@ -104,6 +104,72 @@ class TestMRRandomKMeans:
         assert slow.simulated_minutes > fast.simulated_minutes
 
 
+class TestParallelAndOutOfCoreInvariance:
+    """Worker count and split-source kind must not change a single bit.
+
+    This is the MR-layer extension of the PR-1 engine worker-invariance
+    property: per-(job, split) RNGs are pre-spawned before dispatch and
+    results are folded in split order, so the pipeline output — centers,
+    costs, counters, simulated minutes — is a pure function of
+    (data, seed, n_splits).
+    """
+
+    def _assert_reports_identical(self, a, b):
+        np.testing.assert_array_equal(a.centers, b.centers)
+        assert a.seed_cost == b.seed_cost
+        assert a.final_cost == b.final_cost
+        assert a.lloyd_iters == b.lloyd_iters
+        assert a.n_candidates == b.n_candidates
+        assert a.n_jobs == b.n_jobs
+        assert a.simulated_minutes == b.simulated_minutes
+        assert a.breakdown == b.breakdown
+
+    def test_scalable_worker_count_invariant(self, blobs):
+        X, _ = blobs
+        serial = mr_scalable_kmeans(X, 5, l=10.0, r=3, n_splits=6, seed=0, workers=1)
+        threaded = mr_scalable_kmeans(X, 5, l=10.0, r=3, n_splits=6, seed=0, workers=4)
+        self._assert_reports_identical(serial, threaded)
+
+    def test_random_worker_count_invariant(self, blobs):
+        X, _ = blobs
+        serial = mr_random_kmeans(X, 5, n_splits=6, seed=2, workers=1)
+        threaded = mr_random_kmeans(X, 5, n_splits=6, seed=2, workers=4)
+        self._assert_reports_identical(serial, threaded)
+
+    def test_mmap_source_matches_in_memory(self, blobs, tmp_path):
+        X, _ = blobs
+        path = tmp_path / "blobs.npy"
+        np.save(path, X)
+        in_memory = mr_scalable_kmeans(X, 5, l=10.0, r=3, n_splits=6, seed=1, workers=1)
+        mmapped = mr_scalable_kmeans(path, 5, l=10.0, r=3, n_splits=6, seed=1, workers=1)
+        self._assert_reports_identical(in_memory, mmapped)
+
+    def test_mmap_threaded_matches_in_memory_serial(self, blobs, tmp_path):
+        X, _ = blobs
+        path = tmp_path / "blobs.npy"
+        np.save(path, X)
+        baseline = mr_scalable_kmeans(X, 5, l=10.0, r=3, n_splits=6, seed=4, workers=1)
+        crossed = mr_scalable_kmeans(
+            str(path), 5, l=10.0, r=3, n_splits=6, seed=4, workers=4
+        )
+        self._assert_reports_identical(baseline, crossed)
+
+    def test_npz_dataset_path_accepted(self, blobs, tmp_path):
+        from repro.data.dataset import Dataset
+        from repro.data.io import save_dataset
+
+        X, _ = blobs
+        npz = save_dataset(Dataset(name="blobs", X=X), tmp_path / "blobs")
+        baseline = mr_random_kmeans(X, 5, n_splits=4, seed=0, workers=1)
+        from_npz = mr_random_kmeans(npz, 5, n_splits=4, seed=0, workers=2)
+        self._assert_reports_identical(baseline, from_npz)
+
+    def test_workers_recorded_in_params(self, blobs):
+        X, _ = blobs
+        report = mr_scalable_kmeans(X, 5, l=10.0, r=2, n_splits=4, seed=0, workers=3)
+        assert report.params["workers"] == 3
+
+
 class TestNaiveKMeansPPFlops:
     def test_quadratic_in_k(self):
         assert naive_kmeanspp_flops(100, 20, 5) > 3.5 * naive_kmeanspp_flops(100, 10, 5)

@@ -7,7 +7,13 @@ import pytest
 
 from repro.exceptions import MapReduceError
 from repro.mapreduce.job import BlockMapper, MapReduceJob, Reducer
-from repro.mapreduce.runtime import LocalMapReduceRuntime, estimate_nbytes
+from repro.mapreduce.runtime import (
+    LocalMapReduceRuntime,
+    estimate_nbytes,
+    record_nbytes,
+    resolve_mr_workers,
+    set_default_mr_workers,
+)
 
 
 class RowSumMapper(BlockMapper):
@@ -66,11 +72,184 @@ class TestEstimateNbytes:
     def test_tuple_framed(self):
         assert estimate_nbytes((1.0, 2.0)) == 8 * 2 + 16
 
-    def test_dict(self):
-        assert estimate_nbytes({"a": 1.0}) == 24
+    def test_dict_counts_key_bytes(self):
+        # 8 framing + 1 byte of key + 8 bytes of value.
+        assert estimate_nbytes({"a": 1.0}) == 17
+        assert estimate_nbytes({"abcd": 1.0}) == 20
 
     def test_bytes(self):
         assert estimate_nbytes(b"xyz") == 3
+
+
+class TestShuffleKeyAccounting:
+    """Shuffle volume must charge key payload, not a flat per-record rate."""
+
+    def test_record_nbytes_scalar_key_unchanged(self):
+        # Scalar keys estimate at 8 bytes: 8 framing + 8 key + value, the
+        # same 16-byte overhead the old flat accounting charged.
+        assert record_nbytes(3, 1.0) == 24
+
+    def test_record_nbytes_string_and_tuple_keys(self):
+        assert record_nbytes("a" * 32, 1.0) == 8 + 32 + 8
+        assert record_nbytes(("agg", 7), 1.0) == 8 + (8 * 2 + 3 + 8) + 8
+
+    def _shuffle_bytes_for_key(self, rng, key):
+        class KeyedMapper(BlockMapper):
+            def map_block(self, block):
+                yield key, float(block.sum())
+
+        X = rng.normal(size=(40, 2))
+        rt = LocalMapReduceRuntime(X, n_splits=4, seed=0)
+        return rt.run_job(make_job(mapper=KeyedMapper)).stats.shuffle_bytes
+
+    def test_long_keys_grow_shuffle_volume(self, rng):
+        short = self._shuffle_bytes_for_key(rng, "k")
+        long = self._shuffle_bytes_for_key(rng, "k" * 100)
+        assert long - short == 4 * 99  # 4 splits x 99 extra key bytes
+
+    def test_array_key_counted(self, rng):
+        key = (1, 2, 3, 4, 5, 6, 7, 8)
+        flat = self._shuffle_bytes_for_key(rng, "ab")
+        tupled = self._shuffle_bytes_for_key(rng, key)
+        assert tupled - flat == 4 * (estimate_nbytes(key) - estimate_nbytes("ab"))
+
+    def test_job_shuffle_bytes_match_record_nbytes(self, rng):
+        class MultiMapper(BlockMapper):
+            def map_block(self, block):
+                yield ("agg", self.ctx.split_id), block.sum(axis=0)
+                yield "phi", float(block.shape[0])
+
+        X = rng.normal(size=(30, 3))
+        rt = LocalMapReduceRuntime(X, n_splits=3, seed=0)
+        stats = rt.run_job(make_job(mapper=MultiMapper)).stats
+        expected = sum(
+            record_nbytes(("agg", i), np.zeros(3)) + record_nbytes("phi", 0.0)
+            for i in range(3)
+        )
+        assert stats.shuffle_bytes == expected
+
+
+class TestParallelExecution:
+    """The map phase fans out over threads without changing any output."""
+
+    def _run(self, X, workers, mapper=RowSumMapper, combiner=None, seed=0):
+        rt = LocalMapReduceRuntime(X, n_splits=5, seed=seed, workers=workers)
+        with rt:
+            return rt.run_job(make_job(mapper=mapper, combiner=combiner))
+
+    def test_output_identical_across_worker_counts(self, rng):
+        X = rng.normal(size=(83, 3))
+        serial = self._run(X, 1)
+        threaded = self._run(X, 4)
+        assert serial.output == threaded.output
+        assert serial.stats.shuffle_bytes == threaded.stats.shuffle_bytes
+        assert serial.stats.map_flops_per_split == threaded.stats.map_flops_per_split
+        assert serial.stats.time == threaded.stats.time
+
+    def test_rng_draws_identical_across_worker_counts(self, rng):
+        class RngMapper(BlockMapper):
+            def map_block(self, block):
+                yield ("draw", self.ctx.split_id), float(self.ctx.rng.random())
+
+        X = rng.normal(size=(50, 2))
+        a = self._run(X, 1, mapper=RngMapper, seed=3)
+        b = self._run(X, 4, mapper=RngMapper, seed=3)
+        assert a.output == b.output
+
+    def test_counters_identical_across_worker_counts(self, rng):
+        class CountingMapper(BlockMapper):
+            def map_block(self, block):
+                self.ctx.counters.increment("g", "rows", block.shape[0])
+                self.ctx.counters.increment("g", f"split{self.ctx.split_id}", 1)
+                yield "n", block.shape[0]
+
+        X = rng.normal(size=(64, 2))
+        a = self._run(X, 1, mapper=CountingMapper)
+        b = self._run(X, 4, mapper=CountingMapper)
+        assert a.counters.as_dict() == b.counters.as_dict()
+
+    def test_split_state_persists_with_threads(self, rng):
+        X = rng.normal(size=(40, 2))
+        with LocalMapReduceRuntime(X, n_splits=4, seed=0, workers=4) as rt:
+            rt.run_job(make_job(mapper=CountMapper))
+            second = rt.run_job(make_job(mapper=CountMapper))
+        assert second.single("state") == 2 * 40
+
+    def test_mapper_error_wrapped_in_parallel_mode(self, rng):
+        X = rng.normal(size=(10, 2))
+        with LocalMapReduceRuntime(X, n_splits=2, workers=2) as rt:
+            with pytest.raises(MapReduceError, match="mapper failed.*split 0"):
+                rt.run_job(make_job(mapper=FailingMapper))
+
+    def test_combiner_runs_inside_map_task(self, rng):
+        class PerRowMapper(BlockMapper):
+            def map_block(self, block):
+                for value in block[:, 0]:
+                    yield "sum", float(value)
+
+        X = rng.normal(size=(60, 2))
+        serial = self._run(X, 1, mapper=PerRowMapper, combiner=SumReducer)
+        threaded = self._run(X, 4, mapper=PerRowMapper, combiner=SumReducer)
+        assert serial.single("sum") == threaded.single("sum")
+        assert serial.stats.combine_emitted == threaded.stats.combine_emitted
+
+    def test_failed_job_drains_stragglers_before_raising(self, rng):
+        # Split 0 fails fast while the others are still running; run_job
+        # must not raise until every in-flight task has finished, so a
+        # retry on the same runtime never races stragglers on split state.
+        import time
+
+        class SlowStatefulMapper(BlockMapper):
+            def map_block(self, block):
+                if self.ctx.split_id == 0:
+                    raise RuntimeError("kaboom")
+                time.sleep(0.05)
+                self.ctx.state["touched"] = self.ctx.state.get("touched", 0) + 1
+                yield "ok", 1
+
+        X = rng.normal(size=(40, 2))
+        with LocalMapReduceRuntime(X, n_splits=4, seed=0, workers=4) as rt:
+            with pytest.raises(MapReduceError, match="split 0"):
+                rt.run_job(make_job(mapper=SlowStatefulMapper))
+            # All stragglers completed before the raise above.
+            assert [s.get("touched") for s in rt.split_states] == [None, 1, 1, 1]
+            retry = rt.run_job(make_job(mapper=CountMapper))
+            assert retry.single("count") == 40
+
+    def test_invalid_workers_rejected(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(MapReduceError, match="workers"):
+            LocalMapReduceRuntime(X, n_splits=2, workers=0)
+
+
+class TestWorkerResolution:
+    def test_explicit_wins(self):
+        assert resolve_mr_workers(3) == 3
+
+    def test_default_install_and_reset(self):
+        previous = set_default_mr_workers(5)
+        try:
+            assert resolve_mr_workers() == 5
+        finally:
+            set_default_mr_workers(previous)
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MR_WORKERS", "7")
+        assert resolve_mr_workers() == 7
+
+    def test_bad_env_var(self, monkeypatch):
+        from repro.exceptions import ValidationError
+
+        monkeypatch.setenv("REPRO_MR_WORKERS", "many")
+        with pytest.raises(ValidationError):
+            resolve_mr_workers()
+
+    def test_falls_back_to_engine_workers(self, monkeypatch):
+        from repro.linalg.engine import Engine, use_engine
+
+        monkeypatch.delenv("REPRO_MR_WORKERS", raising=False)
+        with use_engine(Engine(workers=6)):
+            assert resolve_mr_workers() == 6
 
 
 class TestRuntimeBasics:

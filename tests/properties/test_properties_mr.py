@@ -83,6 +83,46 @@ class TestDistributionInvariance:
                     )
         assert phi == pytest.approx(potential(X, C), rel=1e-7, abs=cost_atol(X))
 
+    @given(
+        data=points_and_k(min_rows=2),
+        n_splits=st.integers(1, 9),
+        workers=st.integers(2, 4),
+    )
+    @settings(**SETTINGS)
+    def test_cost_job_worker_count_invariant(self, data, n_splits, workers):
+        """Threaded map phase is bit-identical to serial, split for split."""
+        X, k = data
+        C = X[:k]
+        serial = LocalMapReduceRuntime(X, n_splits=n_splits, seed=0, workers=1)
+        with LocalMapReduceRuntime(
+            X, n_splits=n_splits, seed=0, workers=workers
+        ) as threaded:
+            a = serial.run_job(make_cost_job(C))
+            b = threaded.run_job(make_cost_job(C))
+        assert a.single(PHI_KEY) == b.single(PHI_KEY)  # exact, not approx
+        assert a.stats.shuffle_bytes == b.stats.shuffle_bytes
+        assert a.stats.map_flops_per_split == b.stats.map_flops_per_split
+        assert serial.simulated_seconds == threaded.simulated_seconds
+
+    @given(
+        data=points_and_k(min_rows=2),
+        n_splits=st.integers(1, 9),
+        workers=st.integers(2, 4),
+    )
+    @settings(**SETTINGS)
+    def test_lloyd_job_worker_count_invariant(self, data, n_splits, workers):
+        X, k = data
+        C = X[:k].copy()
+        with LocalMapReduceRuntime(
+            X, n_splits=n_splits, seed=0, workers=1
+        ) as serial, LocalMapReduceRuntime(
+            X, n_splits=n_splits, seed=0, workers=workers
+        ) as threaded:
+            ca, pa = collect_new_centers(serial.run_job(make_lloyd_job(C)).output, C)
+            cb, pb = collect_new_centers(threaded.run_job(make_lloyd_job(C)).output, C)
+        np.testing.assert_array_equal(ca, cb)  # bitwise
+        assert pa == pb
+
     @given(data=points_and_k(min_rows=2), n_splits=st.integers(1, 6))
     @settings(**SETTINGS)
     def test_combiner_invariance_on_lloyd(self, data, n_splits):
