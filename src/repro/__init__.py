@@ -42,6 +42,15 @@ from repro.exceptions import (
     ReproError,
     ValidationError,
 )
+from repro.exec import (
+    ExecBackend,
+    WorkerBudget,
+    get_backend,
+    get_worker_budget,
+    set_backend,
+    set_worker_budget,
+    use_backend,
+)
 from repro.linalg.engine import Engine, get_engine, set_engine, use_engine
 
 __all__ = [
@@ -57,6 +66,13 @@ __all__ = [
     "get_engine",
     "set_engine",
     "use_engine",
+    "ExecBackend",
+    "WorkerBudget",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "get_worker_budget",
+    "set_worker_budget",
     "scalable_init",
     "kmeanspp_init",
     "random_init",

@@ -6,6 +6,7 @@ Usage::
     python -m repro run table1 [--scale bench|scaled|paper] [--seed 0]
     python -m repro run all --scale scaled --out results.txt
     python -m repro --mr-workers 4 mr --splits-from data.npy -k 50
+    python -m repro --backend process --exec-workers 8 mr --splits-from data.npy -k 50
 
 ``repro-experiments`` (installed by the package) is an alias of
 ``python -m repro``.
@@ -32,13 +33,40 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "Parallelism can also be configured via the environment: "
-            "REPRO_ENGINE_WORKERS (threads fanning out row blocks of every "
-            "distance/centroid kernel), REPRO_ENGINE_CHUNK_BYTES (scratch "
-            "budget per block), and REPRO_MR_WORKERS (threads executing "
-            "MapReduce map tasks; defaults to the engine worker count)."
+            "REPRO_EXEC_BACKEND (serial|thread|process — where parallel "
+            "regions execute), REPRO_EXEC_WORKERS (the global worker budget "
+            "shared by every layer), REPRO_ENGINE_WORKERS (workers fanning "
+            "out row blocks of every distance/centroid kernel), "
+            "REPRO_ENGINE_CHUNK_BYTES (scratch budget per block), and "
+            "REPRO_MR_WORKERS (workers executing MapReduce map/reduce "
+            "tasks; defaults to the engine worker count)."
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help=(
+            "execution backend for every parallel region — kernel chunks and "
+            "MapReduce map/reduce tasks (default: $REPRO_EXEC_BACKEND or "
+            "'thread'; 'process' ships MR tasks to worker processes)"
+        ),
+    )
+    parser.add_argument(
+        "--exec-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "global worker budget shared by all parallel layers, including "
+            "the calling thread (default: $REPRO_EXEC_WORKERS or "
+            "max(cpu_count, 4)); nested parallelism never exceeds it. Also "
+            "becomes the engine/MR worker request when --engine-workers / "
+            "--mr-workers are not given, so '--backend process "
+            "--exec-workers 8' alone parallelizes everything 8-wide"
+        ),
+    )
     parser.add_argument(
         "--engine-workers",
         type=int,
@@ -129,21 +157,42 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _configure_engine(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
-    """Install a process-wide engine when the knobs were given.
+    """Install the process-wide engine/backend when the knobs were given.
 
-    Even with no flags, construct the default engine once so a bad
-    ``REPRO_ENGINE_*`` env value fails at startup with a clean parser
-    error instead of a traceback at the first kernel call mid-run.
+    Even with no flags, construct the default engine and resolve the
+    default backend once so a bad ``REPRO_ENGINE_*`` / ``REPRO_EXEC_*``
+    env value fails at startup with a clean parser error instead of a
+    traceback at the first kernel call mid-run.
     """
     from repro.exceptions import ValidationError
+    from repro.exec import WorkerBudget, resolve_backend, set_backend, set_worker_budget
     from repro.linalg.engine import Engine, set_engine
 
-    chunk_bytes = None if args.chunk_mib is None else args.chunk_mib * 1024 * 1024
     try:
-        engine = Engine(workers=args.engine_workers, chunk_bytes=chunk_bytes)
+        if args.exec_workers is not None:
+            set_worker_budget(WorkerBudget(args.exec_workers))
+        else:
+            WorkerBudget()  # fail fast on a bad $REPRO_EXEC_WORKERS
+        if args.backend is not None:
+            set_backend(args.backend)
+        else:
+            resolve_backend(None)  # fail fast on a bad $REPRO_EXEC_BACKEND
     except ValidationError as exc:
         parser.error(str(exc))
-    if args.engine_workers is not None or args.chunk_mib is not None:
+
+    # --exec-workers alone must actually buy parallelism: without an
+    # explicit --engine-workers the engine would default to 1 worker and
+    # every layer (MR falls back to the engine count) would run serial
+    # under a roomy budget. The budget stays the cap either way.
+    engine_workers = args.engine_workers
+    if engine_workers is None:
+        engine_workers = args.exec_workers
+    chunk_bytes = None if args.chunk_mib is None else args.chunk_mib * 1024 * 1024
+    try:
+        engine = Engine(workers=engine_workers, chunk_bytes=chunk_bytes)
+    except ValidationError as exc:
+        parser.error(str(exc))
+    if engine_workers is not None or args.chunk_mib is not None:
         set_engine(engine)
 
     from repro.mapreduce.runtime import resolve_mr_workers, set_default_mr_workers
@@ -181,7 +230,8 @@ def _run_mr(args: argparse.Namespace) -> int:
             lloyd_max_iter=args.lloyd_max_iter,
         )
     print(report.summary())
-    print(f"    workers={report.params['workers']} splits={args.n_splits} "
+    print(f"    backend={report.params['backend']} "
+          f"workers={report.params['workers']} splits={args.n_splits} "
           f"candidates={report.n_candidates}")
     for phase, minutes in report.breakdown.items():
         print(f"    {phase:<10} {minutes:10.2f} simulated min")

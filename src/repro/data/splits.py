@@ -14,6 +14,13 @@ Both sources hand out *views* (array slices / memmap slices) — no split
 is ever copied just to be scheduled — and both present identical shapes,
 dtypes and bytes, so pipeline output is bit-identical between them (the
 integration tests assert this).
+
+For execution backends that cross a process boundary, a source can also
+describe a split as a picklable :class:`SplitDescriptor` instead of an
+array: a file-backed source ships only ``(path, start, stop)`` and the
+worker process re-opens the memory map locally (so an out-of-core
+dataset is never serialized), while an in-memory source falls back to
+shipping the rows themselves.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import abc
 import os
 import pathlib
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -30,8 +38,76 @@ __all__ = [
     "SplitSource",
     "ArraySplitSource",
     "MmapSplitSource",
+    "SplitDescriptor",
+    "RowsSplitDescriptor",
+    "MmapSplitDescriptor",
     "as_split_source",
 ]
+
+
+class SplitDescriptor(abc.ABC):
+    """A picklable recipe for materializing one split's rows.
+
+    The MapReduce runtime hands descriptors (not arrays) to the execution
+    backend, so a task shipped to a worker process carries only what that
+    split actually needs: a file-backed split travels as a path plus a
+    row range and is re-opened as a memory map in the child, an in-memory
+    split travels as its rows.  ``load()`` in the parent process returns
+    the same view :meth:`SplitSource.block` would — thread and serial
+    backends pay no copy.
+    """
+
+    @abc.abstractmethod
+    def load(self) -> np.ndarray:
+        """Materialize the split's rows (a view whenever possible)."""
+
+
+@dataclass(frozen=True)
+class RowsSplitDescriptor(SplitDescriptor):
+    """Descriptor carrying the rows themselves (in-memory sources).
+
+    Pickling this ships the block's bytes — correct everywhere, but for
+    datasets that should not be copied per task, prefer a file-backed
+    source whose descriptors ship only ``(path, start, stop)``.
+    """
+
+    rows: np.ndarray
+
+    def load(self) -> np.ndarray:
+        return self.rows
+
+
+#: Per-process cache of open memory maps: path -> (pid, mmap). The pid
+#: key makes a forked child re-open its own map instead of sharing the
+#: parent's file handle state.
+_MMAP_CACHE: dict[str, tuple[int, np.ndarray]] = {}
+
+
+def _cached_mmap(path: str) -> np.ndarray:
+    entry = _MMAP_CACHE.get(path)
+    pid = os.getpid()
+    if entry is None or entry[0] != pid:
+        entry = (pid, np.load(path, mmap_mode="r"))
+        _MMAP_CACHE[path] = entry
+    return entry[1]
+
+
+@dataclass(frozen=True)
+class MmapSplitDescriptor(SplitDescriptor):
+    """Descriptor for rows ``[start, stop)`` of a ``.npy`` file on disk.
+
+    Pickles as just the path and the range; ``load()`` memory-maps the
+    file (once per process, cached) and slices it, so a worker process
+    faults in only its own split's pages — out-of-core datasets stay
+    out-of-core across the process boundary.
+    """
+
+    path: str
+    start: int
+    stop: int
+
+    def load(self) -> np.ndarray:
+        return _cached_mmap(self.path)[self.start : self.stop]
 
 
 class SplitSource(abc.ABC):
@@ -61,6 +137,14 @@ class SplitSource(abc.ABC):
         """
 
     # ------------------------------------------------------------------
+    def descriptor(self, start: int, stop: int) -> SplitDescriptor:
+        """A picklable descriptor for rows ``[start, stop)``.
+
+        The default ships the rows themselves; file-backed sources
+        override this to ship only the path and range.
+        """
+        return RowsSplitDescriptor(self.block(start, stop))
+
     def block_nbytes(self, start: int, stop: int) -> int:
         """Bytes a map task scans for rows ``[start, stop)``."""
         return (stop - start) * self.shape[1] * self.dtype.itemsize
@@ -136,6 +220,9 @@ class MmapSplitSource(SplitSource):
 
     def as_array(self) -> np.ndarray:
         return self._mmap
+
+    def descriptor(self, start: int, stop: int) -> SplitDescriptor:
+        return MmapSplitDescriptor(str(self.npy_path), int(start), int(stop))
 
 
 def as_split_source(data) -> SplitSource:

@@ -1,0 +1,48 @@
+"""Execution layer: pluggable backends + the global worker budget.
+
+One scheduler for every parallel region in the repository.  The linalg
+engine fans kernel row blocks and the MapReduce runtime fans map/reduce
+tasks through the backend installed here; all of them draw workers from
+a single token pool so nested parallelism can neither oversubscribe the
+machine nor deadlock.  See :mod:`repro.exec.backends` for the model.
+
+>>> from repro.exec import use_backend
+>>> with use_backend("process"):
+...     ...  # MR map/reduce tasks now run in worker processes
+"""
+
+from repro.exec.backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    ENV_BACKEND,
+    ExecBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    get_worker_budget,
+    resolve_backend,
+    set_backend,
+    set_worker_budget,
+    use_backend,
+)
+from repro.exec.budget import ENV_EXEC_WORKERS, WorkerBudget, default_budget_limit
+
+__all__ = [
+    "ExecBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "resolve_backend",
+    "WorkerBudget",
+    "get_worker_budget",
+    "set_worker_budget",
+    "default_budget_limit",
+    "ENV_BACKEND",
+    "ENV_EXEC_WORKERS",
+    "DEFAULT_BACKEND",
+]

@@ -1,0 +1,618 @@
+"""Pluggable execution backends behind one worker-budget scheduler.
+
+Every hot path in the repository — the chunked linalg kernels *and* the
+MapReduce runtime's map/reduce fan-out — schedules its parallel regions
+through the process-wide :class:`ExecBackend` installed here, instead of
+through private per-layer thread pools.  Three implementations ship:
+
+``serial``
+    Runs everything inline on the calling thread.  The reference
+    semantics; also what :class:`ProcessBackend` installs inside its
+    worker processes so children never nest their own parallelism.
+``thread``
+    The default.  Fans tasks out across one shared, lazily-created
+    thread pool.  Right for workloads whose task bodies release the GIL
+    (all the repro kernels are GEMM-heavy NumPy).
+``process``
+    Like ``thread`` for shared-memory tasks, but *portable* task calls
+    (picklable ``fn(*args)`` invocations — the MapReduce map and reduce
+    tasks) are shipped to a pool of worker processes, sidestepping the
+    GIL for pure-Python mapper bodies too.
+
+Scheduling model
+----------------
+All backends draw from the same :class:`~repro.exec.budget.WorkerBudget`
+token pool.  A parallel region of ``n`` tasks borrows up to
+``min(parallelism, n) - 1`` tokens without blocking, runs one worker per
+token *plus the calling thread* (work-sharing: every worker pulls the
+next unclaimed task index), and returns the tokens when the region
+completes.  Consequences, which the scheduler tests pin down:
+
+* nested regions (engine chunks inside an MR map task) can never exceed
+  the budget limit in total concurrency — inner regions simply find
+  fewer (possibly zero) tokens and degrade toward inline execution;
+* no region ever blocks waiting for a token, so nesting cannot deadlock;
+* results are collected *by task index*, and every task runs exactly
+  once, so outputs are independent of which worker ran what.
+
+Failure semantics: a *parallel* region runs every task to completion
+even if one fails (no straggler is left running when the caller sees the
+error), then re-raises the error of the lowest-indexed failing task —
+the same exception a serial run would surface first.  Inline execution
+(the serial backend, or a region that found no free tokens) fails fast.
+
+Selection
+---------
+:func:`get_backend` / :func:`set_backend` / :func:`use_backend`, the
+``REPRO_EXEC_BACKEND`` environment variable (``serial`` / ``thread`` /
+``process``), or the CLI's global ``--backend`` flag.  The budget limit
+comes from ``REPRO_EXEC_WORKERS`` (default: ``max(cpu_count, 4)``) or
+the CLI's ``--exec-workers``.
+
+Fork safety: all pools (and the budget) are keyed to the creating
+process id and lazily rebuilt when first used from a forked child, so a
+child never touches a dead inherited pool; ``shutdown()`` is idempotent
+on every backend.
+"""
+
+from __future__ import annotations
+
+import abc
+import functools
+import os
+import pickle
+import threading
+import weakref
+from collections import deque
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, ClassVar, Iterable, Iterator, Sequence, TypeVar
+
+from repro.exceptions import ValidationError
+from repro.exec.budget import WorkerBudget
+
+__all__ = [
+    "ExecBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "BACKENDS",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "resolve_backend",
+    "get_worker_budget",
+    "set_worker_budget",
+    "ENV_BACKEND",
+    "DEFAULT_BACKEND",
+]
+
+T = TypeVar("T")
+
+#: Environment variable selecting the default backend by name.
+ENV_BACKEND = "REPRO_EXEC_BACKEND"
+#: Backend used when neither code nor environment chose one.
+DEFAULT_BACKEND = "thread"
+
+
+class ExecBackend(abc.ABC):
+    """Strategy deciding *where* the tasks of a parallel region execute.
+
+    Two task flavors, because they have different shipping constraints:
+
+    * :meth:`run_tasks` / :meth:`iter_tasks` take zero-argument callables
+      that share memory with the caller (the engine's chunk closures,
+      which write into preallocated output arrays).  These never cross a
+      process boundary on any backend.
+    * :meth:`run_calls` takes one module-level function plus per-task
+      argument tuples — the picklable form the MapReduce runtime uses —
+      and is what :class:`ProcessBackend` ships to worker processes.
+
+    ``parallelism`` is the *request* (a layer's configured worker count);
+    the shared budget is the *grant*.  Effective concurrency is
+    ``min(parallelism, n_tasks, tokens available + 1)``.
+
+    Parameters
+    ----------
+    budget:
+        Token pool to draw from.  ``None`` (the default) uses the
+        process-wide budget (:func:`get_worker_budget`), which is what
+        makes engine-inside-MR nesting share one limit.
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, budget: WorkerBudget | None = None):
+        self._budget = budget
+        _live_backends.add(self)
+
+    def _reset_locks_in_child(self) -> None:
+        """Replace internal locks after a fork (child-side, single-threaded)."""
+
+    @property
+    def budget(self) -> WorkerBudget:
+        """The token pool this backend schedules against."""
+        return self._budget if self._budget is not None else get_worker_budget()
+
+    # -- the three scheduling entry points ------------------------------
+    @abc.abstractmethod
+    def run_tasks(
+        self, tasks: Sequence[Callable[[], T]], *, parallelism: int | None = None
+    ) -> list[T]:
+        """Run shared-memory tasks; return their results in task order."""
+
+    @abc.abstractmethod
+    def iter_tasks(
+        self, tasks: Sequence[Callable[[], T]], *, parallelism: int | None = None
+    ) -> Iterator[T]:
+        """Yield task results *in task order*, keeping only a bounded
+        number of undelivered results alive (streaming reductions)."""
+
+    def run_calls(
+        self,
+        fn: Callable[..., T],
+        calls: Sequence[tuple],
+        *,
+        parallelism: int | None = None,
+    ) -> list[T]:
+        """Run ``fn(*args)`` for each argument tuple; results in order.
+
+        The portable entry point: ``fn`` must be a module-level callable
+        and, for the process backend to ship it, ``(fn, args)`` and the
+        return value must be picklable.
+        """
+        return self.run_tasks(
+            [functools.partial(fn, *args) for args in calls], parallelism=parallelism
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def shutdown(self) -> None:
+        """Release any pools (idempotent; pools rebuild lazily on use)."""
+
+    def __enter__(self) -> "ExecBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def _effective(self, n_tasks: int, parallelism: int | None) -> int:
+        if parallelism is None:
+            parallelism = self.budget.limit
+        if parallelism < 1:
+            raise ValidationError(f"parallelism must be >= 1, got {parallelism}")
+        return min(parallelism, n_tasks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(budget={self.budget!r})"
+
+
+class SerialBackend(ExecBackend):
+    """Everything inline on the calling thread — the reference schedule."""
+
+    name: ClassVar[str] = "serial"
+
+    def run_tasks(self, tasks, *, parallelism=None):
+        return [task() for task in tasks]
+
+    def iter_tasks(self, tasks, *, parallelism=None):
+        for task in tasks:
+            yield task()
+
+    def run_calls(self, fn, calls, *, parallelism=None):
+        return [fn(*args) for args in calls]
+
+
+class ThreadBackend(ExecBackend):
+    """Work-sharing thread scheduler over one shared, fork-safe pool."""
+
+    name: ClassVar[str] = "thread"
+
+    def __init__(self, budget: WorkerBudget | None = None):
+        super().__init__(budget)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_size = 0
+        self._pool_pid = 0
+        self._pool_lock = threading.Lock()
+
+    def _reset_locks_in_child(self) -> None:
+        self._pool_lock = threading.Lock()
+        self._pool = None  # parent's threads do not exist in this process
+        self._pool_size = 0
+
+    # -- pool management ------------------------------------------------
+    def _get_thread_pool(self) -> ThreadPoolExecutor:
+        size = max(1, self.budget.limit - 1)
+        with self._pool_lock:
+            if (
+                self._pool is None
+                or self._pool_pid != os.getpid()
+                or self._pool_size < size
+            ):
+                # Replace, never shut down, the previous pool here: a live
+                # region (e.g. a streaming iter_tasks consumer) may still
+                # be submitting to it. An outgrown pool finishes its
+                # in-flight work and is collected when the last reference
+                # drops; an inherited pre-fork pool is simply dropped
+                # (its threads do not exist in this process).
+                self._pool = ThreadPoolExecutor(
+                    max_workers=size, thread_name_prefix="repro-exec"
+                )
+                self._pool_size = size
+                self._pool_pid = os.getpid()
+            return self._pool
+
+    def shutdown(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                if self._pool_pid == os.getpid():
+                    self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_size = 0
+
+    # -- scheduling core ------------------------------------------------
+    def _schedule(
+        self,
+        units: Sequence[Any],
+        exec_inline: Callable[[Any], T],
+        exec_lane: Callable[[Any], T],
+        parallelism: int | None,
+    ) -> list[T]:
+        """Work-sharing region: caller + one lane per acquired token.
+
+        ``exec_inline`` runs a unit on the calling thread, ``exec_lane``
+        on a borrowed worker; both must produce identical results (the
+        thread backend passes the same callable for both).
+        """
+        n = len(units)
+        results: list[Any] = [None] * n
+        if n == 0:
+            return results
+        limit = self._effective(n, parallelism)
+        got = self.budget.try_acquire(limit - 1) if limit > 1 else 0
+        if got == 0:
+            for i, unit in enumerate(units):
+                results[i] = exec_inline(unit)
+            return results
+
+        errors: dict[int, Exception] = {}
+        lock = threading.Lock()
+        next_index = 0
+        stop = False
+
+        def claim() -> int | None:
+            nonlocal next_index
+            with lock:
+                if stop or next_index >= n:
+                    return None
+                i = next_index
+                next_index += 1
+                return i
+
+        def drain(exec_one: Callable[[Any], T]) -> None:
+            while True:
+                i = claim()
+                if i is None:
+                    return
+                try:
+                    results[i] = exec_one(units[i])
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    with lock:
+                        errors[i] = exc
+
+        pool = self._get_thread_pool()
+        lanes = [pool.submit(drain, exec_lane) for _ in range(got)]
+        try:
+            drain(exec_inline)
+            for lane in lanes:
+                lane.result()
+        except BaseException:
+            # KeyboardInterrupt & co. must surface *immediately* — but
+            # not before the lanes stop claiming work and settle, so no
+            # straggler is still mutating caller state afterwards.
+            with lock:
+                stop = True
+            for lane in lanes:
+                try:
+                    lane.result()
+                except BaseException:  # noqa: BLE001 - the interrupt wins
+                    pass
+            raise
+        finally:
+            self.budget.release(got)
+        if errors:
+            # Serial semantics: the lowest-indexed failure wins, and it
+            # is raised only after every task of the region has finished.
+            raise errors[min(errors)]
+        return results
+
+    def run_tasks(self, tasks, *, parallelism=None):
+        call = lambda task: task()  # noqa: E731
+        return self._schedule(list(tasks), call, call, parallelism)
+
+    def iter_tasks(self, tasks, *, parallelism=None):
+        tasks = list(tasks)
+        n = len(tasks)
+        if n == 0:
+            return
+        limit = self._effective(n, parallelism)
+        got = self.budget.try_acquire(limit - 1) if limit > 1 else 0
+        if got == 0:
+            for task in tasks:
+                yield task()
+            return
+        pool = self._get_thread_pool()
+        pending: deque = deque()
+        try:
+            for task in tasks:
+                while len(pending) >= got:
+                    yield pending.popleft().result()
+                pending.append(pool.submit(task))
+            while pending:
+                yield pending.popleft().result()
+        finally:
+            # On error or abandoned iteration, no task may outlive the
+            # generator: cancel what never started, wait out the rest.
+            for fut in pending:
+                fut.cancel()
+            for fut in pending:
+                if not fut.cancelled():
+                    try:
+                        fut.result()
+                    except BaseException:  # noqa: BLE001 - primary error wins
+                        pass
+            self.budget.release(got)
+
+
+def _process_worker_init(chunk_bytes: int) -> None:
+    """Runs once inside every worker process of a :class:`ProcessBackend`.
+
+    Children are leaf executors: they get a serial backend, a one-token
+    budget, and a serial engine so nested parallelism cannot oversubscribe
+    the machine behind the parent scheduler's back.  The engine keeps the
+    parent's chunk budget — chunking changes GEMM blocking and therefore
+    low-order float bits, so it must match the parent for the
+    bit-identical-across-backends contract to hold.
+    """
+    os.environ[ENV_BACKEND] = "serial"
+    os.environ["REPRO_ENGINE_WORKERS"] = "1"
+    os.environ["REPRO_MR_WORKERS"] = "1"
+    set_worker_budget(WorkerBudget(1))
+    set_backend(SerialBackend())
+    from repro.linalg.engine import Engine, set_engine
+
+    set_engine(Engine(workers=1, chunk_bytes=chunk_bytes))
+
+
+class ProcessBackend(ThreadBackend):
+    """Thread scheduling for shared-memory tasks, processes for portable ones.
+
+    :meth:`run_tasks` / :meth:`iter_tasks` (the engine's chunk closures,
+    which write into the caller's arrays) inherit the thread scheduler —
+    a child process could not see those writes, and the chunk bodies are
+    GIL-releasing BLAS anyway.  :meth:`run_calls` — the MapReduce map and
+    reduce tasks — is shipped to a ``ProcessPoolExecutor``, which also
+    parallelizes pure-Python mapper bodies.
+
+    A region's calls are preflighted with :mod:`pickle` once; if the job
+    is not picklable (tests and ad-hoc scripts love locally-defined
+    mappers), the whole region silently degrades to the thread scheduler,
+    which is always semantically equivalent.
+
+    Parameters
+    ----------
+    budget:
+        See :class:`ExecBackend`.
+    start_method:
+        ``multiprocessing`` start method; default ``"fork"`` where
+        available (cheapest, inherits loaded NumPy) else the platform
+        default.
+    """
+
+    name: ClassVar[str] = "process"
+
+    def __init__(
+        self, budget: WorkerBudget | None = None, *, start_method: str | None = None
+    ):
+        super().__init__(budget)
+        self._start_method = start_method
+        self._proc_pool: ProcessPoolExecutor | None = None
+        self._proc_pid = 0
+        self._proc_lock = threading.Lock()
+
+    def _reset_locks_in_child(self) -> None:
+        super()._reset_locks_in_child()
+        self._proc_lock = threading.Lock()
+        self._proc_pool = None  # parent's workers are not this child's
+
+    def _mp_context(self):
+        import multiprocessing as mp
+
+        method = self._start_method
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() else None
+        return mp.get_context(method)
+
+    def _get_process_pool(self) -> ProcessPoolExecutor:
+        with self._proc_lock:
+            if self._proc_pool is None or self._proc_pid != os.getpid():
+                # A pool inherited through fork is dead in the child;
+                # drop the reference and build a fresh one lazily.
+                from repro.linalg.engine import get_engine
+
+                self._proc_pool = ProcessPoolExecutor(
+                    max_workers=max(1, self.budget.limit - 1),
+                    mp_context=self._mp_context(),
+                    initializer=_process_worker_init,
+                    initargs=(get_engine().chunk_bytes,),
+                )
+                self._proc_pid = os.getpid()
+            return self._proc_pool
+
+    def shutdown(self) -> None:
+        with self._proc_lock:
+            if self._proc_pool is not None:
+                if self._proc_pid == os.getpid():
+                    self._proc_pool.shutdown(wait=True)
+                self._proc_pool = None
+        super().shutdown()
+
+    @staticmethod
+    def _portable(fn: Callable, first_call: tuple) -> bool:
+        """Can this region cross a process boundary at all?"""
+        try:
+            pickle.dumps((fn, first_call), protocol=pickle.HIGHEST_PROTOCOL)
+            return True
+        except Exception:  # noqa: BLE001 - any serialization failure
+            return False
+
+    def run_calls(self, fn, calls, *, parallelism=None):
+        calls = [tuple(args) for args in calls]
+        n = len(calls)
+        if n == 0:
+            return []
+        if self._effective(n, parallelism) <= 1:
+            return [fn(*args) for args in calls]
+        if not self._portable(fn, calls[0]):
+            return super().run_calls(fn, calls, parallelism=parallelism)
+        pool = self._get_process_pool()
+
+        def exec_inline(args: tuple):
+            return fn(*args)
+
+        def exec_lane(args: tuple):
+            return pool.submit(fn, *args).result()
+
+        return self._schedule(calls, exec_inline, exec_lane, parallelism)
+
+
+#: Name -> class registry used by :func:`resolve_backend` and the CLI.
+BACKENDS: dict[str, type[ExecBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+# ----------------------------------------------------------------------
+# Process-wide current backend and budget.
+
+_state_lock = threading.Lock()
+_current_backend: ExecBackend | None = None
+_current_budget: WorkerBudget | None = None
+
+#: Live backends, so a forked child can be handed fresh (unheld) locks.
+_live_backends: "weakref.WeakSet[ExecBackend]" = weakref.WeakSet()
+
+
+def _reset_backends_after_fork_in_child() -> None:
+    # A fork can happen while another parent thread holds the registry
+    # lock or a backend's pool lock (the process backend's workers fork
+    # lazily at first dispatch, possibly while sibling threads run
+    # get_backend()). The child is single-threaded here, so handing it
+    # fresh locks is safe — and necessary, or its initializer would
+    # deadlock on a lock the parent never releases in this copy.
+    global _state_lock
+    _state_lock = threading.Lock()
+    for backend in list(_live_backends):
+        backend._reset_locks_in_child()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only
+    os.register_at_fork(after_in_child=_reset_backends_after_fork_in_child)
+
+
+def get_worker_budget() -> WorkerBudget:
+    """The process-wide token pool all default-budget backends share."""
+    global _current_budget
+    with _state_lock:
+        if _current_budget is None:
+            _current_budget = WorkerBudget()
+        return _current_budget
+
+
+def set_worker_budget(budget: WorkerBudget | int | None) -> WorkerBudget | None:
+    """Install the process-wide budget; returns the previous one.
+
+    Accepts a :class:`~repro.exec.budget.WorkerBudget`, a bare limit, or
+    ``None`` to reset to the environment-derived default on next use.
+    """
+    global _current_budget
+    if isinstance(budget, int):
+        budget = WorkerBudget(budget)
+    with _state_lock:
+        previous = _current_budget
+        _current_budget = budget
+    return previous
+
+
+def resolve_backend(spec: ExecBackend | str | None = None) -> ExecBackend:
+    """Coerce a backend spec into an instance.
+
+    ``None`` reads ``REPRO_EXEC_BACKEND`` (default ``"thread"``); a
+    string is looked up in :data:`BACKENDS`; an instance passes through.
+    """
+    if isinstance(spec, ExecBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(ENV_BACKEND) or DEFAULT_BACKEND
+        spec = spec.strip().lower()
+    if spec not in BACKENDS:
+        raise ValidationError(
+            f"unknown execution backend {spec!r}; expected one of "
+            f"{sorted(BACKENDS)} (via set_backend(), ${ENV_BACKEND}, or --backend)"
+        )
+    return BACKENDS[spec]()
+
+
+def get_backend() -> ExecBackend:
+    """The backend every parallel region currently routes through."""
+    global _current_backend
+    with _state_lock:
+        if _current_backend is None:
+            _current_backend = resolve_backend(None)
+        return _current_backend
+
+
+def set_backend(backend: ExecBackend | str | None) -> ExecBackend | None:
+    """Install a backend process-wide; returns the previous one.
+
+    ``None`` resets to the environment-derived default on next use.
+    """
+    global _current_backend
+    resolved = None if backend is None else resolve_backend(backend)
+    with _state_lock:
+        previous = _current_backend
+        _current_backend = resolved
+    return previous
+
+
+@contextmanager
+def use_backend(
+    backend: ExecBackend | str | None = None,
+    *,
+    budget: WorkerBudget | int | None = None,
+) -> Iterator[ExecBackend]:
+    """Scoped backend (and optionally budget) override.
+
+    ::
+
+        with use_backend("process"):
+            report = mr_scalable_kmeans(X, 64, l=128.0, workers=4)
+
+    A backend the scope itself constructed (name or ``None`` spec) is
+    shut down on exit; a caller-provided instance is left running.
+    """
+    owns = not isinstance(backend, ExecBackend)
+    resolved = resolve_backend(backend)  # validate before touching globals
+    previous_budget: WorkerBudget | None = None
+    if budget is not None:
+        previous_budget = set_worker_budget(budget)
+    previous = set_backend(resolved)
+    try:
+        yield resolved
+    finally:
+        set_backend(previous)
+        if owns:
+            resolved.shutdown()
+        if budget is not None:
+            set_worker_budget(previous_budget)

@@ -6,7 +6,7 @@ those kernels used to make locally:
 
 * **how big a block is** — the scratch budget in bytes, and
 * **who runs each block** — inline on the calling thread, or fanned out
-  across a shared :class:`~concurrent.futures.ThreadPoolExecutor`.
+  through the process-wide execution backend (:mod:`repro.exec`).
 
 Threading helps because the block body of every kernel is one GEMM plus
 a couple of elementwise reductions: NumPy releases the GIL inside BLAS,
@@ -16,6 +16,13 @@ output arrays, so results are bitwise independent of which thread ran
 which block; ordered reductions (:meth:`Engine.map_chunks` consumers)
 fold partials in chunk order so they are also independent of worker
 count.
+
+Scheduling goes through :func:`repro.exec.get_backend`, which draws from
+the same global worker budget as the MapReduce runtime — an engine call
+*inside* an MR map task simply finds fewer free workers instead of
+stacking a second pool on top of the first (chunk bodies are
+shared-memory writes, so on every backend — including ``process`` — they
+execute on threads of the calling process).
 
 Configuration
 -------------
@@ -35,10 +42,9 @@ Programmatic control::
 
 from __future__ import annotations
 
+import functools
 import os
 import threading
-from collections import deque
-from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, TypeVar
 
@@ -74,14 +80,17 @@ def _env_int(name: str, fallback: int) -> int:
 
 
 class Engine:
-    """Schedules row blocks of a kernel, serially or across threads.
+    """Schedules row blocks of a kernel, serially or via the exec backend.
 
     Parameters
     ----------
     workers:
-        Number of blocks allowed in flight at once.  ``1`` runs every
-        block inline on the calling thread (no pool, no overhead);
-        ``None`` reads ``REPRO_ENGINE_WORKERS`` (default ``1``).
+        Number of blocks *requested* in flight at once.  ``1`` runs every
+        block inline on the calling thread (no scheduler, no overhead);
+        ``None`` reads ``REPRO_ENGINE_WORKERS`` (default ``1``).  The
+        request is capped by the global worker budget
+        (:func:`repro.exec.get_worker_budget`) shared with every other
+        parallel layer.
     chunk_bytes:
         Scratch budget per block in bytes; ``None`` reads
         ``REPRO_ENGINE_CHUNK_BYTES`` (default
@@ -99,24 +108,15 @@ class Engine:
             raise ValidationError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
         self.workers = int(workers)
         self.chunk_bytes = int(chunk_bytes)
-        self._pool: ThreadPoolExecutor | None = None
-        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    def _get_pool(self) -> ThreadPoolExecutor:
-        with self._pool_lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers, thread_name_prefix="repro-engine"
-                )
-            return self._pool
-
     def shutdown(self) -> None:
-        """Tear down the thread pool (it is rebuilt lazily on next use)."""
-        with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+        """Retained for API compatibility; idempotent and always safe.
+
+        The engine no longer owns a pool — scheduling goes through the
+        process-wide exec backend, whose pools are fork-safe and rebuilt
+        lazily (see :mod:`repro.exec.backends`).
+        """
 
     # ------------------------------------------------------------------
     def resolve_chunk_rows(
@@ -153,10 +153,11 @@ class Engine:
             for sl in slices:
                 work(sl)
             return len(slices)
-        pool = self._get_pool()
-        futures = [pool.submit(work, sl) for sl in slices]
-        for fut in futures:
-            fut.result()
+        from repro.exec import get_backend
+
+        get_backend().run_tasks(
+            [functools.partial(work, sl) for sl in slices], parallelism=self.workers
+        )
         return len(slices)
 
     def map_chunks(
@@ -175,9 +176,11 @@ class Engine:
         slices = self._slices(n_rows, row_scratch_bytes, chunk_bytes)
         if self.workers == 1 or len(slices) <= 1:
             return [work(sl) for sl in slices]
-        pool = self._get_pool()
-        futures = [pool.submit(work, sl) for sl in slices]
-        return [fut.result() for fut in futures]
+        from repro.exec import get_backend
+
+        return get_backend().run_tasks(
+            [functools.partial(work, sl) for sl in slices], parallelism=self.workers
+        )
 
     def reduce_chunks(
         self,
@@ -190,12 +193,12 @@ class Engine:
         """Run ``work`` per block and fold the results with ``+`` in chunk order.
 
         Unlike :meth:`map_chunks`, partials are consumed as they are
-        produced: at most ``workers + 2`` are alive at once (the window
-        throttles submission), so a reduction over many blocks does not
-        materialize one partial per block. The fold order is the chunk
-        order regardless of worker count, keeping float results
-        deterministic. ``n_rows`` must be positive (there is nothing to
-        fold otherwise).
+        produced (the backend's :meth:`~repro.exec.ExecBackend.iter_tasks`
+        keeps only a bounded window in flight), so a reduction over many
+        blocks does not materialize one partial per block.  The fold
+        order is the chunk order regardless of worker count, keeping
+        float results deterministic.  ``n_rows`` must be positive (there
+        is nothing to fold otherwise).
         """
         slices = self._slices(n_rows, row_scratch_bytes, chunk_bytes)
         if not slices:
@@ -206,21 +209,15 @@ class Engine:
             for sl in it:
                 total = total + work(sl)
             return total
-        pool = self._get_pool()
-        pending: deque = deque()
+        from repro.exec import get_backend
+
         total: T | None = None
-
-        def drain_one() -> None:
-            nonlocal total
-            result = pending.popleft().result()
-            total = result if total is None else total + result
-
-        for sl in slices:
-            pending.append(pool.submit(work, sl))
-            if len(pending) > self.workers + 2:
-                drain_one()
-        while pending:
-            drain_one()
+        first = True
+        for partial_result in get_backend().iter_tasks(
+            [functools.partial(work, sl) for sl in slices], parallelism=self.workers
+        ):
+            total = partial_result if first else total + partial_result
+            first = False
         return total
 
     def __repr__(self) -> str:
@@ -278,6 +275,3 @@ def use_engine(
         yield engine
     finally:
         set_engine(previous)
-        # Don't leak the scope's pool threads; if the caller reuses the
-        # engine later, the pool is rebuilt lazily on first use.
-        engine.shutdown()

@@ -42,6 +42,19 @@ class Counters:
         """Plain-dict snapshot (deep copy) for reports."""
         return {g: dict(names) for g, names in self._data.items()}
 
+    # ------------------------------------------------------------------
+    # Counters cross process boundaries under the ``process`` execution
+    # backend; the nested defaultdicts (whose factory is a lambda) are
+    # not picklable, so serialize a plain-dict snapshot instead.
+    def __getstate__(self) -> dict[str, dict[str, int]]:
+        return self.as_dict()
+
+    def __setstate__(self, state: dict[str, dict[str, int]]) -> None:
+        self.__init__()
+        for group, names in state.items():
+            for name, amount in names.items():
+                self._data[group][name] += amount
+
     def __repr__(self) -> str:
         total = sum(len(v) for v in self._data.values())
         return f"Counters({len(self._data)} groups, {total} counters)"

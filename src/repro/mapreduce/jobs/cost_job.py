@@ -15,6 +15,7 @@ Step 7 (candidate weighting) a zero-distance-work bincount pass — see
 
 from __future__ import annotations
 
+import functools
 from typing import Iterable
 
 import numpy as np
@@ -79,9 +80,13 @@ def make_cost_job(
     new_centers: np.ndarray, *, offset: int = 0, reset: bool = False
 ) -> MapReduceJob:
     """Build the cost job for one round boundary."""
+    # functools.partial (not a lambda) keeps the job picklable for the
+    # process execution backend.
     return MapReduceJob(
         name="kmeans||/update-cost",
-        mapper_factory=lambda: UpdateCostMapper(new_centers, offset=offset, reset=reset),
+        mapper_factory=functools.partial(
+            UpdateCostMapper, new_centers, offset=offset, reset=reset
+        ),
         reducer_factory=ScalarSumReducer,
         combiner_factory=ScalarSumReducer,
         broadcast=new_centers,

@@ -19,6 +19,7 @@ Two granularities are supported:
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Hashable, Iterable
 
 import numpy as np
@@ -148,9 +149,11 @@ def make_lloyd_job(
     use_combiner: bool = True,
 ) -> MapReduceJob:
     """Build one Lloyd-round job for the broadcast ``centers``."""
+    # functools.partial (not a lambda) keeps the job picklable for the
+    # process execution backend.
     return MapReduceJob(
         name="lloyd/iteration",
-        mapper_factory=lambda: LloydMapper(centers, granularity),
+        mapper_factory=functools.partial(LloydMapper, centers, granularity),
         reducer_factory=_LloydReducer,
         combiner_factory=SumCountCombiner if use_combiner else None,
         broadcast=centers,

@@ -9,6 +9,7 @@ exactly uniform ``k``-subset, with only ``O(splits * k)`` shuffled rows.
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Hashable, Iterable
 
 import numpy as np
@@ -59,9 +60,11 @@ class _BottomKReducer(Reducer):
 
 def make_uniform_sample_job(k: int) -> MapReduceJob:
     """Build a job that returns ``k`` uniform-without-replacement rows."""
+    # functools.partial (not a lambda) keeps the job picklable for the
+    # process execution backend.
     return MapReduceJob(
         name="random/uniform-sample",
-        mapper_factory=lambda: _BottomKMapper(k),
-        reducer_factory=lambda: _BottomKReducer(k),
+        mapper_factory=functools.partial(_BottomKMapper, k),
+        reducer_factory=functools.partial(_BottomKReducer, k),
         broadcast=int(k),
     )

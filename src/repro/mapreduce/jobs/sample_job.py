@@ -11,6 +11,7 @@ candidate block.
 
 from __future__ import annotations
 
+import functools
 from typing import Iterable
 
 import numpy as np
@@ -59,9 +60,11 @@ class BernoulliSampleMapper(BlockMapper):
 
 def make_sample_job(l: float, phi: float) -> MapReduceJob:
     """Build the sampling job for one round (given the round's phi)."""
+    # functools.partial (not a lambda) keeps the job picklable for the
+    # process execution backend.
     return MapReduceJob(
         name="kmeans||/sample-round",
-        mapper_factory=lambda: BernoulliSampleMapper(l, phi),
+        mapper_factory=functools.partial(BernoulliSampleMapper, l, phi),
         reducer_factory=ConcatReducer,
         broadcast=float(phi),
     )

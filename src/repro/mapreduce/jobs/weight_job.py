@@ -10,6 +10,7 @@ combiner, made explicit.
 
 from __future__ import annotations
 
+import functools
 from typing import Iterable
 
 import numpy as np
@@ -86,9 +87,11 @@ class CachedWeightMapper(BlockMapper):
 
 def make_weight_job(candidates: np.ndarray) -> MapReduceJob:
     """Build the Step-7 weighting job for the full candidate set."""
+    # functools.partial (not a lambda) keeps the job picklable for the
+    # process execution backend.
     return MapReduceJob(
         name="kmeans||/weights",
-        mapper_factory=lambda: WeightMapper(candidates),
+        mapper_factory=functools.partial(WeightMapper, candidates),
         reducer_factory=ArraySumReducer,
         combiner_factory=ArraySumReducer,
         broadcast=candidates,
@@ -99,7 +102,7 @@ def make_cached_weight_job(n_candidates: int) -> MapReduceJob:
     """Build the cache-based Step-7 job (no distance work)."""
     return MapReduceJob(
         name="kmeans||/weights-cached",
-        mapper_factory=lambda: CachedWeightMapper(n_candidates),
+        mapper_factory=functools.partial(CachedWeightMapper, n_candidates),
         reducer_factory=ArraySumReducer,
         combiner_factory=ArraySumReducer,
         broadcast=int(n_candidates),

@@ -18,10 +18,12 @@ outcome and the simulated-time breakdown that Table 4 aggregates.
 
 Drivers accept the dataset as an in-memory array, a
 :class:`~repro.data.splits.SplitSource`, or a path to a ``.npy``/``.npz``
-file (memory-mapped; datasets larger than RAM stream split by split), and
-a ``workers`` count that fans real map tasks out across threads — see
-:class:`~repro.mapreduce.runtime.LocalMapReduceRuntime`. Results are
-bit-identical for any worker count and either source kind.
+file (memory-mapped; datasets larger than RAM stream split by split), a
+``workers`` count that fans real map/reduce tasks out, and a ``backend``
+selecting *where* those tasks run (serial / threads / worker processes)
+— see :class:`~repro.mapreduce.runtime.LocalMapReduceRuntime` and
+:mod:`repro.exec`. Results are bit-identical for any backend, any worker
+count, and either source kind.
 """
 
 from __future__ import annotations
@@ -36,6 +38,7 @@ from repro.core.lloyd import lloyd as sequential_lloyd
 from repro.core.reclustering import TopUpPolicy, apply_top_up
 from repro.data.splits import SplitSource, as_split_source
 from repro.exceptions import MapReduceError
+from repro.exec import ExecBackend
 from repro.linalg.distances import min_sq_dists
 from repro.mapreduce.cluster import ClusterModel
 from repro.mapreduce.jobs.common import FLOPS_PER_DIST
@@ -141,13 +144,16 @@ def mr_scalable_kmeans(
     lloyd_max_iter: int = 20,
     top_up: TopUpPolicy = TopUpPolicy.PAD,
     workers: int | None = None,
+    backend: "ExecBackend | str | None" = None,
 ) -> MRKMeansReport:
     """Full ``k-means||`` pipeline on the simulated cluster.
 
     Parameters mirror Algorithm 2 (``l`` is absolute, ``r`` the number of
     rounds); ``lloyd_max_iter`` bounds the post-init refinement jobs.
     ``X`` may be an array, a split source, or a ``.npy``/``.npz`` path
-    (memory-mapped); ``workers`` fans map tasks out across real threads.
+    (memory-mapped); ``workers`` fans map/reduce tasks out and
+    ``backend`` selects the execution backend (``"serial"`` /
+    ``"thread"`` / ``"process"``; default: the process-wide one).
     """
     source = as_split_source(X)
     d = source.shape[1]
@@ -156,7 +162,8 @@ def mr_scalable_kmeans(
     # stream it rather than materializing.
     X_arr = source.as_array()
     with LocalMapReduceRuntime(
-        source, n_splits=n_splits, cluster=cluster, seed=seed, workers=workers
+        source, n_splits=n_splits, cluster=cluster, seed=seed, workers=workers,
+        backend=backend,
     ) as runtime:
         rng = np.random.default_rng(
             runtime._seed_root.integers(0, 2**63)  # driver-side randomness
@@ -250,6 +257,7 @@ def mr_scalable_kmeans(
                 "r": r,
                 "n_splits": n_splits,
                 "workers": runtime.workers,
+                "backend": runtime.backend.name,
             },
         )
 
@@ -263,6 +271,7 @@ def mr_random_kmeans(
     seed: SeedLike = None,
     lloyd_max_iter: int = 20,
     workers: int | None = None,
+    backend: "ExecBackend | str | None" = None,
 ) -> MRKMeansReport:
     """The parallel ``Random`` baseline: uniform seed + bounded MR Lloyd.
 
@@ -272,7 +281,8 @@ def mr_random_kmeans(
     source = as_split_source(X)
     X_arr = source.as_array()
     with LocalMapReduceRuntime(
-        source, n_splits=n_splits, cluster=cluster, seed=seed, workers=workers
+        source, n_splits=n_splits, cluster=cluster, seed=seed, workers=workers,
+        backend=backend,
     ) as runtime:
         seed_centers = runtime.run_job(make_uniform_sample_job(k)).single(SAMPLE_KEY)
         if seed_centers.shape[0] < k:
@@ -295,7 +305,8 @@ def mr_random_kmeans(
             simulated_minutes=runtime.simulated_minutes,
             breakdown={"init": init_minutes,
                        "lloyd": runtime.simulated_minutes - init_minutes},
-            params={"k": k, "n_splits": n_splits, "workers": runtime.workers},
+            params={"k": k, "n_splits": n_splits, "workers": runtime.workers,
+                    "backend": runtime.backend.name},
         )
 
 

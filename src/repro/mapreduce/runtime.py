@@ -5,20 +5,29 @@ real input splits, with the full map → combine → shuffle → reduce data
 path, Hadoop-style counters, per-split persistent state, and a simulated
 clock driven by :class:`~repro.mapreduce.cluster.ClusterModel`.
 
-Parallelism: map (and combine) tasks genuinely fan out across a
-:class:`~concurrent.futures.ThreadPoolExecutor` — the block body of every
-k-means mapper is GIL-releasing NumPy/BLAS, so splits overlap on
-multicore machines. The worker count defaults to the linalg engine's
-configuration (``REPRO_ENGINE_WORKERS`` / :func:`repro.linalg.set_engine`)
-and can be overridden per-runtime, via :func:`set_default_mr_workers`, or
-with the ``REPRO_MR_WORKERS`` environment variable.
+Parallelism: map(+combine) tasks *and* per-key reduce tasks fan out
+through the process-wide execution backend (:mod:`repro.exec`) — serial,
+threads, or real worker processes, selected via
+:func:`repro.exec.set_backend` / ``REPRO_EXEC_BACKEND`` / the CLI's
+``--backend``.  The backend draws workers from the same global budget as
+the linalg engine, so an engine call inside a mapper body can never
+oversubscribe the machine.  Map tasks are shipped as picklable *split
+descriptors* (for a file-backed source: just ``(path, start, stop)``,
+re-opened as a memory map inside the worker process), so the process
+backend stays out-of-core end to end.  The worker count defaults to the
+linalg engine's configuration (``REPRO_ENGINE_WORKERS`` /
+:func:`repro.linalg.set_engine`) and can be overridden per-runtime, via
+:func:`set_default_mr_workers`, or with the ``REPRO_MR_WORKERS``
+environment variable.
 
 Determinism: every (job, split) pair gets its own RNG pre-spawned from
-the runtime seed *before* dispatch, results and counters are collected in
-split order, and the simulated clock is computed from measured work — so
-output, counters, and simulated time are bit-identical for any worker
-count and between in-memory and memory-mapped split sources (the property
-tests rely on this).
+the runtime seed *before* dispatch, results and counters are collected
+in split order, reduce keys are processed in one deterministic sorted
+order (and :attr:`JobResult.output` preserves it), and the simulated
+clock is computed from measured work — so output, counters, and
+simulated time are bit-identical for any backend, any worker count, and
+between in-memory and memory-mapped split sources (the property tests
+rely on this).
 
 Out-of-core input: the dataset is accessed through a
 :class:`~repro.data.splits.SplitSource`; pass a path (or
@@ -29,18 +38,17 @@ memory-mapped ``.npy``/``.npz`` file instead of RAM.
 from __future__ import annotations
 
 import os
-import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 import numpy as np
 
-from repro.data.splits import SplitSource, as_split_source
+from repro.data.splits import SplitDescriptor, SplitSource, as_split_source
 from repro.exceptions import MapReduceError, ValidationError
+from repro.exec import ExecBackend, get_backend, resolve_backend
 from repro.mapreduce.cluster import ClusterModel, PhaseTime
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.job import MapReduceJob, SplitContext
+from repro.mapreduce.job import KeyValue, MapReduceJob, SplitContext
 from repro.types import SeedLike
 from repro.utils.rng import ensure_generator, spawn_generators
 
@@ -84,6 +92,8 @@ def resolve_mr_workers(workers: int | None = None) -> int:
     ``REPRO_MR_WORKERS`` > the current linalg engine's worker count
     (``REPRO_ENGINE_WORKERS`` / :func:`repro.linalg.set_engine`), so one
     knob configures both layers unless the MR layer is pinned separately.
+    The resolved count is a *request*; the execution backend caps it
+    against the global worker budget at run time.
     """
     if workers is None:
         workers = _default_workers
@@ -154,7 +164,12 @@ class JobStats:
 
 @dataclass
 class JobResult:
-    """Output of one job: reduced records grouped by key, plus telemetry."""
+    """Output of one job: reduced records grouped by key, plus telemetry.
+
+    ``output`` key order is deterministic: keys appear in the order their
+    emitting reduce tasks ran, which is the sorted reduce-key order — not
+    the (split-emission-dependent) shuffle order.
+    """
 
     output: dict[Hashable, list[Any]]
     counters: Counters
@@ -174,12 +189,120 @@ class JobResult:
 
 @dataclass
 class _MapTaskResult:
-    """What one map(+combine) task hands back to the driver."""
+    """What one map(+combine) task hands back to the driver.
+
+    ``state`` is the split's persistent dict *after* the task ran: for
+    in-process backends it is the same object the runtime handed out, but
+    a process backend round-trips it through pickle, so the runtime
+    re-installs it by split index either way.
+    """
 
     emissions: list[tuple[Hashable, Any]]
     map_emitted: int
     flops: float
     counters: Counters
+    state: dict[str, Any]
+
+
+def _execute_map_task(
+    job: MapReduceJob,
+    descriptor: SplitDescriptor,
+    split_id: int,
+    n_splits: int,
+    rng: np.random.Generator,
+    state: dict[str, Any],
+) -> _MapTaskResult:
+    """One map task (plus its combine, which is split-local).
+
+    Module-level and driven entirely by picklable arguments, so the
+    execution backend may run it on the calling thread, a pool thread, or
+    a worker process; everything it touches is split-private (descriptor,
+    state dict, RNG, fresh counters), so tasks never share mutable state.
+    """
+    block = descriptor.load()
+    counters = Counters()
+    ctx = SplitContext(
+        split_id=split_id,
+        n_splits=n_splits,
+        rng=rng,
+        state=state,
+        counters=counters,
+    )
+    mapper = job.mapper_factory()
+    try:
+        mapper.setup(ctx)
+        emissions = list(mapper.map_block(block))
+        emissions.extend(mapper.cleanup())
+    except Exception as exc:  # surface user-code failures with context
+        raise MapReduceError(
+            f"mapper failed in job {job.name!r} on split {split_id}: {exc}"
+        ) from exc
+    map_emitted = len(emissions)
+    flops = float(mapper.work)
+
+    if job.combiner_factory is not None:
+        grouped = _group(emissions)
+        combiner = job.combiner_factory()
+        combined: list[tuple[Hashable, Any]] = []
+        for key, values in grouped.items():
+            try:
+                combined.extend(combiner.reduce(key, values))
+            except Exception as exc:
+                raise MapReduceError(
+                    f"combiner failed in job {job.name!r} on split "
+                    f"{split_id}, key {key!r}: {exc}"
+                ) from exc
+        flops += float(combiner.work)
+        emissions = combined
+
+    return _MapTaskResult(
+        emissions=emissions,
+        map_emitted=map_emitted,
+        flops=flops,
+        counters=counters,
+        state=state,
+    )
+
+
+def _execute_reduce_task(
+    reducer_factory: Callable,
+    job_name: str,
+    key: Hashable,
+    values: list[Any],
+) -> tuple[list[KeyValue], float]:
+    """One reduce task: all values of one key. Returns (emissions, work).
+
+    Per-key reduces are independent (no shared state), which is what lets
+    the runtime fan them out across the backend.
+    """
+    reducer = reducer_factory()
+    try:
+        results = list(reducer.reduce(key, values))
+    except Exception as exc:
+        raise MapReduceError(
+            f"reducer failed in job {job_name!r} for key {key!r}: {exc}"
+        ) from exc
+    return results, float(reducer.work)
+
+
+def _reduce_key_order(key: Hashable) -> tuple[str, Any]:
+    """Total-order sort key over heterogeneous reduce keys.
+
+    Keys of different Python types (the Lloyd job mixes a string phi key
+    with ``(prefix, cluster)`` tuples) are ordered by type name first, so
+    any hashable mix sorts without cross-type comparisons.
+    """
+    return (type(key).__name__, key)
+
+
+def _sorted_reduce_keys(grouped: dict[Hashable, list[Any]]) -> list[Hashable]:
+    """Deterministic reduce-key order, independent of emission order."""
+    try:
+        return sorted(grouped, key=_reduce_key_order)
+    except TypeError:
+        # Same-type but unorderable keys: fall back to their repr, which
+        # is still content-derived (never id-based for sane key types).
+        return sorted(grouped, key=lambda k: (type(k).__name__, repr(k)))
 
 
 class LocalMapReduceRuntime:
@@ -201,10 +324,17 @@ class LocalMapReduceRuntime:
     seed:
         Master seed; per-(job, split) generators are derived from it.
     workers:
-        Real threads executing map(+combine) tasks concurrently.
-        ``None`` resolves via :func:`resolve_mr_workers` (CLI/env, then
-        the linalg engine's worker count). ``1`` runs splits inline on
-        the calling thread. Output is identical either way.
+        Parallelism *requested* for map and reduce task fan-out (capped
+        by the global worker budget at run time). ``None`` resolves via
+        :func:`resolve_mr_workers` (CLI/env, then the linalg engine's
+        worker count). ``1`` runs tasks inline on the calling thread.
+        Output is bit-identical either way.
+    backend:
+        Execution backend for this runtime: an
+        :class:`~repro.exec.ExecBackend`, a name (``"serial"`` /
+        ``"thread"`` / ``"process"``), or ``None`` to follow the
+        process-wide backend (:func:`repro.exec.get_backend`) at each
+        job — which is what the CLI's ``--backend`` flag configures.
 
     Attributes
     ----------
@@ -223,6 +353,7 @@ class LocalMapReduceRuntime:
         cluster: ClusterModel | None = None,
         seed: SeedLike = None,
         workers: int | None = None,
+        backend: ExecBackend | str | None = None,
     ):
         try:
             self.source = as_split_source(X)
@@ -238,10 +369,15 @@ class LocalMapReduceRuntime:
         self._bounds = np.linspace(0, n_rows, n_splits + 1).astype(int)
         try:
             self.workers = resolve_mr_workers(workers)
+            self._backend = None if backend is None else resolve_backend(backend)
         except ValidationError as exc:
             raise MapReduceError(str(exc)) from exc
-        self._pool: ThreadPoolExecutor | None = None
-        self._pool_lock = threading.Lock()
+        # A backend this runtime constructed (from a name) is this
+        # runtime's to shut down; a shared instance (or the process-wide
+        # default) is not.
+        self._owns_backend = backend is not None and not isinstance(
+            backend, ExecBackend
+        )
         #: per-split dicts persisting across jobs (models RDD caching).
         self.split_states: list[dict[str, Any]] = [{} for _ in range(n_splits)]
         self.job_log: list[JobStats] = []
@@ -249,6 +385,11 @@ class LocalMapReduceRuntime:
         self._job_counter = 0
 
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> ExecBackend:
+        """The execution backend jobs are scheduled through."""
+        return self._backend if self._backend is not None else get_backend()
+
     @property
     def X(self) -> np.ndarray:
         """The full dataset (a memmap for file-backed sources)."""
@@ -263,20 +404,20 @@ class LocalMapReduceRuntime:
         ]
 
     # ------------------------------------------------------------------
-    def _get_pool(self) -> ThreadPoolExecutor:
-        with self._pool_lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers, thread_name_prefix="repro-mr"
-                )
-            return self._pool
-
     def shutdown(self) -> None:
-        """Tear down the map-task pool (rebuilt lazily on next use)."""
-        with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+        """Release pools of a backend this runtime constructed. Idempotent.
+
+        Scheduling goes through the execution backend, whose pools are
+        keyed to the creating process and rebuilt lazily (see
+        :mod:`repro.exec.backends`), so a forked child never inherits a
+        dead pool through this object, and calling this twice is a no-op.
+        A backend built from a *name* passed to the constructor (e.g.
+        ``backend="process"``) is owned by this runtime and shut down
+        here; the process-wide default or a caller-provided instance is
+        left running.
+        """
+        if self._owns_backend and self._backend is not None:
+            self._backend.shutdown()
 
     def __enter__(self) -> "LocalMapReduceRuntime":
         return self
@@ -285,93 +426,39 @@ class LocalMapReduceRuntime:
         self.shutdown()
 
     # ------------------------------------------------------------------
-    def _run_map_task(
-        self, job: MapReduceJob, split_id: int, rng: np.random.Generator
-    ) -> _MapTaskResult:
-        """One map task (plus its combine, which is split-local).
-
-        Runs on a pool thread when ``workers > 1``; everything it touches
-        is split-private (block view, state dict, RNG, fresh counters), so
-        tasks never share mutable state.
-        """
-        block = self.source.block(self._bounds[split_id], self._bounds[split_id + 1])
-        counters = Counters()
-        ctx = SplitContext(
-            split_id=split_id,
-            n_splits=self.n_splits,
-            rng=rng,
-            state=self.split_states[split_id],
-            counters=counters,
-        )
-        mapper = job.mapper_factory()
-        try:
-            mapper.setup(ctx)
-            emissions = list(mapper.map_block(block))
-            emissions.extend(mapper.cleanup())
-        except Exception as exc:  # surface user-code failures with context
-            raise MapReduceError(
-                f"mapper failed in job {job.name!r} on split {split_id}: {exc}"
-            ) from exc
-        map_emitted = len(emissions)
-        flops = float(mapper.work)
-
-        if job.combiner_factory is not None:
-            grouped = _group(emissions)
-            combiner = job.combiner_factory()
-            combined: list[tuple[Hashable, Any]] = []
-            for key, values in grouped.items():
-                try:
-                    combined.extend(combiner.reduce(key, values))
-                except Exception as exc:
-                    raise MapReduceError(
-                        f"combiner failed in job {job.name!r} on split "
-                        f"{split_id}, key {key!r}: {exc}"
-                    ) from exc
-            flops += float(combiner.work)
-            emissions = combined
-
-        return _MapTaskResult(
-            emissions=emissions,
-            map_emitted=map_emitted,
-            flops=flops,
-            counters=counters,
-        )
-
     def run_job(self, job: MapReduceJob) -> JobResult:
         """Execute one job over all splits; advance the simulated clock."""
         self._job_counter += 1
+        backend = self.backend
         # Pre-spawn every split's RNG on the driver thread, before any
         # dispatch: stream identity depends only on (seed, job index,
         # split index), never on execution interleaving.
         split_rngs = spawn_generators(self._seed_root, self.n_splits)
         broadcast_bytes = estimate_nbytes(job.broadcast) if job.broadcast is not None else 0
 
-        # ---- map (+ per-split combine) phase: fan out across threads ----
-        if self.workers == 1 or self.n_splits == 1:
-            task_results = [
-                self._run_map_task(job, split_id, rng)
-                for split_id, rng in enumerate(split_rngs)
-            ]
-        else:
-            pool = self._get_pool()
-            futures = [
-                pool.submit(self._run_map_task, job, split_id, rng)
-                for split_id, rng in enumerate(split_rngs)
-            ]
-            # Collect in split order; the first failing split (by split
-            # order, matching serial semantics) propagates its error —
-            # but only after *every* task has finished, so no straggler
-            # is still mutating split_states when the caller retries.
-            task_results = []
-            first_error: Exception | None = None
-            for fut in futures:
-                try:
-                    task_results.append(fut.result())
-                except Exception as exc:
-                    if first_error is None:
-                        first_error = exc
-            if first_error is not None:
-                raise first_error
+        # ---- map (+ per-split combine) phase: fan out via the backend ----
+        # Tasks are shipped as picklable split descriptors (path + range
+        # for file-backed sources), so a process backend re-opens the
+        # memory map in the child instead of serializing the rows.
+        calls = [
+            (
+                job,
+                self.source.descriptor(self._bounds[i], self._bounds[i + 1]),
+                i,
+                self.n_splits,
+                split_rngs[i],
+                self.split_states[i],
+            )
+            for i in range(self.n_splits)
+        ]
+        task_results: list[_MapTaskResult] = backend.run_calls(
+            _execute_map_task, calls, parallelism=self.workers
+        )
+        # Re-install per-split state by index: in-process backends hand
+        # back the same dicts (no-op); a process backend hands back the
+        # pickled-and-updated copies from the workers.
+        for i, result in enumerate(task_results):
+            self.split_states[i] = result.state
 
         counters = Counters()
         for result in task_results:  # merged in split order: deterministic
@@ -393,19 +480,20 @@ class LocalMapReduceRuntime:
         )
         grouped = _group(kv for e in per_split_emissions for kv in e)
 
-        # ---- reduce phase ----
+        # ---- reduce phase: independent per key, fanned out in sorted
+        # key order so both the fold and the output order are
+        # deterministic regardless of split emission order ----
+        reduce_keys = _sorted_reduce_keys(grouped)
+        reduce_results = backend.run_calls(
+            _execute_reduce_task,
+            [(job.reducer_factory, job.name, key, grouped[key]) for key in reduce_keys],
+            parallelism=self.workers,
+        )
         output: dict[Hashable, list[Any]] = {}
         reduce_flops = 0.0
         reduce_emitted = 0
-        for key, values in grouped.items():
-            reducer = job.reducer_factory()
-            try:
-                results = list(reducer.reduce(key, values))
-            except Exception as exc:
-                raise MapReduceError(
-                    f"reducer failed in job {job.name!r} for key {key!r}: {exc}"
-                ) from exc
-            reduce_flops += float(reducer.work)
+        for results, work in reduce_results:  # sorted-key order: deterministic
+            reduce_flops += work
             for out_key, out_value in results:
                 output.setdefault(out_key, []).append(out_value)
                 reduce_emitted += 1

@@ -104,3 +104,57 @@ class TestAsSplitSource:
 
     def test_is_split_source(self, X):
         assert isinstance(as_split_source(X), SplitSource)
+
+
+class TestSplitDescriptors:
+    """Picklable split recipes for process-backend map tasks."""
+
+    def test_array_descriptor_is_view_in_process(self, X):
+        from repro.data.splits import RowsSplitDescriptor
+
+        src = ArraySplitSource(X)
+        desc = src.descriptor(5, 12)
+        assert isinstance(desc, RowsSplitDescriptor)
+        block = desc.load()
+        np.testing.assert_array_equal(block, X[5:12])
+        assert block.base is X or block.base is src.as_array()  # no copy
+
+    def test_array_descriptor_round_trips_exactly(self, X):
+        import pickle
+
+        desc = ArraySplitSource(X).descriptor(3, 30)
+        clone = pickle.loads(pickle.dumps(desc))
+        np.testing.assert_array_equal(clone.load(), X[3:30])
+        assert clone.load().dtype == X.dtype
+
+    def test_mmap_descriptor_carries_only_path_and_range(self, X, tmp_path):
+        import pickle
+
+        from repro.data.splits import MmapSplitDescriptor
+
+        path = tmp_path / "x.npy"
+        np.save(path, X)
+        desc = MmapSplitSource(path).descriptor(4, 20)
+        assert isinstance(desc, MmapSplitDescriptor)
+        assert (desc.start, desc.stop) == (4, 20)
+        clone = pickle.loads(pickle.dumps(desc))
+        np.testing.assert_array_equal(clone.load(), X[4:20])
+
+    def test_mmap_descriptor_caches_per_process(self, X, tmp_path):
+        path = tmp_path / "x.npy"
+        np.save(path, X)
+        src = MmapSplitSource(path)
+        a = src.descriptor(0, 10).load()
+        b = src.descriptor(10, 20).load()
+        # Same process, same file: one cached mmap backs both loads.
+        assert a.base is b.base
+
+    def test_descriptor_bytes_match_block_bytes(self, X, tmp_path):
+        path = tmp_path / "x.npy"
+        np.save(path, X)
+        for src in (ArraySplitSource(X), MmapSplitSource(path)):
+            for lo, hi in [(0, 7), (7, 25), (25, 37)]:
+                np.testing.assert_array_equal(
+                    np.asarray(src.descriptor(lo, hi).load()),
+                    np.asarray(src.block(lo, hi)),
+                )

@@ -139,3 +139,87 @@ class TestMRCommand:
                 "--splits-from", str(dataset_npy), "-k", "3",
             ])
         assert exc.value.code == 2
+
+
+class TestExecFlags:
+    """Global --backend / --exec-workers wiring."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_exec_state(self):
+        from repro.exec import set_backend, set_worker_budget
+        from repro.linalg.engine import set_engine
+        from repro.mapreduce.runtime import set_default_mr_workers
+
+        prev_backend = set_backend(None)
+        prev_budget = set_worker_budget(None)
+        prev_engine = set_engine(None)
+        prev_workers = set_default_mr_workers(None)
+        yield
+        set_backend(prev_backend)
+        set_worker_budget(prev_budget)
+        set_engine(prev_engine)
+        set_default_mr_workers(prev_workers)
+
+    def test_backend_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["--backend", "process", "--exec-workers", "8", "list"]
+        )
+        assert args.backend == "process"
+        assert args.exec_workers == 8
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--backend", "gpu", "list"])
+
+    def test_backend_flag_installs_backend(self, capsys):
+        from repro.exec import get_backend
+
+        assert main(["--backend", "serial", "list"]) == 0
+        assert get_backend().name == "serial"
+        capsys.readouterr()
+
+    def test_exec_workers_sets_budget_and_worker_requests(self, capsys):
+        # '--exec-workers 8' alone must buy real parallelism: budget 8
+        # AND an 8-worker request for the engine (which MR inherits).
+        from repro.exec import get_worker_budget
+        from repro.linalg.engine import get_engine
+        from repro.mapreduce.runtime import resolve_mr_workers
+
+        assert main(["--exec-workers", "8", "list"]) == 0
+        assert get_worker_budget().limit == 8
+        assert get_engine().workers == 8
+        assert resolve_mr_workers() == 8
+        capsys.readouterr()
+
+    def test_explicit_layer_flags_beat_exec_workers(self, capsys):
+        from repro.linalg.engine import get_engine
+        from repro.mapreduce.runtime import resolve_mr_workers
+
+        assert main([
+            "--exec-workers", "8", "--engine-workers", "2",
+            "--mr-workers", "3", "list",
+        ]) == 0
+        assert get_engine().workers == 2
+        assert resolve_mr_workers() == 3
+        capsys.readouterr()
+
+    def test_bad_exec_env_is_clean_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "many")
+        with pytest.raises(SystemExit) as exc:
+            main(["list"])
+        assert exc.value.code == 2
+
+    def test_mr_under_explicit_backend(self, tmp_path, capsys):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        path = tmp_path / "d.npy"
+        np.save(path, rng.normal(size=(120, 3)))
+        assert main([
+            "--backend", "process", "--exec-workers", "3", "mr",
+            "--splits-from", str(path), "-k", "3",
+            "--rounds", "2", "--n-splits", "3", "--lloyd-max-iter", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend=process" in out
+        assert "workers=3" in out

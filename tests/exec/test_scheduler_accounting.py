@@ -1,0 +1,169 @@
+"""Accounting proofs: one global budget bounds *nested* parallelism.
+
+The acceptance criterion of the exec refactor: with the linalg engine
+fanning kernel chunks inside MapReduce map tasks that are themselves
+fanned out, total concurrency must never exceed the single worker budget
+— no matter how large each layer's own ``workers`` request is — and no
+nesting arrangement may deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.exec import ThreadBackend, WorkerBudget, use_backend
+from repro.linalg.engine import get_engine, use_engine
+from repro.mapreduce.job import BlockMapper, MapReduceJob, Reducer
+from repro.mapreduce.runtime import LocalMapReduceRuntime
+
+
+class ConcurrencyGauge:
+    """Tracks how many gauged sections execute simultaneously."""
+
+    def __init__(self) -> None:
+        self.current = 0
+        self.peak = 0
+        self._lock = threading.Lock()
+
+    @contextmanager
+    def track(self):
+        with self._lock:
+            self.current += 1
+            self.peak = max(self.peak, self.current)
+        try:
+            yield
+        finally:
+            with self._lock:
+                self.current -= 1
+
+
+GAUGE = ConcurrencyGauge()
+
+
+class EngineInsideMapper(BlockMapper):
+    """A mapper whose body fans out engine chunks — the nesting case."""
+
+    def map_block(self, block):
+        def work(sl):
+            with GAUGE.track():
+                time.sleep(0.002)  # make overlap observable
+
+        # Tiny chunk budget -> many chunks -> the engine really asks the
+        # backend for workers from inside an MR map task.
+        get_engine().run_chunks(block.shape[0] * 8, 8, work, chunk_bytes=64)
+        yield "done", 1
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+class TestNestedBudgetAccounting:
+    def test_engine_inside_mr_never_exceeds_budget(self):
+        """MR workers=8 x engine workers=8 under a budget of 3 -> <= 3."""
+        GAUGE.__init__()
+        budget = WorkerBudget(3)
+        X = np.random.default_rng(0).normal(size=(240, 3))
+        with use_backend(ThreadBackend(budget=budget)):
+            with use_engine(workers=8, chunk_bytes=64):
+                runtime = LocalMapReduceRuntime(X, n_splits=6, seed=0, workers=8)
+                result = runtime.run_job(
+                    MapReduceJob(
+                        name="nested",
+                        mapper_factory=EngineInsideMapper,
+                        reducer_factory=SumReducer,
+                    )
+                )
+        assert result.single("done") == 6  # every split ran exactly once
+        assert GAUGE.peak >= 1
+        assert GAUGE.peak <= budget.limit, (
+            f"nested execution reached {GAUGE.peak} concurrent workers, "
+            f"budget allows {budget.limit}"
+        )
+        assert budget.in_use == 0  # every token returned
+
+    def test_nested_regions_do_not_deadlock_when_starved(self):
+        """Budget 1: every layer degrades to inline and still completes."""
+        GAUGE.__init__()
+        budget = WorkerBudget(1)
+        X = np.random.default_rng(1).normal(size=(60, 2))
+        with use_backend(ThreadBackend(budget=budget)):
+            with use_engine(workers=8, chunk_bytes=64):
+                runtime = LocalMapReduceRuntime(X, n_splits=4, seed=0, workers=8)
+                result = runtime.run_job(
+                    MapReduceJob(
+                        name="starved",
+                        mapper_factory=EngineInsideMapper,
+                        reducer_factory=SumReducer,
+                    )
+                )
+        assert result.single("done") == 4
+        assert GAUGE.peak == 1  # strictly serial under a budget of one
+        assert budget.in_use == 0
+
+    def test_deep_synthetic_nesting_respects_budget(self):
+        """Three levels of run_tasks nesting under one budget."""
+        GAUGE.__init__()
+        budget = WorkerBudget(4)
+        backend = ThreadBackend(budget=budget)
+
+        def leaf():
+            with GAUGE.track():
+                time.sleep(0.001)
+            return 1
+
+        def mid():
+            return sum(backend.run_tasks([leaf] * 4, parallelism=4))
+
+        def top():
+            return sum(backend.run_tasks([mid] * 4, parallelism=4))
+
+        with backend:
+            total = sum(backend.run_tasks([top] * 4, parallelism=4))
+        assert total == 64  # 4 * 4 * 4 leaves, each exactly once
+        assert GAUGE.peak <= budget.limit
+        assert budget.in_use == 0
+
+    def test_engine_alone_respects_budget(self):
+        GAUGE.__init__()
+        budget = WorkerBudget(2)
+
+        def work(sl):
+            with GAUGE.track():
+                time.sleep(0.001)
+
+        with use_backend(ThreadBackend(budget=budget)):
+            with use_engine(workers=8, chunk_bytes=64) as engine:
+                engine.run_chunks(400, 8, work)
+        assert GAUGE.peak <= 2
+        assert budget.in_use == 0
+
+    def test_mr_alone_respects_budget(self):
+        GAUGE.__init__()
+        budget = WorkerBudget(2)
+
+        class GaugedMapper(BlockMapper):
+            def map_block(self, block):
+                with GAUGE.track():
+                    time.sleep(0.002)
+                yield "done", 1
+
+        X = np.random.default_rng(2).normal(size=(80, 2))
+        with use_backend(ThreadBackend(budget=budget)):
+            runtime = LocalMapReduceRuntime(X, n_splits=8, seed=0, workers=8)
+            result = runtime.run_job(
+                MapReduceJob(
+                    name="mr-only",
+                    mapper_factory=GaugedMapper,
+                    reducer_factory=SumReducer,
+                )
+            )
+        assert result.single("done") == 8
+        assert GAUGE.peak <= 2
+        assert budget.in_use == 0

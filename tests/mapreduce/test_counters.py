@@ -46,3 +46,23 @@ class TestCounters:
         c = Counters()
         c.increment("g", "x")
         assert "1 groups" in repr(c)
+
+    def test_pickle_round_trip(self):
+        # Counters cross process boundaries under the process backend.
+        import pickle
+
+        from repro.mapreduce.counters import Counters
+
+        c = Counters()
+        c.increment("map", "records", 41)
+        c.increment("map", "splits")
+        c.increment("sample", "selected", 7)
+        clone = pickle.loads(pickle.dumps(c))
+        assert clone.as_dict() == c.as_dict()
+        # The clone is fully functional (defaultdicts rebuilt).
+        clone.increment("map", "records")
+        assert clone.value("map", "records") == 42
+        other = Counters()
+        other.increment("new", "group", 3)
+        clone.merge(other)
+        assert clone.value("new", "group") == 3

@@ -197,7 +197,11 @@ class TestParallelExecution:
         # Split 0 fails fast while the others are still running; run_job
         # must not raise until every in-flight task has finished, so a
         # retry on the same runtime never races stragglers on split state.
+        # Pins the thread backend: this asserts the *parallel* drain
+        # semantics (inline/serial execution legitimately fails fast).
         import time
+
+        from repro.exec import use_backend
 
         class SlowStatefulMapper(BlockMapper):
             def map_block(self, block):
@@ -208,18 +212,49 @@ class TestParallelExecution:
                 yield "ok", 1
 
         X = rng.normal(size=(40, 2))
-        with LocalMapReduceRuntime(X, n_splits=4, seed=0, workers=4) as rt:
-            with pytest.raises(MapReduceError, match="split 0"):
-                rt.run_job(make_job(mapper=SlowStatefulMapper))
-            # All stragglers completed before the raise above.
-            assert [s.get("touched") for s in rt.split_states] == [None, 1, 1, 1]
-            retry = rt.run_job(make_job(mapper=CountMapper))
-            assert retry.single("count") == 40
+        with use_backend("thread", budget=4):
+            with LocalMapReduceRuntime(X, n_splits=4, seed=0, workers=4) as rt:
+                with pytest.raises(MapReduceError, match="split 0"):
+                    rt.run_job(make_job(mapper=SlowStatefulMapper))
+                # All stragglers completed before the raise above.
+                assert [s.get("touched") for s in rt.split_states] == [None, 1, 1, 1]
+                retry = rt.run_job(make_job(mapper=CountMapper))
+                assert retry.single("count") == 40
 
     def test_invalid_workers_rejected(self, rng):
         X = rng.normal(size=(10, 2))
         with pytest.raises(MapReduceError, match="workers"):
             LocalMapReduceRuntime(X, n_splits=2, workers=0)
+
+    def test_runtime_shuts_down_backend_it_constructed(self, rng):
+        # backend="thread" builds a private backend; leaving the context
+        # must release its pool (idempotently), not leak it per runtime.
+        X = rng.normal(size=(20, 2))
+        with LocalMapReduceRuntime(X, n_splits=2, workers=2,
+                                   backend="thread") as rt:
+            rt.run_job(make_job())
+            owned = rt.backend
+            assert owned._pool is not None
+        assert owned._pool is None
+        rt.shutdown()  # idempotent
+
+    def test_runtime_leaves_shared_backend_running(self, rng):
+        from repro.exec import ThreadBackend, WorkerBudget
+
+        X = rng.normal(size=(20, 2))
+        shared = ThreadBackend(budget=WorkerBudget(3))
+        try:
+            with LocalMapReduceRuntime(X, n_splits=2, workers=2,
+                                       backend=shared) as rt:
+                rt.run_job(make_job())
+            assert shared._pool is not None  # caller's instance untouched
+        finally:
+            shared.shutdown()
+
+    def test_invalid_backend_rejected(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(MapReduceError, match="backend"):
+            LocalMapReduceRuntime(X, n_splits=2, backend="gpu")
 
 
 class TestWorkerResolution:
@@ -336,6 +371,74 @@ class TestRuntimeBasics:
             MapReduceJob(name="rng", mapper_factory=RngMapper, reducer_factory=SumReducer)
         )
         assert a.single("draw") == b.single("draw")
+
+
+class TestDeterministicOutputOrder:
+    """JobResult.output key order must not depend on split emission order.
+
+    Before the exec refactor the output dict used grouped-dict insertion
+    order — whatever key split 0 happened to emit first — which is not a
+    deterministic function of the job. Reduce keys are now processed (and
+    the output assembled) in sorted order; the parallel reduce fold
+    relies on this.
+    """
+
+    class RotatingKeyMapper(BlockMapper):
+        """Each split emits the same keys in a different order."""
+
+        KEYS = ["delta", "alpha", "charlie", "bravo"]
+
+        def map_block(self, block):
+            r = self.ctx.split_id % len(self.KEYS)
+            for key in self.KEYS[r:] + self.KEYS[:r]:
+                yield key, 1
+
+    class MixedKeyMapper(BlockMapper):
+        """Tuple and string keys together (the Lloyd-job shape)."""
+
+        def map_block(self, block):
+            keys = [("agg", 2), "phi", ("agg", 0), ("agg", 1)]
+            r = self.ctx.split_id % len(keys)
+            for key in keys[r:] + keys[:r]:
+                yield key, 1
+
+    def test_output_keys_sorted(self, rng):
+        X = rng.normal(size=(40, 2))
+        result = LocalMapReduceRuntime(X, n_splits=4, seed=0).run_job(
+            make_job(mapper=self.RotatingKeyMapper)
+        )
+        assert list(result.output) == ["alpha", "bravo", "charlie", "delta"]
+
+    def test_output_key_order_invariant_to_split_count(self, rng):
+        X = rng.normal(size=(48, 2))
+        orders = {
+            n_splits: tuple(
+                LocalMapReduceRuntime(X, n_splits=n_splits, seed=0)
+                .run_job(make_job(mapper=self.RotatingKeyMapper))
+                .output
+            )
+            for n_splits in (1, 2, 3, 4, 6)
+        }
+        assert len(set(orders.values())) == 1
+
+    def test_mixed_type_keys_have_one_total_order(self, rng):
+        X = rng.normal(size=(30, 2))
+        result = LocalMapReduceRuntime(X, n_splits=3, seed=0).run_job(
+            make_job(mapper=self.MixedKeyMapper)
+        )
+        # Type-name first (str < tuple), then within-type order.
+        assert list(result.output) == ["phi", ("agg", 0), ("agg", 1), ("agg", 2)]
+
+    def test_reduce_flops_deterministic_across_split_orders(self, rng):
+        X = rng.normal(size=(40, 2))
+        a = LocalMapReduceRuntime(X, n_splits=4, seed=0).run_job(
+            make_job(mapper=self.RotatingKeyMapper)
+        )
+        b = LocalMapReduceRuntime(X, n_splits=4, seed=0, workers=4).run_job(
+            make_job(mapper=self.RotatingKeyMapper)
+        )
+        assert a.stats.reduce_flops == b.stats.reduce_flops
+        assert list(a.output) == list(b.output)
 
 
 class TestCombinerSemantics:

@@ -11,6 +11,7 @@ PUBLIC_MODULES = [
     "repro.core",
     "repro.baselines",
     "repro.data",
+    "repro.exec",
     "repro.linalg",
     "repro.mapreduce",
     "repro.mapreduce.jobs",
