@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Out-of-core shuffle benchmark: wall clock + residency vs. spill budget.
+
+The acceptance workload is the ablation-D configuration — one MapReduce
+Lloyd round at ``granularity="point"`` with the combiner disabled — whose
+shuffle volume is ``O(n * d)``: the exact job class the in-memory shuffle
+could only run in RAM.  For each budget in the sweep this bench runs the
+round under the spilling store and records
+
+* real wall-clock seconds,
+* spill telemetry (``spill_bytes``, ``spill_files``),
+* peak driver-held shuffle bytes (``shuffle_peak_bytes``) against the
+  budget and against the full shuffle volume, and
+* an identity check: centers and potential must match the in-memory
+  store bit for bit (the run fails otherwise).
+
+The headline acceptance number is ``peak_over_budget`` for budgets below
+the round's emission volume: it stays around 2 (ingest buffer + reduce
+window) plus one reduce group.  Results land in
+``benchmarks/results/BENCH_shuffle.json``::
+
+    PYTHONPATH=src python benchmarks/bench_shuffle.py          # n=200k
+    PYTHONPATH=src python benchmarks/bench_shuffle.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_OUT = HERE / "results" / "BENCH_shuffle.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=200_000, help="rows (default 200k)")
+    parser.add_argument("--d", type=int, default=8, help="dimensions")
+    parser.add_argument("--k", type=int, default=64, help="clusters")
+    parser.add_argument("--splits", type=int, default=8, help="input splits")
+    parser.add_argument(
+        "--budgets", type=str, default="0.25,1,4,16",
+        help="comma-separated spill budgets in MiB (default: 0.25,1,4,16)",
+    )
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="timing repetitions; best-of is reported")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: n=30k, budgets 0.05,0.5, 1 repetition",
+    )
+    return parser
+
+
+def _run_round(X, centers, *, n_splits: int, budget: int | None, seed: int):
+    from repro.mapreduce.jobs.lloyd_job import collect_new_centers, make_lloyd_job
+    from repro.mapreduce.runtime import LocalMapReduceRuntime
+
+    with LocalMapReduceRuntime(
+        X, n_splits=n_splits, seed=seed,
+        shuffle_budget=0 if budget is None else budget,
+    ) as runtime:
+        result = runtime.run_job(
+            make_lloyd_job(centers, granularity="point", use_combiner=False)
+        )
+        new_centers, phi = collect_new_centers(result.output, centers)
+        return {
+            "centers": new_centers,
+            "phi": phi,
+            "stats": result.stats,
+            "simulated_minutes": runtime.simulated_minutes,
+        }
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.n = min(args.n, 30_000)
+        args.budgets = "0.05,0.5"
+        args.repeat = 1
+    budgets_mib = [float(b) for b in args.budgets.split(",") if b.strip()]
+
+    import numpy as np
+
+    from repro.data.gauss_mixture import make_gauss_mixture
+
+    print(f"generating GaussMixture n={args.n} d={args.d} k={args.k} ...",
+          flush=True)
+    X = make_gauss_mixture(n=args.n, d=args.d, k=args.k, seed=args.seed).X
+    rng = np.random.default_rng(args.seed)
+    centers0 = X[rng.choice(args.n, size=args.k, replace=False)].copy()
+
+    # Baseline: the in-memory store (residency = the whole shuffle).
+    best = float("inf")
+    for _ in range(args.repeat):
+        start = time.perf_counter()
+        reference = _run_round(
+            X, centers0, n_splits=args.splits, budget=None, seed=args.seed
+        )
+        best = min(best, time.perf_counter() - start)
+    volume = reference["stats"].shuffle_bytes
+    results: dict[str, dict] = {
+        "in-memory": {
+            "wall_s": best,
+            "budget_bytes": None,
+            "shuffle_bytes": volume,
+            "spill_bytes": 0,
+            "spill_files": 0,
+            "peak_bytes": reference["stats"].shuffle_peak_bytes,
+            "peak_over_budget": None,
+            "simulated_minutes": reference["simulated_minutes"],
+            "identical_to_memory": True,
+        }
+    }
+    print(f"  in-memory        {best:7.3f}s  shuffle={volume}B "
+          f"peak={volume}B", flush=True)
+
+    all_identical = True
+    for mib in budgets_mib:
+        budget = max(1, int(mib * 1024 * 1024))
+        best = float("inf")
+        value = None
+        for _ in range(args.repeat):
+            start = time.perf_counter()
+            value = _run_round(
+                X, centers0, n_splits=args.splits, budget=budget, seed=args.seed
+            )
+            best = min(best, time.perf_counter() - start)
+        stats = value["stats"]
+        identical = bool(
+            np.array_equal(reference["centers"], value["centers"])
+            and reference["phi"] == value["phi"]
+        )
+        all_identical = all_identical and identical
+        results[f"budget={mib}MiB"] = {
+            "wall_s": best,
+            "budget_bytes": budget,
+            "shuffle_bytes": stats.shuffle_bytes,
+            "spill_bytes": stats.spill_bytes,
+            "spill_files": stats.spill_files,
+            "peak_bytes": stats.shuffle_peak_bytes,
+            "peak_over_budget": stats.shuffle_peak_bytes / budget,
+            "simulated_minutes": value["simulated_minutes"],
+            "identical_to_memory": identical,
+        }
+        print(f"  budget={mib:7g}MiB {best:7.3f}s  "
+              f"spill={stats.spill_bytes}B files={stats.spill_files} "
+              f"peak={stats.shuffle_peak_bytes}B "
+              f"(x{stats.shuffle_peak_bytes / budget:.2f} budget)  "
+              f"identical={identical}", flush=True)
+
+    payload = {
+        "meta": {
+            "n": args.n, "d": args.d, "k": args.k, "n_splits": args.splits,
+            "workload": "lloyd granularity=point use_combiner=False "
+                        "(ablation-D)",
+            "repeat": args.repeat,
+            "budgets_mib": budgets_mib,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "results": results,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {args.out}")
+
+    if not all_identical:
+        print("ERROR: spilled output differed from the in-memory store",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,9 +37,11 @@ def build_parser() -> argparse.ArgumentParser:
             "regions execute), REPRO_EXEC_WORKERS (the global worker budget "
             "shared by every layer), REPRO_ENGINE_WORKERS (workers fanning "
             "out row blocks of every distance/centroid kernel), "
-            "REPRO_ENGINE_CHUNK_BYTES (scratch budget per block), and "
+            "REPRO_ENGINE_CHUNK_BYTES (scratch budget per block), "
             "REPRO_MR_WORKERS (workers executing MapReduce map/reduce "
-            "tasks; defaults to the engine worker count)."
+            "tasks; defaults to the engine worker count), and "
+            "REPRO_SHUFFLE_BUDGET_MB (MapReduce shuffle residency budget "
+            "in MiB; past it the shuffle spills to disk)."
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
@@ -97,6 +99,20 @@ def build_parser() -> argparse.ArgumentParser:
             "falling back to the engine worker count)"
         ),
     )
+    parser.add_argument(
+        "--shuffle-budget-mib",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help=(
+            "MapReduce shuffle residency budget in MiB (fractions allowed); "
+            "past it map emissions spill to disk and the reduce phase streams "
+            "a sorted external merge, so huge shuffles stay out-of-core. "
+            "Results are bit-identical to the in-memory shuffle. 0 forces the "
+            "in-memory store (default: $REPRO_SHUFFLE_BUDGET_MB, else "
+            "in-memory)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiment ids")
@@ -119,15 +135,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the k-means|| MapReduce pipeline over a dataset file",
         description=(
             "Run the full k-means|| (or the Random baseline) MapReduce "
-            "pipeline over a .npy/.npz dataset, memory-mapping the input so "
-            "splits stream from disk — datasets larger than RAM work."
+            "pipeline over a .npy/.npz dataset (or a directory of .npy "
+            "shards), memory-mapping the input so splits stream from disk — "
+            "for a single .npy/.npz, datasets larger than RAM work (a shard "
+            "directory still materializes once for the driver-side scans; "
+            "pre-concatenate to one .npy to stay fully out-of-core). Add "
+            "--shuffle-budget-mib to cap driver-held shuffle bytes too "
+            "(spill-to-disk shuffle)."
         ),
     )
     mr_p.add_argument(
         "--splits-from",
         required=True,
         metavar="PATH",
-        help="dataset to cluster: a .npy array or a save_dataset() .npz bundle",
+        help=(
+            "dataset to cluster: a .npy array, a save_dataset() .npz bundle, "
+            "or a directory of 2-d .npy shards read as one dataset"
+        ),
     )
     mr_p.add_argument("-k", type=int, required=True, help="number of clusters")
     mr_p.add_argument(
@@ -205,6 +229,18 @@ def _configure_engine(parser: argparse.ArgumentParser, args: argparse.Namespace)
     except ValidationError as exc:
         parser.error(str(exc))
 
+    from repro.shuffle import resolve_shuffle_budget, set_default_shuffle_budget
+
+    try:
+        if args.shuffle_budget_mib is not None:
+            set_default_shuffle_budget(
+                int(args.shuffle_budget_mib * 1024 * 1024)
+            )
+        else:
+            resolve_shuffle_budget()  # fail fast on a bad $REPRO_SHUFFLE_BUDGET_MB
+    except ValidationError as exc:
+        parser.error(str(exc))
+
 
 def _run_mr(args: argparse.Namespace) -> int:
     """The ``mr`` subcommand: the pipeline over a memory-mapped dataset."""
@@ -235,6 +271,14 @@ def _run_mr(args: argparse.Namespace) -> int:
           f"candidates={report.n_candidates}")
     for phase, minutes in report.breakdown.items():
         print(f"    {phase:<10} {minutes:10.2f} simulated min")
+    budget = report.params.get("shuffle_budget")
+    if budget:
+        spill = report.shuffle
+        print(f"    shuffle budget={budget}B "
+              f"spilled_jobs={spill['spilled_jobs']} "
+              f"files={spill['spill_files']} "
+              f"spill_bytes={spill['spill_bytes']} "
+              f"peak_held={spill['peak_bytes']}B")
     return 0
 
 

@@ -4,11 +4,13 @@ The runtime used to require the whole dataset as one in-memory array; a
 :class:`SplitSource` decouples *what a split is* from *where its bytes
 live* so the same jobs run over
 
-* an in-memory array (:class:`ArraySplitSource` — the classic path), or
+* an in-memory array (:class:`ArraySplitSource` — the classic path),
 * a memory-mapped ``.npy``/``.npz`` file on disk
   (:class:`MmapSplitSource`), in which case a map task only faults in the
   pages of its own split: datasets larger than RAM stream through the
-  pipeline with the OS page cache as the working set.
+  pipeline with the OS page cache as the working set, or
+* a *directory* of 2-d ``.npy`` shards (:class:`ShardedSplitSource`),
+  memory-mapped per shard and presented as one row-stacked dataset.
 
 Both sources hand out *views* (array slices / memmap slices) — no split
 is ever copied just to be scheduled — and both present identical shapes,
@@ -38,9 +40,11 @@ __all__ = [
     "SplitSource",
     "ArraySplitSource",
     "MmapSplitSource",
+    "ShardedSplitSource",
     "SplitDescriptor",
     "RowsSplitDescriptor",
     "MmapSplitDescriptor",
+    "ShardedSplitDescriptor",
     "as_split_source",
 ]
 
@@ -225,19 +229,156 @@ class MmapSplitSource(SplitSource):
         return MmapSplitDescriptor(str(self.npy_path), int(start), int(stop))
 
 
+@dataclass(frozen=True)
+class ShardedSplitDescriptor(SplitDescriptor):
+    """Descriptor for a split spanning several shard files.
+
+    A tuple of per-shard :class:`MmapSplitDescriptor` pieces; pickles as
+    paths plus ranges only.  ``load()`` concatenates the shard slices —
+    the one place a copy is unavoidable, paid only by splits that
+    actually straddle a shard boundary.
+    """
+
+    pieces: tuple[MmapSplitDescriptor, ...]
+
+    def load(self) -> np.ndarray:
+        if len(self.pieces) == 1:
+            return self.pieces[0].load()
+        return np.concatenate([piece.load() for piece in self.pieces], axis=0)
+
+
+class ShardedSplitSource(SplitSource):
+    """A directory of 2-d ``.npy`` shards, read as one row-stacked dataset.
+
+    The first slice of the "remote/sharded split sources" roadmap item:
+    a dataset written as many shard files (the natural output of a
+    distributed job, or of chunked ingestion) is served to the runtime
+    as a single logical array.  Shards are memory-mapped and ordered by
+    filename (sort order is the row order, so writers should zero-pad:
+    ``shard-000.npy``, ``shard-001.npy``, ...); they must agree on
+    column count and dtype but may have any row counts.
+
+    Splits that fall inside one shard are zero-copy memmap views;
+    splits that straddle a boundary concatenate (copy) just their own
+    rows.  Descriptors ship only paths and ranges, so the process
+    backend stays out-of-core shard by shard.  ``as_array`` must
+    materialize the concatenation (NumPy has no multi-file view) — the
+    driver-side sections that call it stream the result chunk-wise, but
+    it does occupy RAM; pipelines that need a fully out-of-core driver
+    should pre-concatenate to one ``.npy`` instead.
+    """
+
+    def __init__(self, directory: str | os.PathLike, pattern: str = "*.npy"):
+        self.directory = pathlib.Path(directory)
+        if not self.directory.is_dir():
+            raise ValidationError(f"{self.directory} is not a directory")
+        self.paths = sorted(self.directory.glob(pattern))
+        if not self.paths:
+            raise ValidationError(
+                f"no shards matching {pattern!r} in {self.directory}"
+            )
+        self._shards = []
+        for path in self.paths:
+            shard = np.load(path, mmap_mode="r")
+            if shard.ndim != 2 or shard.shape[0] == 0:
+                raise ValidationError(
+                    f"shard {path} has shape {shard.shape}; every shard "
+                    "must be a non-empty 2-d row array"
+                )
+            self._shards.append(shard)
+        first = self._shards[0]
+        for path, shard in zip(self.paths, self._shards):
+            if shard.shape[1] != first.shape[1]:
+                raise ValidationError(
+                    f"shard {path} has {shard.shape[1]} columns, expected "
+                    f"{first.shape[1]} (from {self.paths[0]})"
+                )
+            if shard.dtype != first.dtype:
+                raise ValidationError(
+                    f"shard {path} has dtype {shard.dtype}, expected "
+                    f"{first.dtype} (from {self.paths[0]})"
+                )
+        self._offsets = np.concatenate(
+            [[0], np.cumsum([s.shape[0] for s in self._shards])]
+        )
+        self._concat: np.ndarray | None = None
+        self._validate()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (int(self._offsets[-1]), int(self._shards[0].shape[1]))
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._shards[0].dtype
+
+    def _pieces(self, start: int, stop: int) -> list[tuple[int, int, int]]:
+        """``(shard index, local start, local stop)`` covering [start, stop).
+
+        An empty range maps to one empty piece of shard 0, so ``block``
+        and ``descriptor`` return a ``(0, d)`` slice like the other
+        sources do, instead of concatenating nothing.
+        """
+        start, stop = int(start), int(stop)
+        if start >= stop:
+            return [(0, 0, 0)]
+        pieces = []
+        first = max(0, int(np.searchsorted(self._offsets, start, side="right")) - 1)
+        for i in range(first, self.n_shards):
+            lo = int(self._offsets[i])
+            hi = int(self._offsets[i + 1])
+            if lo >= stop:
+                break
+            pieces.append((i, max(start, lo) - lo, min(stop, hi) - lo))
+        return pieces
+
+    def block(self, start: int, stop: int) -> np.ndarray:
+        pieces = self._pieces(start, stop)
+        if len(pieces) == 1:
+            i, lo, hi = pieces[0]
+            return self._shards[i][lo:hi]
+        return np.concatenate(
+            [self._shards[i][lo:hi] for i, lo, hi in pieces], axis=0
+        )
+
+    def as_array(self) -> np.ndarray:
+        if self._concat is None:
+            self._concat = np.concatenate(
+                [np.asarray(s) for s in self._shards], axis=0
+            )
+        return self._concat
+
+    def descriptor(self, start: int, stop: int) -> SplitDescriptor:
+        pieces = tuple(
+            MmapSplitDescriptor(str(self.paths[i]), lo, hi)
+            for i, lo, hi in self._pieces(start, stop)
+        )
+        if len(pieces) == 1:
+            return pieces[0]
+        return ShardedSplitDescriptor(pieces)
+
+
 def as_split_source(data) -> SplitSource:
     """Coerce ``data`` into a :class:`SplitSource`.
 
     Accepts an existing source (returned unchanged), a 2-d array, or a
-    filesystem path (``str`` / ``PathLike``) to a ``.npy``/``.npz`` file.
+    filesystem path (``str`` / ``PathLike``): a ``.npy``/``.npz`` file
+    becomes a memory-mapped :class:`MmapSplitSource`, a *directory*
+    becomes a :class:`ShardedSplitSource` over its ``*.npy`` shards.
     """
     if isinstance(data, SplitSource):
         return data
     if isinstance(data, (str, os.PathLike)):
+        if pathlib.Path(data).is_dir():
+            return ShardedSplitSource(data)
         return MmapSplitSource(data)
     if isinstance(data, np.ndarray):
         return ArraySplitSource(data)
     raise ValidationError(
-        "expected an ndarray, a SplitSource, or a path to a .npy/.npz file, "
-        f"got {type(data).__name__}"
+        "expected an ndarray, a SplitSource, or a path to a .npy/.npz file "
+        f"or a directory of .npy shards, got {type(data).__name__}"
     )

@@ -93,7 +93,19 @@ class Reducer(abc.ABC):
     (the classic requirement: a combiner must be a semigroup reduction so
     that combining partials commutes with the final reduce — the property
     tests check this for every reducer we ship).
+
+    ``fold_safe`` opts a combiner into the spilling shuffle store's
+    pre-aggregation (:mod:`repro.shuffle.store`).  Declare it only when
+    ``reduce(key, [acc, v])`` (a) emits exactly one record with the same
+    key, (b) computes the same left fold the final reducer would (so a
+    running accumulator is bitwise a prefix of the reducer's own fold),
+    and (c) charges ``work`` per fold step (per addition, not per
+    operand), so pre-aggregating n values and reducing the single result
+    costs exactly what reducing the n values would have.
     """
+
+    #: See class docstring; the spilling store checks this on an instance.
+    fold_safe: bool = False
 
     def __init__(self) -> None:
         self.work: float = 0.0

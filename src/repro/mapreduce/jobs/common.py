@@ -30,16 +30,22 @@ class ScalarSumReducer(Reducer):
 
     ("each mapper ... can compute phi_X'(C) and the reducer can simply add
     these values from all mappers to obtain phi_X(C)"). Associative and
-    commutative, hence safe as its own combiner.
+    commutative, hence safe as its own combiner — and as a shuffle
+    pre-aggregator (``fold_safe``): work is charged per addition, so any
+    regrouping of the same fold costs the same simulated time.
     """
 
+    fold_safe = True
+
     def reduce(self, key: Hashable, values: list[Any]) -> Iterable[KeyValue]:
-        self.work += len(values)
+        self.work += max(0, len(values) - 1)
         yield key, float(sum(values))
 
 
 class ArraySumReducer(Reducer):
     """Element-wise sums numpy arrays (weight vectors, sum/count blocks)."""
+
+    fold_safe = True
 
     def reduce(self, key: Hashable, values: list[Any]) -> Iterable[KeyValue]:
         total = values[0].astype(np.float64, copy=True)

@@ -113,11 +113,18 @@ class SumCountReducer(Reducer):
 
 
 class SumCountCombiner(Reducer):
-    """Pre-fold (sum, count) partials without dividing (stay mergeable)."""
+    """Pre-fold (sum, count) partials without dividing (stay mergeable).
+
+    ``fold_safe``: one same-key record per fold, work per addition — so
+    the spilling shuffle store may keep a running accumulator per key
+    instead of buffering the partials (see :mod:`repro.shuffle.store`).
+    """
+
+    fold_safe = True
 
     def reduce(self, key: Hashable, values: list[Any]) -> Iterable[KeyValue]:
         if key == PHI_KEY:
-            self.work += len(values)
+            self.work += max(0, len(values) - 1)
             yield key, float(sum(values))
             return
         total = values[0].astype(np.float64, copy=True)

@@ -78,6 +78,10 @@ class MRKMeansReport:
     simulated_minutes: float
     breakdown: dict[str, float] = field(default_factory=dict)
     params: dict = field(default_factory=dict)
+    #: Out-of-core shuffle telemetry (zeros when nothing spilled):
+    #: ``spilled_jobs`` / ``spill_files`` / ``spill_bytes`` /
+    #: ``peak_bytes`` (largest driver-held shuffle residency of any job).
+    shuffle: dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-line report used by the examples and the CLI."""
@@ -101,6 +105,17 @@ def naive_kmeanspp_flops(m: int, k: int, d: int) -> float:
     ``benchmarks/bench_ablations.py``.
     """
     return FLOPS_PER_DIST * d * m * (k * (k - 1) / 2.0 + k)
+
+
+def _shuffle_telemetry(runtime: LocalMapReduceRuntime) -> dict[str, int]:
+    """Aggregate a runtime's out-of-core shuffle telemetry for reports."""
+    counters = runtime.shuffle_counters
+    return {
+        "spilled_jobs": counters.value("shuffle", "spilled_jobs"),
+        "spill_files": counters.value("shuffle", "spill_files"),
+        "spill_bytes": counters.value("shuffle", "spill_bytes"),
+        "peak_bytes": runtime.peak_shuffle_bytes,
+    }
 
 
 def mr_lloyd(
@@ -145,6 +160,7 @@ def mr_scalable_kmeans(
     top_up: TopUpPolicy = TopUpPolicy.PAD,
     workers: int | None = None,
     backend: "ExecBackend | str | None" = None,
+    shuffle_budget: int | None = None,
 ) -> MRKMeansReport:
     """Full ``k-means||`` pipeline on the simulated cluster.
 
@@ -163,7 +179,7 @@ def mr_scalable_kmeans(
     X_arr = source.as_array()
     with LocalMapReduceRuntime(
         source, n_splits=n_splits, cluster=cluster, seed=seed, workers=workers,
-        backend=backend,
+        backend=backend, shuffle_budget=shuffle_budget,
     ) as runtime:
         rng = np.random.default_rng(
             runtime._seed_root.integers(0, 2**63)  # driver-side randomness
@@ -258,7 +274,9 @@ def mr_scalable_kmeans(
                 "n_splits": n_splits,
                 "workers": runtime.workers,
                 "backend": runtime.backend.name,
+                "shuffle_budget": runtime.shuffle_budget,
             },
+            shuffle=_shuffle_telemetry(runtime),
         )
 
 
@@ -272,6 +290,7 @@ def mr_random_kmeans(
     lloyd_max_iter: int = 20,
     workers: int | None = None,
     backend: "ExecBackend | str | None" = None,
+    shuffle_budget: int | None = None,
 ) -> MRKMeansReport:
     """The parallel ``Random`` baseline: uniform seed + bounded MR Lloyd.
 
@@ -282,7 +301,7 @@ def mr_random_kmeans(
     X_arr = source.as_array()
     with LocalMapReduceRuntime(
         source, n_splits=n_splits, cluster=cluster, seed=seed, workers=workers,
-        backend=backend,
+        backend=backend, shuffle_budget=shuffle_budget,
     ) as runtime:
         seed_centers = runtime.run_job(make_uniform_sample_job(k)).single(SAMPLE_KEY)
         if seed_centers.shape[0] < k:
@@ -306,7 +325,9 @@ def mr_random_kmeans(
             breakdown={"init": init_minutes,
                        "lloyd": runtime.simulated_minutes - init_minutes},
             params={"k": k, "n_splits": n_splits, "workers": runtime.workers,
-                    "backend": runtime.backend.name},
+                    "backend": runtime.backend.name,
+                    "shuffle_budget": runtime.shuffle_budget},
+            shuffle=_shuffle_telemetry(runtime),
         )
 
 

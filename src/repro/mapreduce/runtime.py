@@ -31,8 +31,21 @@ rely on this).
 
 Out-of-core input: the dataset is accessed through a
 :class:`~repro.data.splits.SplitSource`; pass a path (or
-:class:`~repro.data.splits.MmapSplitSource`) to stream splits from a
-memory-mapped ``.npy``/``.npz`` file instead of RAM.
+:class:`~repro.data.splits.MmapSplitSource` /
+:class:`~repro.data.splits.ShardedSplitSource` for a directory of
+shards) to stream splits from memory-mapped files instead of RAM.
+
+Out-of-core shuffle: emissions flow through a
+:class:`~repro.shuffle.store.ShuffleStore`.  By default that is the
+in-memory store (the historical zero-copy path); give the runtime a
+``shuffle_budget`` (bytes; or set ``REPRO_SHUFFLE_BUDGET_MB`` / the
+CLI's ``--shuffle-budget-mib``) and the shuffle spills to disk past the
+budget instead — map tasks spill fat output locally and ship back only
+file manifests, the driver pre-aggregates / hash-partitions / spills the
+rest, and the reduce phase streams groups from a deterministic sorted
+external merge in budget-bounded windows.  Centers, costs, counters, and
+output key order stay bit-identical between stores (the property tests
+pin this); only the spill telemetry and the simulated spill time differ.
 """
 
 from __future__ import annotations
@@ -49,6 +62,18 @@ from repro.exec import ExecBackend, get_backend, resolve_backend
 from repro.mapreduce.cluster import ClusterModel, PhaseTime
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import KeyValue, MapReduceJob, SplitContext
+from repro.shuffle.accounting import estimate_nbytes, record_nbytes
+from repro.shuffle.config import resolve_shuffle_budget
+from repro.shuffle.spill import SpillManifest
+from repro.shuffle.store import (
+    MapSpillSpec,
+    ShuffleStore,
+    SpillingShuffleStore,
+    make_shuffle_store,
+    reduce_key_order as _reduce_key_order,
+    sorted_reduce_keys as _sorted_reduce_keys,
+    spill_map_emissions,
+)
 from repro.types import SeedLike
 from repro.utils.rng import ensure_generator, spawn_generators
 
@@ -115,38 +140,16 @@ def resolve_mr_workers(workers: int | None = None) -> int:
     return int(workers)
 
 
-def estimate_nbytes(value: Any) -> int:
-    """Rough serialized size of an emitted value, for shuffle accounting.
-
-    Exact wire format is irrelevant — only *relative* shuffle volume
-    matters to the model — so: ndarray = its buffer, scalars = 8 bytes,
-    containers = sum of elements + 8 per slot of framing. Dict entries
-    charge their *keys* through the same rules (a record's key is payload
-    too: string/tuple/array keys ship real bytes through the shuffle).
-    """
-    if isinstance(value, np.ndarray):
-        return int(value.nbytes)
-    if isinstance(value, (bytes, bytearray)):
-        return len(value)
-    if isinstance(value, str):
-        return len(value.encode())
-    if isinstance(value, (tuple, list)):
-        return 8 * len(value) + sum(estimate_nbytes(v) for v in value)
-    if isinstance(value, dict):
-        return sum(
-            8 + estimate_nbytes(k) + estimate_nbytes(v) for k, v in value.items()
-        )
-    return 8  # int / float / bool / None
-
-
-def record_nbytes(key: Hashable, value: Any) -> int:
-    """Shuffle bytes of one emitted record: framing + key + value."""
-    return 8 + estimate_nbytes(key) + estimate_nbytes(value)
-
-
 @dataclass
 class JobStats:
-    """Everything measured while executing one job."""
+    """Everything measured while executing one job.
+
+    ``shuffle_records`` / ``shuffle_bytes`` are store-independent (both
+    shuffle stores account them on the same scale); the ``spill_*`` and
+    ``shuffle_peak_bytes`` fields are the out-of-core telemetry — zero
+    whenever the shuffle stayed in memory... except ``shuffle_peak_bytes``,
+    which for the in-memory store simply equals the whole shuffle.
+    """
 
     name: str
     n_splits: int
@@ -159,6 +162,9 @@ class JobStats:
     map_flops_per_split: list[float] = field(default_factory=list)
     reduce_flops: float = 0.0
     broadcast_bytes: int = 0
+    spill_bytes: int = 0  #: real bytes written to shuffle spill files
+    spill_files: int = 0
+    shuffle_peak_bytes: int = 0  #: peak driver-held shuffle residency
     time: PhaseTime | None = None
 
 
@@ -195,6 +201,13 @@ class _MapTaskResult:
     in-process backends it is the same object the runtime handed out, but
     a process backend round-trips it through pickle, so the runtime
     re-installs it by split index either way.
+
+    Exactly one of ``emissions`` / ``manifest`` carries the task's
+    output: under a spilling shuffle, a task whose post-combine output
+    exceeds the spill spec's threshold writes it to a local spill file
+    and ships back only the :class:`~repro.shuffle.spill.SpillManifest`
+    — for the process backend, a few hundred bytes of IPC instead of the
+    whole pickled emission list.
     """
 
     emissions: list[tuple[Hashable, Any]]
@@ -202,6 +215,7 @@ class _MapTaskResult:
     flops: float
     counters: Counters
     state: dict[str, Any]
+    manifest: SpillManifest | None = None
 
 
 def _execute_map_task(
@@ -211,6 +225,7 @@ def _execute_map_task(
     n_splits: int,
     rng: np.random.Generator,
     state: dict[str, Any],
+    spill_spec: MapSpillSpec | None = None,
 ) -> _MapTaskResult:
     """One map task (plus its combine, which is split-local).
 
@@ -255,12 +270,19 @@ def _execute_map_task(
         flops += float(combiner.work)
         emissions = combined
 
+    manifest = None
+    if spill_spec is not None:
+        manifest = spill_map_emissions(spill_spec, split_id, emissions)
+        if manifest is not None:
+            emissions = []
+
     return _MapTaskResult(
         emissions=emissions,
         map_emitted=map_emitted,
         flops=flops,
         counters=counters,
         state=state,
+        manifest=manifest,
     )
 
 
@@ -283,26 +305,6 @@ def _execute_reduce_task(
             f"reducer failed in job {job_name!r} for key {key!r}: {exc}"
         ) from exc
     return results, float(reducer.work)
-
-
-def _reduce_key_order(key: Hashable) -> tuple[str, Any]:
-    """Total-order sort key over heterogeneous reduce keys.
-
-    Keys of different Python types (the Lloyd job mixes a string phi key
-    with ``(prefix, cluster)`` tuples) are ordered by type name first, so
-    any hashable mix sorts without cross-type comparisons.
-    """
-    return (type(key).__name__, key)
-
-
-def _sorted_reduce_keys(grouped: dict[Hashable, list[Any]]) -> list[Hashable]:
-    """Deterministic reduce-key order, independent of emission order."""
-    try:
-        return sorted(grouped, key=_reduce_key_order)
-    except TypeError:
-        # Same-type but unorderable keys: fall back to their repr, which
-        # is still content-derived (never id-based for sane key types).
-        return sorted(grouped, key=lambda k: (type(k).__name__, repr(k)))
 
 
 class LocalMapReduceRuntime:
@@ -335,6 +337,15 @@ class LocalMapReduceRuntime:
         ``"thread"`` / ``"process"``), or ``None`` to follow the
         process-wide backend (:func:`repro.exec.get_backend`) at each
         job — which is what the CLI's ``--backend`` flag configures.
+    shuffle_budget:
+        Driver-held shuffle residency budget in *bytes*. ``None``
+        resolves via :func:`repro.shuffle.resolve_shuffle_budget`
+        (the CLI's ``--shuffle-budget-mib``, then
+        ``REPRO_SHUFFLE_BUDGET_MB``); if nothing is configured the
+        shuffle is held in memory (the historical zero-copy path). Any
+        value ``<= 0`` forces the in-memory store regardless of the
+        environment. Results are bit-identical either way; only where
+        the bytes live (and the spill telemetry) changes.
 
     Attributes
     ----------
@@ -343,6 +354,11 @@ class LocalMapReduceRuntime:
     simulated_seconds:
         Total simulated wall-clock so far, including any sequential
         driver sections charged via :meth:`charge_sequential`.
+    shuffle_counters:
+        Runtime-lifetime spill telemetry (``shuffle/spill_bytes``,
+        ``shuffle/spill_files``, ``shuffle/spilled_jobs``), kept apart
+        from job counters so job output stays bit-identical between
+        shuffle stores.
     """
 
     def __init__(
@@ -354,6 +370,7 @@ class LocalMapReduceRuntime:
         seed: SeedLike = None,
         workers: int | None = None,
         backend: ExecBackend | str | None = None,
+        shuffle_budget: int | None = None,
     ):
         try:
             self.source = as_split_source(X)
@@ -370,8 +387,12 @@ class LocalMapReduceRuntime:
         try:
             self.workers = resolve_mr_workers(workers)
             self._backend = None if backend is None else resolve_backend(backend)
+            self.shuffle_budget = resolve_shuffle_budget(shuffle_budget)
         except ValidationError as exc:
             raise MapReduceError(str(exc)) from exc
+        #: Runtime-lifetime spill telemetry (see class docstring).
+        self.shuffle_counters = Counters()
+        self._active_store: ShuffleStore | None = None
         # A backend this runtime constructed (from a name) is this
         # runtime's to shut down; a shared instance (or the process-wide
         # default) is not.
@@ -414,8 +435,12 @@ class LocalMapReduceRuntime:
         A backend built from a *name* passed to the constructor (e.g.
         ``backend="process"``) is owned by this runtime and shut down
         here; the process-wide default or a caller-provided instance is
-        left running.
+        left running.  Any in-flight shuffle store (an interrupted job's)
+        is closed too, deleting its spill files.
         """
+        if self._active_store is not None:
+            self._active_store.close()
+            self._active_store = None
         if self._owns_backend and self._backend is not None:
             self._backend.shutdown()
 
@@ -436,98 +461,169 @@ class LocalMapReduceRuntime:
         split_rngs = spawn_generators(self._seed_root, self.n_splits)
         broadcast_bytes = estimate_nbytes(job.broadcast) if job.broadcast is not None else 0
 
-        # ---- map (+ per-split combine) phase: fan out via the backend ----
-        # Tasks are shipped as picklable split descriptors (path + range
-        # for file-backed sources), so a process backend re-opens the
-        # memory map in the child instead of serializing the rows.
-        calls = [
-            (
-                job,
-                self.source.descriptor(self._bounds[i], self._bounds[i + 1]),
-                i,
-                self.n_splits,
-                split_rngs[i],
-                self.split_states[i],
+        # One shuffle store per job: in-memory unless a budget is set.
+        # Spill files (the driver's and the map tasks') all live in the
+        # store's managed temp dir, deleted in the ``finally`` below —
+        # so an interrupt mid-job leaves nothing behind.
+        store = make_shuffle_store(
+            self.shuffle_budget, combiner_factory=job.combiner_factory
+        )
+        self._active_store = store
+        spill_spec = (
+            store.map_spill_spec(self.n_splits)
+            if isinstance(store, SpillingShuffleStore)
+            else None
+        )
+        try:
+            # ---- map (+ per-split combine) phase: fan out via the backend ----
+            # Tasks are shipped as picklable split descriptors (path +
+            # range for file-backed sources), so a process backend
+            # re-opens the memory map in the child instead of serializing
+            # the rows.  Under a spilling shuffle, tasks with fat output
+            # spill locally and ship back only a manifest.
+            calls = [
+                (
+                    job,
+                    self.source.descriptor(self._bounds[i], self._bounds[i + 1]),
+                    i,
+                    self.n_splits,
+                    split_rngs[i],
+                    self.split_states[i],
+                    spill_spec,
+                )
+                for i in range(self.n_splits)
+            ]
+            task_results: list[_MapTaskResult] = backend.run_calls(
+                _execute_map_task, calls, parallelism=self.workers
             )
-            for i in range(self.n_splits)
-        ]
-        task_results: list[_MapTaskResult] = backend.run_calls(
-            _execute_map_task, calls, parallelism=self.workers
-        )
-        # Re-install per-split state by index: in-process backends hand
-        # back the same dicts (no-op); a process backend hands back the
-        # pickled-and-updated copies from the workers.
-        for i, result in enumerate(task_results):
-            self.split_states[i] = result.state
+            # Re-install per-split state by index: in-process backends hand
+            # back the same dicts (no-op); a process backend hands back the
+            # pickled-and-updated copies from the workers.
+            for i, result in enumerate(task_results):
+                self.split_states[i] = result.state
 
-        counters = Counters()
-        for result in task_results:  # merged in split order: deterministic
-            counters.merge(result.counters)
-        per_split_emissions = [r.emissions for r in task_results]
-        map_flops = [r.flops for r in task_results]
-        map_records = int(self._bounds[-1] - self._bounds[0])
-        map_emitted = sum(r.map_emitted for r in task_results)
-        combine_emitted = (
-            sum(len(e) for e in per_split_emissions)
-            if job.combiner_factory is not None
-            else 0
-        )
+            counters = Counters()
+            for result in task_results:  # merged in split order: deterministic
+                counters.merge(result.counters)
+            map_flops = [r.flops for r in task_results]
+            map_records = int(self._bounds[-1] - self._bounds[0])
+            map_emitted = sum(r.map_emitted for r in task_results)
 
-        # ---- shuffle ----
-        shuffle_records = sum(len(e) for e in per_split_emissions)
-        shuffle_bytes = sum(
-            record_nbytes(k, v) for e in per_split_emissions for k, v in e
-        )
-        grouped = _group(kv for e in per_split_emissions for kv in e)
-
-        # ---- reduce phase: independent per key, fanned out in sorted
-        # key order so both the fold and the output order are
-        # deterministic regardless of split emission order ----
-        reduce_keys = _sorted_reduce_keys(grouped)
-        reduce_results = backend.run_calls(
-            _execute_reduce_task,
-            [(job.reducer_factory, job.name, key, grouped[key]) for key in reduce_keys],
-            parallelism=self.workers,
-        )
-        output: dict[Hashable, list[Any]] = {}
-        reduce_flops = 0.0
-        reduce_emitted = 0
-        for results, work in reduce_results:  # sorted-key order: deterministic
-            reduce_flops += work
-            for out_key, out_value in results:
-                output.setdefault(out_key, []).append(out_value)
-                reduce_emitted += 1
-
-        # ---- simulated clock ----
-        bytes_per_split = [
-            float(
-                self.source.block_nbytes(self._bounds[i], self._bounds[i + 1])
-                + broadcast_bytes
+            # ---- shuffle: ingest into the store, in split order (the
+            # emission sequence numbers and any pre-aggregation fold
+            # depend on this order — it is what makes results identical
+            # across backends and worker counts) ----
+            for i, result in enumerate(task_results):
+                if result.manifest is not None:
+                    store.add_manifest(result.manifest)
+                else:
+                    store.add_split(i, result.emissions)
+                result.emissions = []  # drop driver references promptly
+            shuffle_records = store.stats.records
+            shuffle_bytes = store.stats.nbytes
+            combine_emitted = (
+                shuffle_records if job.combiner_factory is not None else 0
             )
-            for i in range(self.n_splits)
-        ]
-        stats = JobStats(
-            name=job.name,
-            n_splits=self.n_splits,
-            map_records=map_records,
-            map_emitted=map_emitted,
-            combine_emitted=combine_emitted,
-            shuffle_records=shuffle_records,
-            shuffle_bytes=shuffle_bytes,
-            reduce_emitted=reduce_emitted,
-            map_flops_per_split=map_flops,
-            reduce_flops=reduce_flops,
-            broadcast_bytes=broadcast_bytes,
-        )
-        stats.time = self.cluster.job_time(
-            map_flops_per_split=map_flops,
-            map_bytes_per_split=bytes_per_split,
-            shuffle_bytes=shuffle_bytes,
-            reduce_flops=reduce_flops,
-        )
-        self.simulated_seconds += stats.time.total
-        self.job_log.append(stats)
-        return JobResult(output=output, counters=counters, stats=stats)
+
+            # ---- reduce phase: independent per key, streamed from the
+            # store in budget-bounded windows (the in-memory store serves
+            # everything as one window, in sorted key order — the
+            # historical behavior).  Output and work are re-ordered by
+            # the sorted reduce-key rule afterwards, so both are
+            # bit-identical whichever store (and window shape) ran. ----
+            window: list[tuple[Hashable, list[Any], int]] = []
+            window_bytes = 0
+            window_cap = store.reduce_window_bytes
+            reduced: dict[Hashable, tuple[list[KeyValue], float]] = {}
+
+            def _flush_window() -> None:
+                nonlocal window_bytes
+                if not window:
+                    return
+                results = backend.run_calls(
+                    _execute_reduce_task,
+                    [
+                        (job.reducer_factory, job.name, key, values)
+                        for key, values, _ in window
+                    ],
+                    parallelism=self.workers,
+                )
+                for (key, _values, _nb), result in zip(window, results):
+                    reduced[key] = result
+                window.clear()
+                store.discharge(window_bytes)
+                window_bytes = 0
+
+            for key, values, group_nbytes in store.groups():
+                window.append((key, values, group_nbytes))
+                window_bytes += group_nbytes
+                if window_cap is not None and window_bytes >= window_cap:
+                    _flush_window()
+            _flush_window()
+
+            output: dict[Hashable, list[Any]] = {}
+            # Pre-aggregation folds are reduce work done early; 0.0 for
+            # the in-memory store. All work terms are integer-valued, so
+            # this sum is exact and grouping-independent.
+            reduce_flops = store.stats.combine_flops
+            reduce_emitted = 0
+            for key in _sorted_reduce_keys(reduced):  # deterministic order
+                results, work = reduced[key]
+                reduce_flops += work
+                for out_key, out_value in results:
+                    output.setdefault(out_key, []).append(out_value)
+                    reduce_emitted += 1
+
+            # ---- simulated clock ----
+            bytes_per_split = [
+                float(
+                    self.source.block_nbytes(self._bounds[i], self._bounds[i + 1])
+                    + broadcast_bytes
+                )
+                for i in range(self.n_splits)
+            ]
+            stats = JobStats(
+                name=job.name,
+                n_splits=self.n_splits,
+                map_records=map_records,
+                map_emitted=map_emitted,
+                combine_emitted=combine_emitted,
+                shuffle_records=shuffle_records,
+                shuffle_bytes=shuffle_bytes,
+                reduce_emitted=reduce_emitted,
+                map_flops_per_split=map_flops,
+                reduce_flops=reduce_flops,
+                broadcast_bytes=broadcast_bytes,
+                spill_bytes=store.stats.spill_bytes,
+                spill_files=store.stats.spill_files,
+                shuffle_peak_bytes=store.stats.peak_bytes,
+            )
+            stats.time = self.cluster.job_time(
+                map_flops_per_split=map_flops,
+                map_bytes_per_split=bytes_per_split,
+                shuffle_bytes=shuffle_bytes,
+                reduce_flops=reduce_flops,
+                spill_bytes=float(stats.spill_bytes),
+            )
+            if stats.spill_files:
+                self.shuffle_counters.increment("shuffle", "spilled_jobs", 1)
+                self.shuffle_counters.increment(
+                    "shuffle", "spill_files", stats.spill_files
+                )
+                self.shuffle_counters.increment(
+                    "shuffle", "spill_bytes", stats.spill_bytes
+                )
+            self.shuffle_counters.record_max(
+                "shuffle", "peak_bytes", stats.shuffle_peak_bytes
+            )
+            self.simulated_seconds += stats.time.total
+            self.job_log.append(stats)
+            return JobResult(output=output, counters=counters, stats=stats)
+        finally:
+            # Normal completion, failure, or interrupt: the job's spill
+            # files are gone before the caller sees the JobResult.
+            store.close()
+            self._active_store = None
 
     # ------------------------------------------------------------------
     def charge_sequential(self, flops: float, label: str = "driver") -> float:
@@ -557,6 +653,11 @@ class LocalMapReduceRuntime:
     def simulated_minutes(self) -> float:
         """Simulated wall-clock in minutes (Table 4's unit)."""
         return self.simulated_seconds / 60.0
+
+    @property
+    def peak_shuffle_bytes(self) -> int:
+        """Largest driver-held shuffle residency of any job so far."""
+        return max((s.shuffle_peak_bytes for s in self.job_log), default=0)
 
 
 def _group(emissions) -> dict[Hashable, list[Any]]:

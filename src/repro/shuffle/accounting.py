@@ -1,0 +1,70 @@
+"""Byte accounting shared by every shuffle store.
+
+One function decides how many bytes an emitted record "weighs":
+:func:`estimate_nbytes`.  Both the in-memory and the spilling shuffle
+store charge records through it — the spill trigger, the spill-file
+telemetry, and the simulated cluster's shuffle term all read the same
+scale, so switching stores never changes what a job *reports* moving,
+only where the bytes are held.
+
+Exact wire format is irrelevant — only *relative* shuffle volume matters
+to the cost model — so the rules are simple and cheap: an ndarray is its
+buffer, a NumPy scalar its itemsize, strings/bytes their length,
+containers charge an 8-byte header plus 8 bytes of framing per slot plus
+their elements.  Dict entries charge their *keys* through the same rules
+(a record's key is payload too: string/tuple/array keys ship real bytes
+through the shuffle).
+
+Historical note: containers used to be undercounted — an empty tuple or
+a nested dict weighed 0 bytes, sets weighed 8 regardless of contents,
+and wide NumPy scalars (``complex128``, ``longdouble``) were charged 8.
+A spilling store turns those estimates into real buffer-management
+decisions, so they are now counted honestly (regression tests pin this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+import numpy as np
+
+__all__ = ["estimate_nbytes", "record_nbytes"]
+
+#: Framing charged per record / container slot (length prefix + tag).
+FRAME_BYTES = 8
+
+
+def estimate_nbytes(value: Any) -> int:
+    """Rough serialized size of an emitted value, for shuffle accounting.
+
+    ndarray = its buffer; NumPy scalar = its itemsize; str/bytes = their
+    length; tuple/list/set/frozenset = header + 8 per slot + elements;
+    dict = header + (framing + key + value) per entry; anything else
+    (int / float / bool / None) = 8.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, np.generic):
+        # NumPy scalars (np.float64, np.complex128, ...) know their true
+        # width; the old code fell through to the 8-byte default and
+        # undercounted every dtype wider than a machine word.
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode())
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return FRAME_BYTES + FRAME_BYTES * len(value) + sum(
+            estimate_nbytes(v) for v in value
+        )
+    if isinstance(value, dict):
+        return FRAME_BYTES + sum(
+            FRAME_BYTES + estimate_nbytes(k) + estimate_nbytes(v)
+            for k, v in value.items()
+        )
+    return 8  # int / float / bool / None
+
+
+def record_nbytes(key: Hashable, value: Any) -> int:
+    """Shuffle bytes of one emitted record: framing + key + value."""
+    return FRAME_BYTES + estimate_nbytes(key) + estimate_nbytes(value)

@@ -1,0 +1,74 @@
+"""Shuffle budget resolution: argument > process default > environment.
+
+The budget is expressed in *bytes* at the API (mirroring the engine's
+``chunk_bytes``); the environment variable and CLI flag take mebibytes
+(fractions allowed, so CI can force multi-spill with e.g. ``0.05``).
+
+``None`` everywhere means "no budget": the runtime uses the in-memory
+store, which is the historical behavior and the zero-copy fast path.
+An explicit non-positive budget also means in-memory (so a caller can
+force the fast path under a budgeted environment).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "ENV_SHUFFLE_BUDGET",
+    "resolve_shuffle_budget",
+    "set_default_shuffle_budget",
+]
+
+#: Environment variable holding the default budget, in MiB (float OK).
+ENV_SHUFFLE_BUDGET = "REPRO_SHUFFLE_BUDGET_MB"
+
+#: Process-wide default installed by :func:`set_default_shuffle_budget`
+#: (the CLI's ``--shuffle-budget-mib`` lands here), in bytes.
+_default_budget: int | None = None
+
+
+def set_default_shuffle_budget(budget_bytes: int | None) -> int | None:
+    """Install a process-wide default shuffle budget; returns the previous.
+
+    ``None`` resets to the environment-derived default; a non-positive
+    value pins the in-memory store process-wide.
+    """
+    global _default_budget
+    previous = _default_budget
+    if budget_bytes is None:
+        _default_budget = None
+    else:
+        _default_budget = int(budget_bytes) if budget_bytes > 0 else 0
+    return previous
+
+
+def _budget_from_env() -> int | None:
+    raw = os.environ.get(ENV_SHUFFLE_BUDGET)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        mib = float(raw)
+    except ValueError as exc:
+        raise ValidationError(
+            f"{ENV_SHUFFLE_BUDGET} must be a number (MiB), got {raw!r}"
+        ) from exc
+    if mib <= 0:
+        return None
+    return max(1, int(mib * 1024 * 1024))
+
+
+def resolve_shuffle_budget(budget_bytes: int | None = None) -> int | None:
+    """Resolve the shuffle budget (bytes) for a new runtime.
+
+    Precedence: explicit argument > :func:`set_default_shuffle_budget`
+    (the CLI's ``--shuffle-budget-mib``) > ``REPRO_SHUFFLE_BUDGET_MB``.
+    Returns ``None`` for the in-memory store.
+    """
+    if budget_bytes is not None:
+        return int(budget_bytes) if budget_bytes > 0 else None
+    if _default_budget is not None:
+        return _default_budget if _default_budget > 0 else None
+    return _budget_from_env()

@@ -1,0 +1,175 @@
+"""Spill files: sorted on-disk runs of shuffle records, and their merge.
+
+A *record* in the shuffle is the 5-tuple ``(ckey, seq, nbytes, key,
+value)``:
+
+``ckey``
+    The canonical ordering key :func:`canonical_order_key` derives from
+    the record's reduce key — a content-based total order that every
+    writer (driver or map-side worker, any process) computes
+    identically, so independently-written runs merge consistently.
+``seq``
+    ``(split_id, index)``: the record's position in the global emission
+    order (splits are ingested in split order, emissions keep their
+    within-split order).  Sorting by ``(ckey, seq)`` therefore groups a
+    key's values contiguously *and* keeps them in exactly the order the
+    in-memory shuffle would have handed them to the reducer — the
+    property that makes the spilling store bit-identical.
+``nbytes``
+    The record's :func:`~repro.shuffle.accounting.record_nbytes` weight,
+    carried so readers can account residency without re-estimating.
+
+A :class:`SpillRun` is a picklable descriptor of one sorted run inside a
+spill file (mirroring :class:`~repro.data.splits.SplitDescriptor`): path,
+byte offset, record count.  Map tasks that spill locally hand the driver
+a :class:`SpillManifest` — one file, one run per hash partition — instead
+of shipping pickled emission lists back through the backend.
+
+:func:`iter_merged_groups` is the deterministic sorted-key external
+merge: a heap-merge of any number of sorted streams, yielding one
+``(key, values, nbytes)`` group at a time in canonical key order.  Only
+the current group's values are materialized, which is what bounds driver
+memory during the reduce phase of a spilled job.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+import zlib
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Iterator
+
+from repro.shuffle.accounting import record_nbytes
+
+__all__ = [
+    "SpillRecord",
+    "SpillRun",
+    "SpillManifest",
+    "canonical_order_key",
+    "key_partition",
+    "make_record",
+    "write_run",
+    "iter_merged_groups",
+]
+
+#: ``(ckey, seq, nbytes, key, value)``.
+SpillRecord = tuple[tuple[str, str], tuple[int, int], int, Hashable, Any]
+
+#: Pickle protocol for spill files (fixed, so driver and workers agree).
+_PROTOCOL = min(5, pickle.HIGHEST_PROTOCOL)
+
+
+def canonical_order_key(key: Hashable) -> tuple[str, str]:
+    """Content-based total order over heterogeneous reduce keys.
+
+    ``(type name, repr)`` — computable for any key, identical in every
+    process (unlike ``hash(str)``, which is salted per interpreter).
+    This order decides how runs are *stored and merged*; the final
+    reduce output is re-ordered by the runtime's usual sorted-key rule,
+    so merge order never leaks into user-visible key order.
+    """
+    return (type(key).__name__, repr(key))
+
+
+def key_partition(key: Hashable, n_partitions: int) -> int:
+    """Stable hash partition of a reduce key, identical across processes."""
+    name, rep = canonical_order_key(key)
+    return zlib.crc32(f"{name}\x00{rep}".encode()) % n_partitions
+
+
+def make_record(key: Hashable, value: Any, split_id: int, index: int) -> SpillRecord:
+    """Build the shuffle record for one emission."""
+    return (
+        canonical_order_key(key),
+        (split_id, index),
+        record_nbytes(key, value),
+        key,
+        value,
+    )
+
+
+@dataclass(frozen=True)
+class SpillRun:
+    """Picklable descriptor of one sorted run of records inside a file."""
+
+    path: str
+    offset: int
+    n_records: int
+    nbytes: int  #: accounted payload bytes (sum of record ``nbytes``)
+
+    def iter_records(self) -> Iterator[SpillRecord]:
+        """Stream the run's records back, in their stored (sorted) order."""
+        with open(self.path, "rb") as fh:
+            fh.seek(self.offset)
+            for _ in range(self.n_records):
+                yield pickle.load(fh)
+
+
+@dataclass(frozen=True)
+class SpillManifest:
+    """What a map task that spilled locally ships back to the driver.
+
+    One spill file, one sorted run per non-empty hash partition.  The
+    pickled manifest is a few hundred bytes — versus the full emission
+    list a fat no-combiner map task would otherwise send through the
+    backend (for the process backend: through the IPC pipe).
+    """
+
+    path: str
+    runs: tuple[tuple[int, SpillRun], ...]  #: ``(partition, run)`` pairs
+    n_records: int  #: total emissions covered
+    nbytes: int  #: total accounted payload bytes
+    file_bytes: int  #: actual bytes written to the spill file
+
+
+def write_run(fh, records: list[SpillRecord]) -> SpillRun:
+    """Append one sorted run to an open binary file; returns its descriptor.
+
+    ``records`` must already be sorted by ``(ckey, seq)``; each record is
+    pickled back to back so readers can stream them without an index.
+    """
+    offset = fh.tell()
+    for rec in records:
+        pickle.dump(rec, fh, protocol=_PROTOCOL)
+    return SpillRun(
+        path=fh.name,
+        offset=offset,
+        n_records=len(records),
+        nbytes=sum(rec[2] for rec in records),
+    )
+
+
+def _merge_order(rec: SpillRecord) -> tuple[tuple[str, str], tuple[int, int]]:
+    return (rec[0], rec[1])
+
+
+def iter_merged_groups(
+    streams: Iterable[Iterator[SpillRecord]],
+) -> Iterator[tuple[Hashable, list[Any], int]]:
+    """Heap-merge sorted record streams; yield ``(key, values, nbytes)``.
+
+    Groups appear in canonical key order; values within a group appear in
+    global emission order (``seq``), exactly as the in-memory shuffle
+    groups them.  Distinct keys that collide on the canonical order key
+    (same type name *and* repr — possible only for exotic key types) are
+    separated by real key equality and emitted in first-appearance order.
+    """
+    merged = heapq.merge(*streams, key=_merge_order)
+    current_ckey: tuple[str, str] | None = None
+    # key -> [values, nbytes], insertion-ordered (= first-seq order).
+    bucket: dict[Hashable, list] = {}
+    for ckey, _seq, nb, key, value in merged:
+        if ckey != current_ckey:
+            for k, (values, total) in bucket.items():
+                yield k, values, total
+            bucket = {}
+            current_ckey = ckey
+        entry = bucket.get(key)
+        if entry is None:
+            bucket[key] = [[value], nb]
+        else:
+            entry[0].append(value)
+            entry[1] += nb
+    for k, (values, total) in bucket.items():
+        yield k, values, total

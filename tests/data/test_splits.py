@@ -10,6 +10,7 @@ from repro.data.io import save_dataset
 from repro.data.splits import (
     ArraySplitSource,
     MmapSplitSource,
+    ShardedSplitSource,
     SplitSource,
     as_split_source,
 )
@@ -83,6 +84,109 @@ class TestMmapSplitSource:
             MmapSplitSource(tmp_path / "absent.npy")
 
 
+class TestShardedSplitSource:
+    @pytest.fixture
+    def shard_dir(self, X, tmp_path):
+        d = tmp_path / "shards"
+        d.mkdir()
+        # Uneven shard sizes on purpose: 37 rows as 10 + 20 + 7.
+        for i, (lo, hi) in enumerate([(0, 10), (10, 30), (30, 37)]):
+            np.save(d / f"shard-{i:03d}.npy", X[lo:hi])
+        return d
+
+    def test_presents_one_dataset(self, X, shard_dir):
+        src = ShardedSplitSource(shard_dir)
+        assert src.n_shards == 3
+        assert src.shape == X.shape
+        assert src.dtype == X.dtype
+        np.testing.assert_array_equal(np.asarray(src.as_array()), X)
+
+    def test_blocks_match_monolithic_source(self, X, shard_dir):
+        src = ShardedSplitSource(shard_dir)
+        mem = ArraySplitSource(X)
+        # Within-shard, boundary-straddling, and all-shards ranges.
+        for lo, hi in [(0, 5), (3, 10), (8, 25), (5, 37), (0, 37), (12, 13)]:
+            np.testing.assert_array_equal(src.block(lo, hi), mem.block(lo, hi))
+            assert src.block_nbytes(lo, hi) == mem.block_nbytes(lo, hi)
+
+    def test_within_shard_block_is_a_view(self, X, shard_dir):
+        src = ShardedSplitSource(shard_dir)
+        block = src.block(11, 25)  # entirely inside shard 1
+        assert block.base is not None  # memmap slice, no copy
+
+    def test_empty_ranges_behave_like_other_sources(self, X, shard_dir):
+        src = ShardedSplitSource(shard_dir)
+        # Including ranges starting exactly on a shard boundary.
+        for lo, hi in [(0, 0), (10, 10), (30, 30), (37, 37), (12, 12)]:
+            block = src.block(lo, hi)
+            assert block.shape == (0, X.shape[1])
+            loaded = src.descriptor(lo, hi).load()
+            assert loaded.shape == (0, X.shape[1])
+
+    def test_descriptors_ship_paths_not_rows(self, X, shard_dir):
+        import pickle
+
+        from repro.data.splits import MmapSplitDescriptor, ShardedSplitDescriptor
+
+        src = ShardedSplitSource(shard_dir)
+        inside = src.descriptor(12, 28)
+        assert isinstance(inside, MmapSplitDescriptor)
+        straddling = src.descriptor(5, 35)  # covers all three shards
+        assert isinstance(straddling, ShardedSplitDescriptor)
+        assert len(straddling.pieces) == 3
+        assert len(pickle.dumps(straddling)) < 1000
+        clone = pickle.loads(pickle.dumps(straddling))
+        np.testing.assert_array_equal(clone.load(), X[5:35])
+
+    def test_runs_the_mr_pipeline_identically(self, X, shard_dir):
+        from repro.mapreduce.kmeans_mr import mr_scalable_kmeans
+
+        a = mr_scalable_kmeans(X, 3, l=6.0, r=2, n_splits=4, seed=9,
+                               lloyd_max_iter=2)
+        b = mr_scalable_kmeans(ShardedSplitSource(shard_dir), 3, l=6.0, r=2,
+                               n_splits=4, seed=9, lloyd_max_iter=2)
+        assert a.centers.tobytes() == b.centers.tobytes()
+        assert a.final_cost == b.final_cost
+        assert a.seed_cost == b.seed_cost
+
+    def test_shard_order_is_filename_order(self, X, tmp_path):
+        d = tmp_path / "named"
+        d.mkdir()
+        np.save(d / "b.npy", X[20:])
+        np.save(d / "a.npy", X[:20])
+        src = ShardedSplitSource(d)
+        np.testing.assert_array_equal(np.asarray(src.as_array()), X)
+
+    def test_rejects_empty_directory(self, tmp_path):
+        d = tmp_path / "empty"
+        d.mkdir()
+        with pytest.raises(ValidationError, match="no shards"):
+            ShardedSplitSource(d)
+
+    def test_rejects_mismatched_columns(self, X, tmp_path):
+        d = tmp_path / "bad"
+        d.mkdir()
+        np.save(d / "a.npy", X)
+        np.save(d / "b.npy", np.ones((4, X.shape[1] + 1)))
+        with pytest.raises(ValidationError, match="columns"):
+            ShardedSplitSource(d)
+
+    def test_rejects_mismatched_dtype(self, X, tmp_path):
+        d = tmp_path / "bad"
+        d.mkdir()
+        np.save(d / "a.npy", X)
+        np.save(d / "b.npy", X.astype(np.float32))
+        with pytest.raises(ValidationError, match="dtype"):
+            ShardedSplitSource(d)
+
+    def test_rejects_1d_shard(self, X, tmp_path):
+        d = tmp_path / "bad"
+        d.mkdir()
+        np.save(d / "a.npy", np.arange(8.0))
+        with pytest.raises(ValidationError, match="2-d"):
+            ShardedSplitSource(d)
+
+
 class TestAsSplitSource:
     def test_passthrough(self, X):
         src = ArraySplitSource(X)
@@ -97,6 +201,14 @@ class TestAsSplitSource:
         src = as_split_source(str(path))
         assert isinstance(src, MmapSplitSource)
         assert isinstance(as_split_source(path), MmapSplitSource)
+
+    def test_from_directory(self, X, tmp_path):
+        d = tmp_path / "shards"
+        d.mkdir()
+        np.save(d / "only.npy", X)
+        src = as_split_source(str(d))
+        assert isinstance(src, ShardedSplitSource)
+        assert isinstance(as_split_source(d), ShardedSplitSource)
 
     def test_rejects_other(self):
         with pytest.raises(ValidationError, match="expected"):

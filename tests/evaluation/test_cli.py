@@ -223,3 +223,81 @@ class TestExecFlags:
         out = capsys.readouterr().out
         assert "backend=process" in out
         assert "workers=3" in out
+
+
+class TestShuffleBudgetFlag:
+    """Global --shuffle-budget-mib wiring (out-of-core shuffle)."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_shuffle_default(self):
+        from repro.shuffle import set_default_shuffle_budget
+
+        previous = set_default_shuffle_budget(None)
+        yield
+        set_default_shuffle_budget(previous)
+
+    @pytest.fixture
+    def dataset_npy(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        path = tmp_path / "blobs.npy"
+        np.save(path, rng.normal(size=(240, 3)))
+        return path
+
+    def test_flag_parsed_fractional(self):
+        args = build_parser().parse_args(
+            ["--shuffle-budget-mib", "0.25", "list"]
+        )
+        assert args.shuffle_budget_mib == 0.25
+
+    def test_flag_installs_process_default(self, capsys):
+        from repro.shuffle import resolve_shuffle_budget
+
+        assert main(["--shuffle-budget-mib", "2", "list"]) == 0
+        assert resolve_shuffle_budget() == 2 * 1024 * 1024
+        capsys.readouterr()
+
+    def test_zero_forces_in_memory_over_environment(self, monkeypatch, capsys):
+        from repro.shuffle import ENV_SHUFFLE_BUDGET, resolve_shuffle_budget
+
+        monkeypatch.setenv(ENV_SHUFFLE_BUDGET, "4")
+        assert main(["--shuffle-budget-mib", "0", "list"]) == 0
+        assert resolve_shuffle_budget() is None
+        capsys.readouterr()
+
+    def test_bad_env_is_clean_error(self, monkeypatch):
+        from repro.shuffle import ENV_SHUFFLE_BUDGET
+
+        monkeypatch.setenv(ENV_SHUFFLE_BUDGET, "lots")
+        with pytest.raises(SystemExit) as exc:
+            main(["list"])
+        assert exc.value.code == 2
+
+    def test_mr_prints_spill_telemetry(self, dataset_npy, capsys):
+        assert main([
+            "--shuffle-budget-mib", "0.002", "mr",
+            "--splits-from", str(dataset_npy),
+            "-k", "3", "--rounds", "2", "--n-splits", "3",
+            "--lloyd-max-iter", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shuffle budget=" in out
+        assert "spilled_jobs=" in out
+        assert "peak_held=" in out
+
+    def test_mr_over_shard_directory(self, tmp_path, capsys):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 3))
+        shard_dir = tmp_path / "shards"
+        shard_dir.mkdir()
+        for i, chunk in enumerate(np.array_split(X, 4)):
+            np.save(shard_dir / f"part-{i:02d}.npy", chunk)
+        assert main([
+            "mr", "--splits-from", str(shard_dir),
+            "-k", "3", "--rounds", "2", "--n-splits", "4",
+            "--lloyd-max-iter", "2",
+        ]) == 0
+        assert "k-means||" in capsys.readouterr().out

@@ -70,15 +70,46 @@ class TestEstimateNbytes:
         assert estimate_nbytes("abcd") == 4
 
     def test_tuple_framed(self):
-        assert estimate_nbytes((1.0, 2.0)) == 8 * 2 + 16
+        # 8 container header + 8 per slot + elements.
+        assert estimate_nbytes((1.0, 2.0)) == 8 + 8 * 2 + 16
 
     def test_dict_counts_key_bytes(self):
-        # 8 framing + 1 byte of key + 8 bytes of value.
-        assert estimate_nbytes({"a": 1.0}) == 17
-        assert estimate_nbytes({"abcd": 1.0}) == 20
+        # 8 container header + per entry: 8 framing + key + value.
+        assert estimate_nbytes({"a": 1.0}) == 8 + 8 + 1 + 8
+        assert estimate_nbytes({"abcd": 1.0}) == 8 + 8 + 4 + 8
 
     def test_bytes(self):
         assert estimate_nbytes(b"xyz") == 3
+
+    # -- regression: undercounting fixed for the spilling shuffle ------
+    def test_empty_containers_are_not_free(self):
+        # Used to weigh 0 bytes; a container always costs its header.
+        assert estimate_nbytes(()) == 8
+        assert estimate_nbytes([]) == 8
+        assert estimate_nbytes({}) == 8
+
+    def test_sets_counted_like_other_containers(self):
+        # Used to fall through to the 8-byte scalar default.
+        assert estimate_nbytes(frozenset({1.0})) == 8 + 8 + 8
+        assert estimate_nbytes({1.0, 2.0}) == 8 + 8 * 2 + 16
+
+    def test_numpy_scalars_charge_their_itemsize(self):
+        # np.complex128 used to be charged 8 bytes like a Python float.
+        assert estimate_nbytes(np.complex128(1 + 2j)) == 16
+        assert estimate_nbytes(np.float64(1.0)) == 8
+        assert estimate_nbytes(np.float32(1.0)) == 4
+
+    def test_nested_dict_in_container_framed(self):
+        # A nested dict used to contribute only its entries (an empty one
+        # nothing at all); now every nesting level pays its header.
+        inner = {"a": 1.0}
+        assert estimate_nbytes([inner]) == 8 + 8 + estimate_nbytes(inner)
+
+    def test_numpy_scalar_keys_consistent_between_stores(self):
+        # The same scale prices the record whether the key is a Python
+        # or a NumPy scalar of the same width — the spilling store's
+        # byte budget must not depend on which one a mapper emitted.
+        assert record_nbytes(np.int64(3), 1.0) == record_nbytes(3, 1.0)
 
 
 class TestShuffleKeyAccounting:
@@ -91,7 +122,7 @@ class TestShuffleKeyAccounting:
 
     def test_record_nbytes_string_and_tuple_keys(self):
         assert record_nbytes("a" * 32, 1.0) == 8 + 32 + 8
-        assert record_nbytes(("agg", 7), 1.0) == 8 + (8 * 2 + 3 + 8) + 8
+        assert record_nbytes(("agg", 7), 1.0) == 8 + (8 + 8 * 2 + 3 + 8) + 8
 
     def _shuffle_bytes_for_key(self, rng, key):
         class KeyedMapper(BlockMapper):
@@ -494,3 +525,138 @@ class TestSimulatedClock:
         assert stats.n_splits == 3
         assert stats.time is not None
         assert rt.simulated_minutes == pytest.approx(rt.simulated_seconds / 60.0)
+
+
+class TestOutOfCoreShuffle:
+    """Runtime-level spill wiring: telemetry, clock, and file lifecycle."""
+
+    def _point_lloyd_job(self, X, k=4):
+        from repro.mapreduce.jobs.lloyd_job import make_lloyd_job
+
+        return make_lloyd_job(X[:k].copy(), granularity="point",
+                              use_combiner=False)
+
+    def test_stats_carry_spill_telemetry(self, rng):
+        X = rng.normal(size=(400, 3))
+        rt = LocalMapReduceRuntime(X, n_splits=4, seed=0, shuffle_budget=2048)
+        stats = rt.run_job(self._point_lloyd_job(X)).stats
+        assert stats.spill_bytes > 0
+        assert stats.spill_files > 0
+        assert 0 < stats.shuffle_peak_bytes < stats.shuffle_bytes
+        assert rt.peak_shuffle_bytes == stats.shuffle_peak_bytes
+        assert rt.shuffle_counters.value("shuffle", "spilled_jobs") == 1
+        assert rt.shuffle_counters.value("shuffle", "spill_bytes") == stats.spill_bytes
+
+    def test_memory_store_reports_zero_spill(self, rng):
+        X = rng.normal(size=(60, 3))
+        # shuffle_budget=0 forces the in-memory store even when the
+        # environment (e.g. the spill CI leg) sets a global budget.
+        rt = LocalMapReduceRuntime(X, n_splits=3, seed=0, shuffle_budget=0)
+        stats = rt.run_job(make_job()).stats
+        assert stats.spill_bytes == 0
+        assert stats.spill_files == 0
+        assert stats.shuffle_peak_bytes == stats.shuffle_bytes
+        assert stats.time.spill == 0.0
+        assert rt.shuffle_counters.value("shuffle", "spilled_jobs") == 0
+
+    def test_simulated_clock_charges_spill_io(self, rng):
+        X = rng.normal(size=(400, 3))
+        job = self._point_lloyd_job(X)
+        mem = LocalMapReduceRuntime(X, n_splits=4, seed=0, shuffle_budget=0)
+        spill = LocalMapReduceRuntime(X, n_splits=4, seed=0, shuffle_budget=2048)
+        t_mem = mem.run_job(job).stats.time
+        t_spill = spill.run_job(job).stats.time
+        assert t_spill.spill > 0.0
+        # Spill time is the *only* divergence between the stores' clocks.
+        assert t_spill.total - t_spill.spill == pytest.approx(t_mem.total)
+
+    def test_explicit_zero_budget_overrides_environment(self, rng, monkeypatch):
+        from repro.shuffle import ENV_SHUFFLE_BUDGET
+
+        monkeypatch.setenv(ENV_SHUFFLE_BUDGET, "0.001")
+        X = rng.normal(size=(400, 3))
+        env_rt = LocalMapReduceRuntime(X, n_splits=4, seed=0)
+        assert env_rt.shuffle_budget == 1048  # 0.001 MiB
+        forced = LocalMapReduceRuntime(X, n_splits=4, seed=0, shuffle_budget=0)
+        assert forced.shuffle_budget is None
+        stats = forced.run_job(self._point_lloyd_job(X)).stats
+        assert stats.spill_files == 0
+
+    def _tracked_tmpdirs(self, monkeypatch):
+        import tempfile
+
+        import repro.shuffle.store as store_mod
+
+        created = []
+        real = tempfile.mkdtemp
+
+        def tracking(*args, **kwargs):
+            path = real(*args, **kwargs)
+            created.append(path)
+            return path
+
+        monkeypatch.setattr(store_mod.tempfile, "mkdtemp", tracking)
+        return created
+
+    def test_spill_files_removed_after_job(self, rng, monkeypatch):
+        import os
+
+        created = self._tracked_tmpdirs(monkeypatch)
+        X = rng.normal(size=(400, 3))
+        rt = LocalMapReduceRuntime(X, n_splits=4, seed=0, shuffle_budget=2048)
+        rt.run_job(self._point_lloyd_job(X))
+        assert created  # the job really did spill somewhere
+        assert not any(os.path.exists(p) for p in created)
+
+    def test_keyboard_interrupt_leaves_no_spill_files(self, rng, monkeypatch):
+        import os
+
+        class InterruptingMapper(BlockMapper):
+            def map_block(self, block):
+                if self.ctx.split_id == 2:
+                    raise KeyboardInterrupt()
+                for i, row in enumerate(block):
+                    yield ("k", int(i % 5)), row.copy()
+
+        created = self._tracked_tmpdirs(monkeypatch)
+        X = rng.normal(size=(400, 3))
+        rt = LocalMapReduceRuntime(X, n_splits=4, seed=0, shuffle_budget=1024)
+        with pytest.raises(KeyboardInterrupt):
+            rt.run_job(make_job(mapper=InterruptingMapper))
+        assert created
+        assert not any(os.path.exists(p) for p in created)
+
+    def test_failed_reduce_leaves_no_spill_files(self, rng, monkeypatch):
+        import os
+
+        created = self._tracked_tmpdirs(monkeypatch)
+        X = rng.normal(size=(400, 3))
+        rt = LocalMapReduceRuntime(X, n_splits=4, seed=0, shuffle_budget=512)
+        with pytest.raises(MapReduceError, match="reducer failed"):
+            rt.run_job(self._make_fat_job(reducer=FailingReducer))
+        assert created
+        assert not any(os.path.exists(p) for p in created)
+
+    def _make_fat_job(self, reducer=SumReducer):
+        class FatMapper(BlockMapper):
+            def map_block(self, block):
+                for i, row in enumerate(block):
+                    yield int(i % 7), float(row.sum())
+
+        return make_job(mapper=FatMapper, reducer=reducer)
+
+    def test_shutdown_closes_interrupted_store(self, rng, monkeypatch):
+        import os
+
+        from repro.shuffle.store import SpillingShuffleStore
+
+        created = self._tracked_tmpdirs(monkeypatch)
+        X = rng.normal(size=(200, 3))
+        rt = LocalMapReduceRuntime(X, n_splits=2, seed=0, shuffle_budget=256)
+        # Simulate a store left active by an interrupted job.
+        store = SpillingShuffleStore(256)
+        store.add_split(0, [(int(i), float(i)) for i in range(100)])
+        rt._active_store = store
+        assert any(os.path.exists(p) for p in created)
+        rt.shutdown()
+        assert not any(os.path.exists(p) for p in created)

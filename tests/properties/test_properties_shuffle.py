@@ -1,0 +1,229 @@
+"""Property-based tests: the shuffle store must change *nothing*.
+
+The out-of-core shuffle contract extends the PR 3 backend matrix: for
+any execution backend (serial / thread / process), any worker count, and
+any spill budget — including budgets tiny enough to force multi-spill on
+every job — the MapReduce pipelines produce bit-identical centers,
+costs, counters, and output key order to the in-memory shuffle store.
+Only where the bytes live (and the spill telemetry / simulated spill
+time) may differ.
+
+Determinism rests on: split-order ingest with global emission sequence
+numbers, the deterministic sorted-key external merge, pre-aggregation
+restricted to strict prefix folds of fold-safe combiners, and the final
+sorted-reduce-key re-ordering of outputs and work — exactly the
+invariants these tests attack with adversarial instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkerBudget,
+)
+from repro.mapreduce.jobs.lloyd_job import collect_new_centers, make_lloyd_job
+from repro.mapreduce.kmeans_mr import mr_random_kmeans, mr_scalable_kmeans
+from repro.mapreduce.runtime import LocalMapReduceRuntime
+from tests.properties.strategies import points_and_k
+
+SETTINGS = dict(max_examples=6, deadline=None)
+
+#: Budgets in bytes: tiny (forces map-side spill + multi-spill on every
+#: job), small, and roomy (pre-aggregation only, nothing spills).
+BUDGETS = (256, 8192, 1 << 20)
+
+
+@pytest.fixture(scope="module")
+def backends():
+    serial = SerialBackend(budget=WorkerBudget(4))
+    thread = ThreadBackend(budget=WorkerBudget(4))
+    process = ProcessBackend(budget=WorkerBudget(4))
+    yield {"serial": serial, "thread": thread, "process": process}
+    thread.shutdown()
+    process.shutdown()
+
+
+def _freeze(value):
+    """Hashable bitwise fingerprint of an output value of any shape."""
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.shape, value.tobytes())
+    if isinstance(value, tuple):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _fingerprint(report):
+    """Everything that must not depend on the shuffle store."""
+    return {
+        "centers": report.centers.tobytes(),
+        "seed_cost": report.seed_cost,
+        "final_cost": report.final_cost,
+        "lloyd_iters": report.lloyd_iters,
+        "n_candidates": report.n_candidates,
+        "n_jobs": report.n_jobs,
+    }
+
+
+class TestPipelineStoreInvariance:
+    """spill store x {serial, thread, process} x workers x tiny budgets."""
+
+    @given(
+        data=points_and_k(min_rows=4, max_rows=28),
+        n_splits=st.integers(1, 5),
+        workers=st.integers(2, 4),
+        budget=st.sampled_from(BUDGETS),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(**SETTINGS)
+    def test_mr_scalable_kmeans_bit_identical(
+        self, backends, data, n_splits, workers, budget, seed
+    ):
+        X, k = data
+        k = min(k, 4)
+        kwargs = dict(
+            l=2.0 * k, r=2, n_splits=n_splits, seed=seed,
+            lloyd_max_iter=2, workers=workers,
+        )
+        reference = mr_scalable_kmeans(
+            X, k, backend=backends["serial"], shuffle_budget=0, **kwargs
+        )
+        for name, backend in backends.items():
+            spilled = mr_scalable_kmeans(
+                X, k, backend=backend, shuffle_budget=budget, **kwargs
+            )
+            assert _fingerprint(spilled) == _fingerprint(reference), (name, budget)
+
+    @given(
+        data=points_and_k(min_rows=4, max_rows=28),
+        n_splits=st.integers(1, 5),
+        workers=st.integers(2, 4),
+        budget=st.sampled_from(BUDGETS),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(**SETTINGS)
+    def test_mr_random_kmeans_bit_identical(
+        self, backends, data, n_splits, workers, budget, seed
+    ):
+        X, k = data
+        k = min(k, max(1, X.shape[0] // 2))
+        kwargs = dict(n_splits=n_splits, seed=seed, lloyd_max_iter=2,
+                      workers=workers)
+        reference = mr_random_kmeans(
+            X, k, backend=backends["serial"], shuffle_budget=0, **kwargs
+        )
+        for name, backend in backends.items():
+            spilled = mr_random_kmeans(
+                X, k, backend=backend, shuffle_budget=budget, **kwargs
+            )
+            assert _fingerprint(spilled) == _fingerprint(reference), (name, budget)
+
+
+class TestJobLevelStoreInvariance:
+    """Counters, key order, and per-job telemetry — not just end results."""
+
+    @given(
+        data=points_and_k(min_rows=4, max_rows=36),
+        n_splits=st.integers(1, 6),
+        budget=st.sampled_from(BUDGETS),
+        granularity=st.sampled_from(["split", "point"]),
+        use_combiner=st.booleans(),
+    )
+    @settings(**SETTINGS)
+    def test_lloyd_job_identical_all_granularities(
+        self, data, n_splits, budget, granularity, use_combiner
+    ):
+        X, k = data
+        k = min(k, 5)
+        C = X[:k].copy()
+        outcomes = {}
+        for label, shuffle_budget in (("memory", 0), ("spill", budget)):
+            with LocalMapReduceRuntime(
+                X, n_splits=n_splits, seed=3, workers=2,
+                shuffle_budget=shuffle_budget,
+            ) as rt:
+                result = rt.run_job(make_lloyd_job(
+                    C, granularity=granularity, use_combiner=use_combiner,
+                ))
+                centers, phi = collect_new_centers(result.output, C)
+                outcomes[label] = {
+                    "centers": centers.tobytes(),
+                    "phi": phi,
+                    "keys": list(result.output),
+                    "counters": result.counters.as_dict(),
+                    "values": {
+                        key: [_freeze(v) for v in values]
+                        for key, values in result.output.items()
+                    },
+                    # Store-independent accounting: both stores weigh the
+                    # shuffle on the same scale and charge the same work.
+                    "shuffle_records": result.stats.shuffle_records,
+                    "shuffle_bytes": result.stats.shuffle_bytes,
+                    "reduce_flops": result.stats.reduce_flops,
+                    "reduce_emitted": result.stats.reduce_emitted,
+                }
+        assert outcomes["spill"] == outcomes["memory"]
+
+    @given(
+        data=points_and_k(min_rows=8, max_rows=36),
+        workers=st.integers(2, 4),
+        budget=st.sampled_from(BUDGETS[:2]),
+    )
+    @settings(**SETTINGS)
+    def test_spill_telemetry_backend_invariant(
+        self, backends, data, workers, budget
+    ):
+        """Same budget => same spill decisions, whichever backend ran."""
+        X, k = data
+        C = X[: min(k, 4)].copy()
+        job = lambda: make_lloyd_job(C, granularity="point", use_combiner=False)  # noqa: E731
+        seen = []
+        for name, backend in backends.items():
+            with LocalMapReduceRuntime(
+                X, n_splits=4, seed=5, workers=workers, backend=backend,
+                shuffle_budget=budget,
+            ) as rt:
+                stats = rt.run_job(job()).stats
+                seen.append((
+                    stats.spill_bytes, stats.spill_files,
+                    stats.shuffle_peak_bytes, rt.simulated_seconds,
+                ))
+        assert seen[0] == seen[1] == seen[2]
+
+
+class TestOutOfCoreResidency:
+    """The point of the subsystem: driver residency ~budget, not ~shuffle."""
+
+    def test_no_combiner_lloyd_round_stays_under_budget(self, rng):
+        # The ablation-D configuration: one record per point, no combiner.
+        X = rng.normal(size=(2000, 8))
+        C = X[:16].copy()
+        job = lambda: make_lloyd_job(C, granularity="point", use_combiner=False)  # noqa: E731
+
+        with LocalMapReduceRuntime(X, n_splits=8, seed=0, shuffle_budget=0) as rt:
+            mem = rt.run_job(job())
+        volume = mem.stats.shuffle_bytes
+        assert mem.stats.shuffle_peak_bytes == volume  # all of it resident
+
+        budget = volume // 6  # well below the round's emission volume
+        with LocalMapReduceRuntime(
+            X, n_splits=8, seed=0, shuffle_budget=budget
+        ) as rt:
+            spilled = rt.run_job(job())
+        # Bit-identical outcome...
+        a, _ = collect_new_centers(mem.output, C)
+        b, _ = collect_new_centers(spilled.output, C)
+        assert a.tobytes() == b.tobytes()
+        assert list(mem.output) == list(spilled.output)
+        # ...with bounded residency: ingest window + reduce window stay
+        # around 2x the budget (plus one group, the reducer-API floor).
+        max_group = volume // C.shape[0]  # ~uniform clusters
+        assert spilled.stats.spill_bytes > 0
+        assert spilled.stats.shuffle_peak_bytes < 2 * budget + 2 * max_group
+        assert spilled.stats.shuffle_peak_bytes < volume / 2

@@ -1,0 +1,163 @@
+"""Tests for repro.shuffle.spill: runs, manifests, and the external merge."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.shuffle.accounting import record_nbytes
+from repro.shuffle.spill import (
+    SpillManifest,
+    canonical_order_key,
+    iter_merged_groups,
+    key_partition,
+    make_record,
+    write_run,
+)
+from repro.shuffle.store import MapSpillSpec, spill_map_emissions
+
+
+class TestCanonicalOrder:
+    def test_content_based_and_deterministic(self):
+        assert canonical_order_key(("agg", 3)) == ("tuple", "('agg', 3)")
+        assert canonical_order_key("phi") == ("str", "'phi'")
+        assert canonical_order_key(7) == canonical_order_key(7)
+
+    def test_orders_mixed_types_without_comparisons(self):
+        keys = ["phi", ("agg", 1), ("agg", 0), 3]
+        ordered = sorted(keys, key=canonical_order_key)
+        # Type name first: int < str < tuple.
+        assert ordered == [3, "phi", ("agg", 0), ("agg", 1)]
+
+    def test_partition_stable_and_in_range(self):
+        for key in ["phi", ("agg", 5), 42, b"blob"]:
+            p = key_partition(key, 8)
+            assert 0 <= p < 8
+            assert p == key_partition(key, 8)  # no per-process salt
+
+    def test_partition_used_by_subprocess_matches(self):
+        # str hashes are salted per interpreter; the partition fn must not be.
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.shuffle.spill import key_partition;"
+            "print(key_partition(('agg', 5), 8), key_partition('phi', 8))"
+        )
+        env = {**os.environ, "PYTHONHASHSEED": "random"}
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True, env=env,
+        ).stdout.split()
+        assert [int(x) for x in out] == [
+            key_partition(("agg", 5), 8), key_partition("phi", 8),
+        ]
+
+
+class TestRuns:
+    def test_write_and_read_back(self, tmp_path):
+        records = [
+            make_record(("agg", j), np.arange(4.0) + j, 0, j) for j in range(5)
+        ]
+        records.sort(key=lambda r: (r[0], r[1]))
+        path = tmp_path / "r.run"
+        with open(path, "wb") as fh:
+            run = write_run(fh, records)
+        assert run.n_records == 5
+        assert run.nbytes == sum(r[2] for r in records)
+        got = list(run.iter_records())
+        assert [r[3] for r in got] == [r[3] for r in records]
+        for a, b in zip(got, records):
+            np.testing.assert_array_equal(a[4], b[4])
+
+    def test_multiple_runs_share_one_file(self, tmp_path):
+        path = tmp_path / "r.run"
+        with open(path, "wb") as fh:
+            first = write_run(fh, [make_record("a", 1.0, 0, 0)])
+            second = write_run(fh, [make_record("b", 2.0, 1, 0)])
+        assert second.offset > first.offset
+        assert [r[3] for r in first.iter_records()] == ["a"]
+        assert [r[3] for r in second.iter_records()] == ["b"]
+
+    def test_run_descriptor_is_picklable(self, tmp_path):
+        path = tmp_path / "r.run"
+        with open(path, "wb") as fh:
+            run = write_run(fh, [make_record("a", 1.0, 0, 0)])
+        clone = pickle.loads(pickle.dumps(run))
+        assert [r[3] for r in clone.iter_records()] == ["a"]
+
+
+class TestMergedGroups:
+    def test_groups_in_canonical_order_values_in_seq_order(self):
+        # Two "splits" emitting interleaved keys, as two sorted streams.
+        s0 = sorted(
+            [make_record("b", 10.0, 0, 0), make_record("a", 11.0, 0, 1)],
+            key=lambda r: (r[0], r[1]),
+        )
+        s1 = sorted(
+            [make_record("a", 20.0, 1, 0), make_record("b", 21.0, 1, 1)],
+            key=lambda r: (r[0], r[1]),
+        )
+        groups = list(iter_merged_groups([iter(s0), iter(s1)]))
+        assert [g[0] for g in groups] == ["a", "b"]
+        assert groups[0][1] == [11.0, 20.0]  # split 0 before split 1
+        assert groups[1][1] == [10.0, 21.0]
+        assert groups[0][2] == 2 * record_nbytes("a", 0.0)
+
+    def test_single_stream_many_keys(self):
+        recs = [make_record(k, float(i), 0, i) for i, k in enumerate("cabba")]
+        recs.sort(key=lambda r: (r[0], r[1]))
+        groups = list(iter_merged_groups([iter(recs)]))
+        assert [g[0] for g in groups] == ["a", "b", "c"]
+        assert groups[0][1] == [1.0, 4.0]
+        assert groups[1][1] == [2.0, 3.0]
+
+    def test_empty_streams(self):
+        assert list(iter_merged_groups([iter([]), iter([])])) == []
+
+
+class TestMapSideSpill:
+    def _emissions(self, n=40):
+        return [(("agg", i % 4), np.full(3, float(i))) for i in range(n)]
+
+    def test_below_threshold_ships_inline(self, tmp_path):
+        spec = MapSpillSpec(dir=str(tmp_path), threshold_bytes=10**9, n_partitions=4)
+        assert spill_map_emissions(spec, 0, self._emissions()) is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_manifest_covers_all_records(self, tmp_path):
+        emissions = self._emissions()
+        spec = MapSpillSpec(dir=str(tmp_path), threshold_bytes=1, n_partitions=4)
+        manifest = spill_map_emissions(spec, 3, emissions)
+        assert isinstance(manifest, SpillManifest)
+        assert manifest.n_records == len(emissions)
+        assert manifest.nbytes == sum(record_nbytes(k, v) for k, v in emissions)
+        assert manifest.file_bytes > 0
+        # Merging the manifest's runs reproduces every record, in order.
+        groups = list(
+            iter_merged_groups([run.iter_records() for _, run in manifest.runs])
+        )
+        assert sum(len(g[1]) for g in groups) == len(emissions)
+        by_key: dict = {}
+        for key, value in emissions:
+            by_key.setdefault(key, []).append(value)
+        for key, values, _nb in groups:
+            np.testing.assert_array_equal(np.vstack(values), np.vstack(by_key[key]))
+
+    def test_manifest_is_small_and_picklable(self, tmp_path):
+        emissions = [(("agg", i % 4), np.zeros(64)) for i in range(500)]
+        spec = MapSpillSpec(dir=str(tmp_path), threshold_bytes=1, n_partitions=4)
+        manifest = spill_map_emissions(spec, 0, emissions)
+        # The point of manifests: a fraction of the pickled emissions.
+        assert len(pickle.dumps(manifest)) < len(pickle.dumps(emissions)) / 50
+
+    def test_partitions_agree_with_key_partition(self, tmp_path):
+        spec = MapSpillSpec(dir=str(tmp_path), threshold_bytes=1, n_partitions=8)
+        manifest = spill_map_emissions(spec, 0, self._emissions())
+        for partition, run in manifest.runs:
+            for rec in run.iter_records():
+                assert key_partition(rec[3], 8) == partition

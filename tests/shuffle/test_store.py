@@ -1,0 +1,275 @@
+"""Tests for repro.shuffle.store: both stores, one observable behavior."""
+
+from __future__ import annotations
+
+import gc
+import os
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MapReduceError
+from repro.mapreduce.jobs.common import ScalarSumReducer
+from repro.mapreduce.jobs.lloyd_job import SumCountCombiner
+from repro.shuffle.accounting import record_nbytes
+from repro.shuffle.store import (
+    MapSpillSpec,
+    MemoryShuffleStore,
+    SpillingShuffleStore,
+    make_shuffle_store,
+    sorted_reduce_keys,
+    spill_map_emissions,
+)
+
+
+def scalar_emissions(rng, n=60, n_keys=7):
+    keys = [f"key-{i}" for i in range(n_keys)]
+    return [(keys[int(rng.integers(n_keys))], float(rng.normal())) for _ in range(n)]
+
+
+def split_up(emissions, n_splits):
+    bounds = np.linspace(0, len(emissions), n_splits + 1).astype(int)
+    return [emissions[bounds[i]: bounds[i + 1]] for i in range(n_splits)]
+
+
+def collect(store):
+    groups = []
+    for key, values, nb in store.groups():
+        groups.append((key, list(values), nb))
+        store.discharge(nb)
+    return groups
+
+
+def reference_groups(emission_splits):
+    """What the in-memory shuffle serves: grouped, sorted-key order."""
+    grouped: dict = {}
+    for split in emission_splits:
+        for key, value in split:
+            grouped.setdefault(key, []).append(value)
+    return [(key, grouped[key]) for key in sorted_reduce_keys(grouped)]
+
+
+class TestMemoryStore:
+    def test_groups_sorted_values_in_emission_order(self, rng):
+        splits = split_up(scalar_emissions(rng), 4)
+        store = MemoryShuffleStore()
+        for i, split in enumerate(splits):
+            store.add_split(i, split)
+        got = [(k, v) for k, v, _ in collect(store)]
+        assert got == reference_groups(splits)
+
+    def test_zero_copy(self):
+        value = np.arange(5.0)
+        store = MemoryShuffleStore()
+        store.add_split(0, [("k", value)])
+        ((_, values, _),) = list(store.groups())
+        assert values[0] is value  # the mapper's own object, never copied
+
+    def test_stats_and_peak(self, rng):
+        splits = split_up(scalar_emissions(rng, n=30), 3)
+        store = MemoryShuffleStore()
+        for i, split in enumerate(splits):
+            store.add_split(i, split)
+        total = sum(record_nbytes(k, v) for s in splits for k, v in s)
+        assert store.stats.records == 30
+        assert store.stats.nbytes == total
+        assert store.stats.peak_bytes == total  # everything is resident
+        assert store.stats.spill_bytes == 0
+        assert store.stats.spill_files == 0
+
+    def test_rejects_manifests(self, tmp_path):
+        spec = MapSpillSpec(dir=str(tmp_path), threshold_bytes=1, n_partitions=2)
+        manifest = spill_map_emissions(spec, 0, [("k", 1.0)] * 4)
+        with pytest.raises(MapReduceError, match="manifest"):
+            MemoryShuffleStore().add_manifest(manifest)
+
+
+class TestSpillingStoreRawPath:
+    """No combiner: records round-trip disk untouched, order preserved."""
+
+    @pytest.mark.parametrize("budget", [64, 512, 10**9])
+    def test_identical_to_memory_store(self, rng, budget):
+        splits = split_up(scalar_emissions(rng, n=120, n_keys=11), 5)
+        store = SpillingShuffleStore(budget)
+        for i, split in enumerate(splits):
+            store.add_split(i, split)
+        got = {k: v for k, v, _ in collect(store)}
+        expected = dict(reference_groups(splits))
+        assert got == expected  # same groups, same per-key value order
+        store.close()
+
+    def test_tiny_budget_forces_multiple_spills(self, rng):
+        splits = split_up(scalar_emissions(rng, n=200), 4)
+        store = SpillingShuffleStore(100)
+        for i, split in enumerate(splits):
+            store.add_split(i, split)
+        assert store.stats.spill_files > 1
+        assert store.stats.spill_bytes > 0
+        collect(store)
+        store.close()
+
+    def test_peak_residency_bounded_by_budget(self, rng):
+        budget = 400
+        splits = split_up(scalar_emissions(rng, n=400, n_keys=23), 8)
+        store = SpillingShuffleStore(budget)
+        for i, split in enumerate(splits):
+            store.add_split(i, split)
+        groups = collect(store)
+        total = store.stats.nbytes
+        max_group = max(nb for _, _, nb in groups)
+        max_record = max(record_nbytes(k, v) for s in splits for k, v in s)
+        # Ingest buffer stays within budget + one record; each group is
+        # then charged while served. The shuffle itself is much bigger.
+        assert total > 2 * budget
+        assert store.stats.peak_bytes <= budget + max_group + max_record
+        store.close()
+
+    def test_values_roundtrip_arrays_bitwise(self, rng):
+        splits = [
+            [(("agg", j), rng.normal(size=4)) for j in range(6)],
+            [(("agg", j), rng.normal(size=4)) for j in range(6)],
+        ]
+        store = SpillingShuffleStore(1)  # spill everything
+        for i, split in enumerate(splits):
+            store.add_split(i, split)
+        expected = dict(reference_groups(splits))
+        for key, values, nb in store.groups():
+            for got, want in zip(values, expected[key]):
+                assert got.tobytes() == want.tobytes()
+            store.discharge(nb)
+        store.close()
+
+
+class TestSpillingStorePreAggregation:
+    def test_fold_safe_combiner_folds_to_prefix_accumulator(self):
+        splits = [[("phi", 1.0), ("phi", 2.0)], [("phi", 3.0)]]
+        store = SpillingShuffleStore(10**6, combiner_factory=ScalarSumReducer)
+        for i, split in enumerate(splits):
+            store.add_split(i, split)
+        ((key, values, _),) = collect(store)
+        # One running accumulator, folded in emission order (bit-exact
+        # prefix of the reducer's own left fold).
+        assert key == "phi"
+        assert values == [float((1.0 + 2.0) + 3.0)]
+        assert store.stats.spill_files == 0  # pre-aggregation avoided spilling
+        assert store.stats.combine_flops == 2.0  # per-addition: two folds
+
+    def test_combine_flops_match_saved_reducer_work(self):
+        n = 9
+        store = SpillingShuffleStore(10**6, combiner_factory=ScalarSumReducer)
+        store.add_split(0, [("phi", float(i)) for i in range(n)])
+        collect(store)
+        # The reducer would have charged n-1 additions; pre-aggregation
+        # charged exactly the same, one addition per fold.
+        assert store.stats.combine_flops == n - 1
+        store.close()
+
+    def test_sumcount_combiner_folds_arrays(self):
+        values = [np.arange(4.0) + i for i in range(5)]
+        store = SpillingShuffleStore(10**6, combiner_factory=SumCountCombiner)
+        store.add_split(0, [(("agg", 0), v) for v in values])
+        ((key, got, _),) = collect(store)
+        expected = values[0].astype(np.float64, copy=True)
+        for v in values[1:]:
+            expected = expected + v
+        assert len(got) == 1
+        assert got[0].tobytes() == expected.tobytes()
+        store.close()
+
+    def test_non_fold_safe_combiner_not_used(self):
+        from repro.mapreduce.jobs.common import ConcatReducer
+
+        store = SpillingShuffleStore(10**6, combiner_factory=ConcatReducer)
+        assert store._combiner is None  # raw path; bit-exact unconditionally
+        store.close()
+
+    def test_misbehaving_fold_safe_combiner_demoted(self):
+        class LyingCombiner(ScalarSumReducer):
+            fold_safe = True
+
+            def reduce(self, key, values):
+                yield key, float(sum(values))
+                yield key + "-extra", 0.0  # breaks the one-record contract
+
+        splits = [[("k", 1.0)], [("k", 2.0)], [("k", 3.0)]]
+        store = SpillingShuffleStore(10**6, combiner_factory=LyingCombiner)
+        for i, split in enumerate(splits):
+            store.add_split(i, split)
+        groups = {k: v for k, v, _ in collect(store)}
+        # The failed fold is discarded: the accumulator (still the raw
+        # first value) keeps its prefix position, later values arrive
+        # raw — the reducer's left fold sees exactly the original stream.
+        assert groups == {"k": [1.0, 2.0, 3.0]}
+        assert store.stats.combine_flops == 0.0  # rolled back, nothing folded
+        store.close()
+
+    def test_manifest_freezes_accumulators(self, tmp_path, rng):
+        # Split 0 inline, split 1 via manifest, split 2 inline: the
+        # accumulator must stop folding at the manifest or it would jump
+        # over the on-disk values and reorder the reducer's fold.
+        spec = MapSpillSpec(dir=str(tmp_path), threshold_bytes=1, n_partitions=4)
+        splits = [
+            [("phi", 1.0)],
+            [("phi", 2.0)],
+            [("phi", 4.0)],
+        ]
+        manifest = spill_map_emissions(spec, 1, splits[1])
+        store = SpillingShuffleStore(10**6, combiner_factory=ScalarSumReducer)
+        store.add_split(0, splits[0])
+        store.add_manifest(manifest)
+        store.add_split(2, splits[2])
+        ((key, values, _),) = collect(store)
+        assert key == "phi"
+        assert values == [1.0, 2.0, 4.0]  # emission order, no reordering
+        store.close()
+
+
+class TestSpillFileLifecycle:
+    def _spilled_store(self, rng):
+        store = SpillingShuffleStore(50)
+        store.add_split(0, scalar_emissions(rng, n=50))
+        assert store.stats.spill_files > 0
+        return store, pathlib.Path(store.spill_directory())
+
+    def test_close_removes_spill_directory(self, rng):
+        store, tmpdir = self._spilled_store(rng)
+        assert tmpdir.is_dir() and any(tmpdir.iterdir())
+        store.close()
+        assert not tmpdir.exists()
+        store.close()  # idempotent
+
+    def test_garbage_collection_removes_spill_directory(self, rng):
+        store, tmpdir = self._spilled_store(rng)
+        assert tmpdir.is_dir()
+        del store
+        gc.collect()
+        assert not tmpdir.exists()
+
+    def test_closed_store_rejects_ingest(self, rng):
+        store = SpillingShuffleStore(50)
+        store.close()
+        with pytest.raises(MapReduceError, match="closed"):
+            store.add_split(0, [("k", 1.0)])
+
+    def test_map_spill_spec_threshold_scales_with_splits(self):
+        store = SpillingShuffleStore(8000)
+        spec = store.map_spill_spec(8)
+        assert spec.threshold_bytes == 1000
+        assert os.path.isdir(spec.dir)
+        store.close()
+
+
+class TestFactory:
+    def test_none_budget_is_memory(self):
+        assert isinstance(make_shuffle_store(None), MemoryShuffleStore)
+
+    def test_budget_is_spilling(self):
+        store = make_shuffle_store(1024)
+        assert isinstance(store, SpillingShuffleStore)
+        assert store.budget_bytes == 1024
+        store.close()
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(MapReduceError, match="budget"):
+            SpillingShuffleStore(0)
