@@ -15,6 +15,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -39,9 +40,13 @@ def build_parser() -> argparse.ArgumentParser:
             "out row blocks of every distance/centroid kernel), "
             "REPRO_ENGINE_CHUNK_BYTES (scratch budget per block), "
             "REPRO_MR_WORKERS (workers executing MapReduce map/reduce "
-            "tasks; defaults to the engine worker count), and "
+            "tasks; defaults to the engine worker count), "
             "REPRO_SHUFFLE_BUDGET_MB (MapReduce shuffle residency budget "
-            "in MiB; past it the shuffle spills to disk)."
+            "in MiB; past it the shuffle spills to disk), "
+            "REPRO_SHARED_BROADCAST (1 = zero-copy data plane: broadcasts "
+            "published once to shared memory, split state resident behind "
+            "descriptors), and REPRO_AFFINITY (none|pinned — pin splits to "
+            "home worker processes on the process backend)."
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
@@ -100,6 +105,31 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-shared-broadcast",
+        action="store_true",
+        help=(
+            "escape hatch: disable the zero-copy data plane and pickle the "
+            "broadcast + split state into every map task (the legacy path). "
+            "The mr subcommand otherwise defaults the plane ON "
+            "($REPRO_SHARED_BROADCAST, when set, still wins over that "
+            "default); results are bit-identical either way — only IPC "
+            "volume and the simulated broadcast charge change"
+        ),
+    )
+    parser.add_argument(
+        "--affinity",
+        choices=("none", "pinned"),
+        default=None,
+        help=(
+            "worker affinity for MapReduce map tasks: 'pinned' gives every "
+            "split a home worker process (split %% workers, Spark-style "
+            "preferred locations) with work-stealing fallback — page cache "
+            "and shared-memory attachments stay warm per split. Only the "
+            "process backend places tasks; others ignore it (default: "
+            "$REPRO_AFFINITY or 'none')"
+        ),
+    )
+    parser.add_argument(
         "--shuffle-budget-mib",
         type=float,
         default=None,
@@ -137,9 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Run the full k-means|| (or the Random baseline) MapReduce "
             "pipeline over a .npy/.npz dataset (or a directory of .npy "
             "shards), memory-mapping the input so splits stream from disk — "
-            "for a single .npy/.npz, datasets larger than RAM work (a shard "
-            "directory still materializes once for the driver-side scans; "
-            "pre-concatenate to one .npy to stay fully out-of-core). Add "
+            "datasets larger than RAM work for both forms (driver-side "
+            "scans over a float64 shard directory stream per-shard "
+            "sections without materializing the concatenation; non-float64 "
+            "shards fall back to one full driver-side copy when the "
+            "kernels promote dtypes). Add "
             "--shuffle-budget-mib to cap driver-held shuffle bytes too "
             "(spill-to-disk shuffle)."
         ),
@@ -241,6 +273,31 @@ def _configure_engine(parser: argparse.ArgumentParser, args: argparse.Namespace)
     except ValidationError as exc:
         parser.error(str(exc))
 
+    from repro.plane import (
+        ENV_SHARED_BROADCAST,
+        resolve_affinity,
+        resolve_shared_broadcast,
+        set_default_affinity,
+        set_default_shared_broadcast,
+    )
+
+    try:
+        if args.no_shared_broadcast:
+            set_default_shared_broadcast(False)
+        elif args.command == "mr" and os.environ.get(ENV_SHARED_BROADCAST) is None:
+            # The mr pipeline defaults the zero-copy plane ON; an explicit
+            # environment setting (either way — the resolver reads the
+            # empty string as off, so it counts too) still wins over this.
+            set_default_shared_broadcast(True)
+        else:
+            resolve_shared_broadcast()  # fail fast on a bad env value
+        if args.affinity is not None:
+            set_default_affinity(args.affinity)
+        else:
+            resolve_affinity()  # fail fast on a bad $REPRO_AFFINITY
+    except ValidationError as exc:
+        parser.error(str(exc))
+
 
 def _run_mr(args: argparse.Namespace) -> int:
     """The ``mr`` subcommand: the pipeline over a memory-mapped dataset."""
@@ -269,6 +326,14 @@ def _run_mr(args: argparse.Namespace) -> int:
     print(f"    backend={report.params['backend']} "
           f"workers={report.params['workers']} splits={args.n_splits} "
           f"candidates={report.n_candidates}")
+    plane = report.plane
+    if plane:
+        print(f"    plane mode={plane['mode']} affinity={plane['affinity']} "
+              f"bc_published={plane['broadcast_bytes_published']}B "
+              f"bc_per_task={plane['broadcast_bytes_per_task']}B "
+              f"state_shipped={plane['state_bytes_shipped']}B "
+              f"state_resident={plane['state_bytes_resident']}B "
+              f"steals={plane['steals']}")
     for phase, minutes in report.breakdown.items():
         print(f"    {phase:<10} {minutes:10.2f} simulated min")
     budget = report.params.get("shuffle_budget")

@@ -15,6 +15,7 @@ from repro.exec.backends import (
     BACKENDS,
     DEFAULT_BACKEND,
     ENV_BACKEND,
+    AffinitySpec,
     ExecBackend,
     ProcessBackend,
     SerialBackend,
@@ -30,6 +31,7 @@ from repro.exec.budget import ENV_EXEC_WORKERS, WorkerBudget, default_budget_lim
 
 __all__ = [
     "ExecBackend",
+    "AffinitySpec",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",

@@ -73,6 +73,7 @@ from repro.exec.budget import WorkerBudget
 
 __all__ = [
     "ExecBackend",
+    "AffinitySpec",
     "SerialBackend",
     "ThreadBackend",
     "ProcessBackend",
@@ -88,6 +89,31 @@ __all__ = [
 ]
 
 T = TypeVar("T")
+
+
+class AffinitySpec:
+    """Preferred-worker assignment for one :meth:`ExecBackend.run_calls` region.
+
+    ``owners[i]`` is task ``i``'s home slot in ``[0, n_slots)`` — the
+    MapReduce runtime passes ``split_index % workers``, Spark's preferred
+    locations.  Only the process backend acts on it (pinned single-worker
+    slot pools, so a split's tasks keep landing in the same OS process
+    and its page/attachment locality sticks); serial and thread backends
+    ignore the spec — one address space, every split already local.
+
+    Mutable on purpose: the backend adds the number of tasks that ran
+    away from home to ``steals`` (work-stealing fallback when the home
+    slot is busy), which the runtime surfaces as telemetry.  Results are
+    bit-identical with or without a spec; only placement differs.
+    """
+
+    def __init__(self, owners: Sequence[int], n_slots: int):
+        if n_slots < 1:
+            raise ValidationError(f"n_slots must be >= 1, got {n_slots}")
+        self.owners = tuple(int(o) % n_slots for o in owners)
+        self.n_slots = int(n_slots)
+        self.steals = 0
+
 
 #: Environment variable selecting the default backend by name.
 ENV_BACKEND = "REPRO_EXEC_BACKEND"
@@ -122,6 +148,11 @@ class ExecBackend(abc.ABC):
 
     name: ClassVar[str] = "abstract"
 
+    #: Whether :meth:`run_calls` may execute tasks in another OS process
+    #: (drives the data plane's transport decision: only then is there a
+    #: pickle boundary worth replacing with shared-memory descriptors).
+    crosses_processes: ClassVar[bool] = False
+
     def __init__(self, budget: WorkerBudget | None = None):
         self._budget = budget
         _live_backends.add(self)
@@ -154,12 +185,15 @@ class ExecBackend(abc.ABC):
         calls: Sequence[tuple],
         *,
         parallelism: int | None = None,
+        affinity: AffinitySpec | None = None,
     ) -> list[T]:
         """Run ``fn(*args)`` for each argument tuple; results in order.
 
         The portable entry point: ``fn`` must be a module-level callable
         and, for the process backend to ship it, ``(fn, args)`` and the
-        return value must be picklable.
+        return value must be picklable.  ``affinity`` (optional) names a
+        preferred worker slot per task; backends without real placement
+        ignore it — results never depend on it.
         """
         return self.run_tasks(
             [functools.partial(fn, *args) for args in calls], parallelism=parallelism
@@ -198,7 +232,7 @@ class SerialBackend(ExecBackend):
         for task in tasks:
             yield task()
 
-    def run_calls(self, fn, calls, *, parallelism=None):
+    def run_calls(self, fn, calls, *, parallelism=None, affinity=None):
         return [fn(*args) for args in calls]
 
 
@@ -409,6 +443,7 @@ class ProcessBackend(ThreadBackend):
     """
 
     name: ClassVar[str] = "process"
+    crosses_processes: ClassVar[bool] = True
 
     def __init__(
         self, budget: WorkerBudget | None = None, *, start_method: str | None = None
@@ -418,11 +453,16 @@ class ProcessBackend(ThreadBackend):
         self._proc_pool: ProcessPoolExecutor | None = None
         self._proc_pid = 0
         self._proc_lock = threading.Lock()
+        #: Pinned affinity slots: one single-worker pool per slot, so a
+        #: task routed to slot ``s`` always lands in the same OS process.
+        self._slot_pools: list[ProcessPoolExecutor] = []
+        self._slot_pid = 0
 
     def _reset_locks_in_child(self) -> None:
         super()._reset_locks_in_child()
         self._proc_lock = threading.Lock()
         self._proc_pool = None  # parent's workers are not this child's
+        self._slot_pools = []
 
     def _mp_context(self):
         import multiprocessing as mp
@@ -448,12 +488,38 @@ class ProcessBackend(ThreadBackend):
                 self._proc_pid = os.getpid()
             return self._proc_pool
 
+    def _get_slot_pools(self, n_slots: int) -> list[ProcessPoolExecutor]:
+        with self._proc_lock:
+            if self._slot_pid != os.getpid():
+                # Pools inherited through fork are dead in the child.
+                self._slot_pools = []
+                self._slot_pid = os.getpid()
+            if len(self._slot_pools) < n_slots:
+                from repro.linalg.engine import get_engine
+
+                chunk_bytes = get_engine().chunk_bytes
+                while len(self._slot_pools) < n_slots:
+                    self._slot_pools.append(
+                        ProcessPoolExecutor(
+                            max_workers=1,
+                            mp_context=self._mp_context(),
+                            initializer=_process_worker_init,
+                            initargs=(chunk_bytes,),
+                        )
+                    )
+            return self._slot_pools[:n_slots]
+
     def shutdown(self) -> None:
         with self._proc_lock:
             if self._proc_pool is not None:
                 if self._proc_pid == os.getpid():
                     self._proc_pool.shutdown(wait=True)
                 self._proc_pool = None
+            if self._slot_pools:
+                if self._slot_pid == os.getpid():
+                    for pool in self._slot_pools:
+                        pool.shutdown(wait=True)
+                self._slot_pools = []
         super().shutdown()
 
     @staticmethod
@@ -465,7 +531,7 @@ class ProcessBackend(ThreadBackend):
         except Exception:  # noqa: BLE001 - any serialization failure
             return False
 
-    def run_calls(self, fn, calls, *, parallelism=None):
+    def run_calls(self, fn, calls, *, parallelism=None, affinity=None):
         calls = [tuple(args) for args in calls]
         n = len(calls)
         if n == 0:
@@ -474,6 +540,25 @@ class ProcessBackend(ThreadBackend):
             return [fn(*args) for args in calls]
         if not self._portable(fn, calls[0]):
             return super().run_calls(fn, calls, parallelism=parallelism)
+        if affinity is None:
+            # Once pinned slot pools exist, route unpinned regions (the
+            # reduce phases of a pinned runtime) over them round-robin
+            # rather than spinning up a second, redundant worker fleet —
+            # results are index-collected either way.  The fleet grows to
+            # this region's effective parallelism if it wants more lanes
+            # than slots exist, so a pinned runtime with few workers can
+            # never silently cap a wider unpinned caller.
+            with self._proc_lock:
+                n_slots = (
+                    len(self._slot_pools)
+                    if self._slot_pools and self._slot_pid == os.getpid()
+                    else 0
+                )
+            if n_slots:
+                n_slots = max(n_slots, self._effective(n, parallelism))
+                affinity = AffinitySpec(range(n), n_slots=n_slots)
+        if affinity is not None:
+            return self._run_pinned(fn, calls, affinity, parallelism)
         pool = self._get_process_pool()
 
         def exec_inline(args: tuple):
@@ -483,6 +568,113 @@ class ProcessBackend(ThreadBackend):
             return pool.submit(fn, *args).result()
 
         return self._schedule(calls, exec_inline, exec_lane, parallelism)
+
+    def _run_pinned(
+        self,
+        fn: Callable[..., T],
+        calls: list[tuple],
+        affinity: AffinitySpec,
+        parallelism: int | None,
+    ) -> list[T]:
+        """Affinity region: route every task to its home slot's process.
+
+        Slots are single-worker pools, so slot ``s`` *is* one long-lived
+        OS process — a split pinned to it finds its page cache, its shm
+        attachments, and its warmed imports from the previous job.
+        Concurrency is still budget-governed: the caller plus one lane
+        per acquired token drive the slots, each lane claiming the first
+        task whose home slot is idle; when every remaining task's home
+        is busy, the oldest task is *stolen* onto an idle slot (counted
+        in ``affinity.steals``) rather than waiting.  Results are
+        collected by index, so placement never affects output.
+        """
+        n = len(calls)
+        owners = affinity.owners
+        if len(owners) != n:
+            raise ValidationError(
+                f"affinity spec has {len(owners)} owners for {n} tasks"
+            )
+        limit = min(self._effective(n, parallelism), affinity.n_slots)
+        got = self.budget.try_acquire(limit - 1) if limit > 1 else 0
+        if got == 0:
+            # No tokens: inline serial execution (the degraded leaf path —
+            # same semantics, no placement, and no worker fleet spawned).
+            return [fn(*args) for args in calls]
+        try:
+            pools = self._get_slot_pools(affinity.n_slots)
+        except BaseException:
+            # A pool-creation failure must not leak the borrowed tokens.
+            self.budget.release(got)
+            raise
+
+        results: list[Any] = [None] * n
+        errors: dict[int, Exception] = {}
+        lock = threading.Lock()
+        remaining = list(range(n))
+        busy = [0] * affinity.n_slots
+        stolen = 0
+        stop = False
+
+        def claim() -> tuple[int, int] | None:
+            nonlocal stolen
+            with lock:
+                if stop or not remaining:
+                    return None
+                for pos, i in enumerate(remaining):
+                    if busy[owners[i]] == 0:
+                        remaining.pop(pos)
+                        busy[owners[i]] += 1
+                        return i, owners[i]
+                # Every remaining task's home is busy: steal the oldest
+                # onto an idle slot if one exists, else queue it home.
+                i = remaining.pop(0)
+                home = owners[i]
+                idle = next(
+                    (s for s in range(affinity.n_slots) if busy[s] == 0), None
+                )
+                slot = home if idle is None else idle
+                busy[slot] += 1
+                if slot != home:
+                    stolen += 1
+                return i, slot
+
+        def drain() -> None:
+            while True:
+                claimed = claim()
+                if claimed is None:
+                    return
+                i, slot = claimed
+                try:
+                    results[i] = pools[slot].submit(fn, *calls[i]).result()
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    with lock:
+                        errors[i] = exc
+                finally:
+                    with lock:
+                        busy[slot] -= 1
+
+        lanes = [self._get_thread_pool().submit(drain) for _ in range(got)]
+        try:
+            drain()
+            for lane in lanes:
+                lane.result()
+        except BaseException:
+            # Interrupts surface immediately, but only after the lanes
+            # stop claiming and settle (no straggler submits afterwards).
+            with lock:
+                stop = True
+            for lane in lanes:
+                try:
+                    lane.result()
+                except BaseException:  # noqa: BLE001 - the interrupt wins
+                    pass
+            raise
+        finally:
+            self.budget.release(got)
+            affinity.steals += stolen
+        if errors:
+            raise errors[min(errors)]
+        return results
 
 
 #: Name -> class registry used by :func:`resolve_backend` and the CLI.

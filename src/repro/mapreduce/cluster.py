@@ -154,11 +154,20 @@ class ClusterModel:
         shuffle_bytes: float,
         reduce_flops: float,
         spill_bytes: float = 0.0,
+        broadcast_bytes: float = 0.0,
     ) -> PhaseTime:
         """Simulated wall-clock of one MapReduce job.
 
         ``spill_bytes`` is the volume an out-of-core shuffle wrote to
         local spill files; it is charged twice (write + merge read-back).
+
+        ``broadcast_bytes`` is a *publish-once* broadcast (the zero-copy
+        data plane): the payload crosses the cluster network exactly one
+        time per job, so it is charged once at the shuffle bandwidth.
+        Under the legacy pickle path the caller instead folds the
+        payload into every ``map_bytes_per_split`` entry (each task
+        re-reads it) and leaves this at 0 — charging both would count
+        the same bytes twice.
         """
         tasks = [
             self.map_task_seconds(f, b)
@@ -167,7 +176,7 @@ class ClusterModel:
         return PhaseTime(
             overhead=self.job_overhead_s,
             map=self.schedule(tasks),
-            shuffle=shuffle_bytes / self.shuffle_bytes_per_s,
+            shuffle=(shuffle_bytes + broadcast_bytes) / self.shuffle_bytes_per_s,
             reduce=reduce_flops / self.worker_flops,
             spill=2.0 * spill_bytes / self.spill_bytes_per_s,
         )

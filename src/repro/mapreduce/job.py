@@ -51,6 +51,14 @@ class SplitContext:
         updates incrementally.
     counters:
         Job-wide counters (merged across splits after the map phase).
+    broadcast:
+        The job's resolved broadcast value (read-only by contract).
+        Under the zero-copy data plane this is a view into a
+        shared-memory segment the driver published once; under the
+        legacy path it is the payload the job carried.  Mappers whose
+        constructor did not receive the payload read it from here in
+        ``setup`` — which is what keeps the payload out of every task
+        pickle.
     """
 
     split_id: int
@@ -58,6 +66,7 @@ class SplitContext:
     rng: np.random.Generator
     state: dict[str, Any]
     counters: Counters
+    broadcast: Any = None
 
 
 class BlockMapper(abc.ABC):

@@ -20,6 +20,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.exceptions import JobSpecError
 from repro.linalg.distances import update_min_sq_dists_argmin
 from repro.mapreduce.job import BlockMapper, KeyValue, MapReduceJob
 from repro.mapreduce.jobs.common import (
@@ -51,11 +52,36 @@ class UpdateCostMapper(BlockMapper):
         driver re-runs a pipeline on the same runtime).
     """
 
-    def __init__(self, new_centers: np.ndarray, *, offset: int = 0, reset: bool = False):
+    def __init__(
+        self,
+        new_centers: np.ndarray | None = None,
+        *,
+        offset: int = 0,
+        reset: bool = False,
+    ):
         super().__init__()
-        self.new_centers = np.atleast_2d(np.asarray(new_centers, dtype=np.float64))
+        # ``None`` defers to the job broadcast at setup time, keeping the
+        # center block out of the pickled mapper factory (data plane).
+        self.new_centers = (
+            None
+            if new_centers is None
+            else np.atleast_2d(np.asarray(new_centers, dtype=np.float64))
+        )
         self.offset = int(offset)
         self.reset = bool(reset)
+
+    def setup(self, ctx) -> None:
+        super().setup(ctx)
+        if self.new_centers is None:
+            if ctx.broadcast is None:
+                raise JobSpecError(
+                    "UpdateCostMapper needs centers: pass them to the "
+                    "constructor or run it through a job whose broadcast "
+                    "carries them"
+                )
+            self.new_centers = np.atleast_2d(
+                np.asarray(ctx.broadcast, dtype=np.float64)
+            )
 
     def map_block(self, block: np.ndarray) -> Iterable[KeyValue]:
         d2 = None if self.reset else self.ctx.state.get(STATE_D2)
@@ -81,11 +107,13 @@ def make_cost_job(
 ) -> MapReduceJob:
     """Build the cost job for one round boundary."""
     # functools.partial (not a lambda) keeps the job picklable for the
-    # process execution backend.
+    # process execution backend; the new centers ride only in
+    # ``broadcast`` so the data plane can ship a descriptor per task.
+    new_centers = np.atleast_2d(np.asarray(new_centers, dtype=np.float64))
     return MapReduceJob(
         name="kmeans||/update-cost",
         mapper_factory=functools.partial(
-            UpdateCostMapper, new_centers, offset=offset, reset=reset
+            UpdateCostMapper, offset=offset, reset=reset
         ),
         reducer_factory=ScalarSumReducer,
         combiner_factory=ScalarSumReducer,

@@ -59,14 +59,31 @@ class LloydMapper(BlockMapper):
     the O(nd) norm pass once per split, not once per round.
     """
 
-    def __init__(self, centers: np.ndarray, granularity: str = "split"):
+    def __init__(self, centers: np.ndarray | None = None, granularity: str = "split"):
         super().__init__()
         if granularity not in GRANULARITIES:
             raise JobSpecError(
                 f"granularity must be one of {GRANULARITIES}, got {granularity!r}"
             )
-        self.centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
+        # ``centers=None`` defers to the job broadcast at setup time —
+        # the factory then pickles without the array, so task pickles
+        # stay O(1) and the payload travels through the data plane.
+        self.centers = (
+            None
+            if centers is None
+            else np.atleast_2d(np.asarray(centers, dtype=np.float64))
+        )
         self.granularity = granularity
+
+    def setup(self, ctx) -> None:
+        super().setup(ctx)
+        if self.centers is None:
+            if ctx.broadcast is None:
+                raise JobSpecError(
+                    "LloydMapper needs centers: pass them to the constructor "
+                    "or run it through a job whose broadcast carries them"
+                )
+            self.centers = np.atleast_2d(np.asarray(ctx.broadcast, dtype=np.float64))
 
     def map_block(self, block: np.ndarray) -> Iterable[KeyValue]:
         k = self.centers.shape[0]
@@ -157,10 +174,13 @@ def make_lloyd_job(
 ) -> MapReduceJob:
     """Build one Lloyd-round job for the broadcast ``centers``."""
     # functools.partial (not a lambda) keeps the job picklable for the
-    # process execution backend.
+    # process execution backend; the centers ride only in ``broadcast``
+    # (resolved into the mapper at setup), never in the factory, so the
+    # data plane can ship them as a shared-memory descriptor.
+    centers = np.atleast_2d(np.asarray(centers, dtype=np.float64))
     return MapReduceJob(
         name="lloyd/iteration",
-        mapper_factory=functools.partial(LloydMapper, centers, granularity),
+        mapper_factory=functools.partial(LloydMapper, granularity=granularity),
         reducer_factory=_LloydReducer,
         combiner_factory=SumCountCombiner if use_combiner else None,
         broadcast=centers,

@@ -40,9 +40,27 @@ WEIGHTS_KEY = "weights"
 class WeightMapper(BlockMapper):
     """Nearest-candidate count vector for one split."""
 
-    def __init__(self, candidates: np.ndarray):
+    def __init__(self, candidates: np.ndarray | None = None):
         super().__init__()
-        self.candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+        # ``None`` defers to the job broadcast at setup (data plane).
+        self.candidates = (
+            None
+            if candidates is None
+            else np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+        )
+
+    def setup(self, ctx) -> None:
+        super().setup(ctx)
+        if self.candidates is None:
+            if ctx.broadcast is None:
+                raise MapReduceError(
+                    "WeightMapper needs candidates: pass them to the "
+                    "constructor or run it through a job whose broadcast "
+                    "carries them"
+                )
+            self.candidates = np.atleast_2d(
+                np.asarray(ctx.broadcast, dtype=np.float64)
+            )
 
     def map_block(self, block: np.ndarray) -> Iterable[KeyValue]:
         labels = assign_labels(block, self.candidates)
@@ -88,10 +106,12 @@ class CachedWeightMapper(BlockMapper):
 def make_weight_job(candidates: np.ndarray) -> MapReduceJob:
     """Build the Step-7 weighting job for the full candidate set."""
     # functools.partial (not a lambda) keeps the job picklable for the
-    # process execution backend.
+    # process execution backend; the candidate block rides only in
+    # ``broadcast`` so the data plane can ship a descriptor per task.
+    candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
     return MapReduceJob(
         name="kmeans||/weights",
-        mapper_factory=functools.partial(WeightMapper, candidates),
+        mapper_factory=WeightMapper,
         reducer_factory=ArraySumReducer,
         combiner_factory=ArraySumReducer,
         broadcast=candidates,

@@ -82,6 +82,11 @@ class MRKMeansReport:
     #: ``spilled_jobs`` / ``spill_files`` / ``spill_bytes`` /
     #: ``peak_bytes`` (largest driver-held shuffle residency of any job).
     shuffle: dict[str, int] = field(default_factory=dict)
+    #: Data-plane telemetry: broadcast ``mode`` (``shared``/``task``),
+    #: ``affinity``, publish-once vs per-task broadcast byte totals,
+    #: split-state bytes shipped vs resident, and pinned-dispatch
+    #: ``steals`` — see :func:`_plane_telemetry`.
+    plane: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-line report used by the examples and the CLI."""
@@ -115,6 +120,28 @@ def _shuffle_telemetry(runtime: LocalMapReduceRuntime) -> dict[str, int]:
         "spill_files": counters.value("shuffle", "spill_files"),
         "spill_bytes": counters.value("shuffle", "spill_bytes"),
         "peak_bytes": runtime.peak_shuffle_bytes,
+    }
+
+
+def _plane_telemetry(runtime: LocalMapReduceRuntime) -> dict[str, int | str]:
+    """Aggregate a runtime's data-plane telemetry for reports.
+
+    ``broadcast_bytes_published`` vs ``broadcast_bytes_per_task``
+    separates the one-crossing shared path from the legacy
+    once-per-map-task charge; the ``state_*`` pair shows how many split
+    -state bytes actually moved versus stayed resident behind
+    shared-memory descriptors; ``steals`` counts pinned map tasks that
+    ran away from their home worker.
+    """
+    log = runtime.job_log
+    return {
+        "mode": "shared" if runtime.shared_broadcast else "task",
+        "affinity": runtime.affinity,
+        "broadcast_bytes_published": sum(s.broadcast_bytes_published for s in log),
+        "broadcast_bytes_per_task": sum(s.broadcast_bytes_per_task for s in log),
+        "state_bytes_shipped": sum(s.state_bytes_shipped for s in log),
+        "state_bytes_resident": sum(s.state_bytes_resident for s in log),
+        "steals": sum(s.plane_steals for s in log),
     }
 
 
@@ -161,6 +188,8 @@ def mr_scalable_kmeans(
     workers: int | None = None,
     backend: "ExecBackend | str | None" = None,
     shuffle_budget: int | None = None,
+    shared_broadcast: bool | None = None,
+    affinity: str | None = None,
 ) -> MRKMeansReport:
     """Full ``k-means||`` pipeline on the simulated cluster.
 
@@ -180,6 +209,7 @@ def mr_scalable_kmeans(
     with LocalMapReduceRuntime(
         source, n_splits=n_splits, cluster=cluster, seed=seed, workers=workers,
         backend=backend, shuffle_budget=shuffle_budget,
+        shared_broadcast=shared_broadcast, affinity=affinity,
     ) as runtime:
         rng = np.random.default_rng(
             runtime._seed_root.integers(0, 2**63)  # driver-side randomness
@@ -275,8 +305,11 @@ def mr_scalable_kmeans(
                 "workers": runtime.workers,
                 "backend": runtime.backend.name,
                 "shuffle_budget": runtime.shuffle_budget,
+                "shared_broadcast": runtime.shared_broadcast,
+                "affinity": runtime.affinity,
             },
             shuffle=_shuffle_telemetry(runtime),
+            plane=_plane_telemetry(runtime),
         )
 
 
@@ -291,6 +324,8 @@ def mr_random_kmeans(
     workers: int | None = None,
     backend: "ExecBackend | str | None" = None,
     shuffle_budget: int | None = None,
+    shared_broadcast: bool | None = None,
+    affinity: str | None = None,
 ) -> MRKMeansReport:
     """The parallel ``Random`` baseline: uniform seed + bounded MR Lloyd.
 
@@ -302,6 +337,7 @@ def mr_random_kmeans(
     with LocalMapReduceRuntime(
         source, n_splits=n_splits, cluster=cluster, seed=seed, workers=workers,
         backend=backend, shuffle_budget=shuffle_budget,
+        shared_broadcast=shared_broadcast, affinity=affinity,
     ) as runtime:
         seed_centers = runtime.run_job(make_uniform_sample_job(k)).single(SAMPLE_KEY)
         if seed_centers.shape[0] < k:
@@ -326,8 +362,11 @@ def mr_random_kmeans(
                        "lloyd": runtime.simulated_minutes - init_minutes},
             params={"k": k, "n_splits": n_splits, "workers": runtime.workers,
                     "backend": runtime.backend.name,
-                    "shuffle_budget": runtime.shuffle_budget},
+                    "shuffle_budget": runtime.shuffle_budget,
+                    "shared_broadcast": runtime.shared_broadcast,
+                    "affinity": runtime.affinity},
             shuffle=_shuffle_telemetry(runtime),
+            plane=_plane_telemetry(runtime),
         )
 
 

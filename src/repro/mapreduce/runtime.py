@@ -35,6 +35,16 @@ Out-of-core input: the dataset is accessed through a
 :class:`~repro.data.splits.ShardedSplitSource` for a directory of
 shards) to stream splits from memory-mapped files instead of RAM.
 
+Zero-copy data plane: with ``shared_broadcast`` on (CLI default for
+``mr`` runs; ``REPRO_SHARED_BROADCAST=1``), the driver publishes each
+job's broadcast ndarray *once* into ``multiprocessing.shared_memory``
+and per-split state arrays stay resident in driver-owned segments —
+map tasks then carry only O(1)-sized descriptors across the process
+boundary instead of re-pickling O(k·d) centers and O(rows) caches
+every job (:mod:`repro.plane`).  ``affinity="pinned"`` additionally
+pins each split to a home worker process (``split % workers``,
+Spark-style preferred locations) with work-stealing fallback.
+
 Out-of-core shuffle: emissions flow through a
 :class:`~repro.shuffle.store.ShuffleStore`.  By default that is the
 in-memory store (the historical zero-copy path); give the runtime a
@@ -51,17 +61,25 @@ pin this); only the spill telemetry and the simulated spill time differ.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Hashable
 
 import numpy as np
 
 from repro.data.splits import SplitDescriptor, SplitSource, as_split_source
 from repro.exceptions import MapReduceError, ValidationError
-from repro.exec import ExecBackend, get_backend, resolve_backend
+from repro.exec import AffinitySpec, ExecBackend, get_backend, resolve_backend
 from repro.mapreduce.cluster import ClusterModel, PhaseTime
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import KeyValue, MapReduceJob, SplitContext
+from repro.plane.broadcast import publish_broadcast, resolve_broadcast
+from repro.plane.config import resolve_affinity, resolve_shared_broadcast
+from repro.plane.state import (
+    SplitStateManager,
+    SplitStateSpec,
+    SplitStateUpdate,
+    collect_state_update,
+)
 from repro.shuffle.accounting import estimate_nbytes, record_nbytes
 from repro.shuffle.config import resolve_shuffle_budget
 from repro.shuffle.spill import SpillManifest
@@ -161,10 +179,26 @@ class JobStats:
     reduce_emitted: int
     map_flops_per_split: list[float] = field(default_factory=list)
     reduce_flops: float = 0.0
-    broadcast_bytes: int = 0
+    broadcast_bytes: int = 0  #: size of the job's broadcast payload
     spill_bytes: int = 0  #: real bytes written to shuffle spill files
     spill_files: int = 0
     shuffle_peak_bytes: int = 0  #: peak driver-held shuffle residency
+    #: Data-plane telemetry.  ``broadcast_mode`` is ``"shared"`` (payload
+    #: published once; ``broadcast_bytes_published`` counts it, the
+    #: per-task cost is an O(1) descriptor) or ``"task"`` (the legacy
+    #: path: every map task re-reads the payload —
+    #: ``broadcast_bytes_per_task`` totals those n_splits copies).
+    broadcast_mode: str = "task"
+    broadcast_bytes_published: int = 0
+    broadcast_bytes_per_task: int = 0
+    #: Split-state IPC: bytes that crossed driver<->worker by value
+    #: (first-time publishes + non-array fallbacks) vs bytes referenced
+    #: in place through shared-memory descriptors.  Both zero when the
+    #: backend never crosses a process boundary.
+    state_bytes_shipped: int = 0
+    state_bytes_resident: int = 0
+    #: Map tasks the pinned scheduler ran away from their home worker.
+    plane_steals: int = 0
     time: PhaseTime | None = None
 
 
@@ -197,10 +231,15 @@ class JobResult:
 class _MapTaskResult:
     """What one map(+combine) task hands back to the driver.
 
-    ``state`` is the split's persistent dict *after* the task ran: for
-    in-process backends it is the same object the runtime handed out, but
-    a process backend round-trips it through pickle, so the runtime
-    re-installs it by split index either way.
+    Exactly one of ``state`` / ``state_update`` reports the split's
+    persistent state after the task ran.  On the legacy path ``state``
+    is the dict itself — the same object for in-process backends, a
+    pickled round-trip for the process backend.  On the zero-copy plane
+    the task received a :class:`~repro.plane.state.SplitStateSpec`
+    instead of a dict and hands back a
+    :class:`~repro.plane.state.SplitStateUpdate` of markers: resident
+    entries stay in their shared segments (no bytes move) and only new
+    or re-shaped values ride the result pickle.
 
     Exactly one of ``emissions`` / ``manifest`` carries the task's
     output: under a spilling shuffle, a task whose post-combine output
@@ -214,7 +253,8 @@ class _MapTaskResult:
     map_emitted: int
     flops: float
     counters: Counters
-    state: dict[str, Any]
+    state: dict[str, Any] | None = None
+    state_update: SplitStateUpdate | None = None
     manifest: SpillManifest | None = None
 
 
@@ -224,7 +264,7 @@ def _execute_map_task(
     split_id: int,
     n_splits: int,
     rng: np.random.Generator,
-    state: dict[str, Any],
+    state_arg: "dict[str, Any] | SplitStateSpec",
     spill_spec: MapSpillSpec | None = None,
 ) -> _MapTaskResult:
     """One map task (plus its combine, which is split-local).
@@ -232,16 +272,22 @@ def _execute_map_task(
     Module-level and driven entirely by picklable arguments, so the
     execution backend may run it on the calling thread, a pool thread, or
     a worker process; everything it touches is split-private (descriptor,
-    state dict, RNG, fresh counters), so tasks never share mutable state.
+    state spec/dict, RNG, fresh counters), so tasks never share mutable
+    state.  The job's broadcast arrives as a
+    :class:`~repro.plane.broadcast.BroadcastRef` (an O(1) descriptor on
+    the shared path) and is resolved here, in the executing process.
     """
     block = descriptor.load()
     counters = Counters()
+    spec = state_arg if isinstance(state_arg, SplitStateSpec) else None
+    state = spec.materialize() if spec is not None else state_arg
     ctx = SplitContext(
         split_id=split_id,
         n_splits=n_splits,
         rng=rng,
         state=state,
         counters=counters,
+        broadcast=resolve_broadcast(job.broadcast),
     )
     mapper = job.mapper_factory()
     try:
@@ -281,7 +327,8 @@ def _execute_map_task(
         map_emitted=map_emitted,
         flops=flops,
         counters=counters,
-        state=state,
+        state=None if spec is not None else state,
+        state_update=collect_state_update(spec, state) if spec is not None else None,
         manifest=manifest,
     )
 
@@ -346,6 +393,28 @@ class LocalMapReduceRuntime:
         value ``<= 0`` forces the in-memory store regardless of the
         environment. Results are bit-identical either way; only where
         the bytes live (and the spill telemetry) changes.
+    shared_broadcast:
+        The zero-copy data plane mode. ``None`` resolves via
+        :func:`repro.plane.resolve_shared_broadcast` (the CLI's
+        ``--no-shared-broadcast``, then ``REPRO_SHARED_BROADCAST``,
+        default off). When on: job broadcasts are published once per
+        job (a shared-memory segment when the backend crosses
+        processes) and tasks ship only ``(name, shape, dtype)``
+        descriptors; split-state ndarrays live resident in driver-owned
+        segments and round-trip as markers; and the simulated cluster
+        charges the broadcast once per job instead of once per map
+        task. Centers/costs/counters/key order are bit-identical in
+        both modes across all backends; only IPC volume (and the
+        broadcast term of simulated time) changes.
+    affinity:
+        ``"pinned"`` gives every split a deterministic home worker
+        (``split_index % workers``) on the process backend — map tasks
+        keep landing in the same OS process, so attachments and page
+        cache stay warm — with work-stealing fallback when the home
+        lane is busy. ``None`` resolves via
+        :func:`repro.plane.resolve_affinity` (``--affinity`` /
+        ``REPRO_AFFINITY``, default ``"none"``). Output is
+        bit-identical either way.
 
     Attributes
     ----------
@@ -371,6 +440,8 @@ class LocalMapReduceRuntime:
         workers: int | None = None,
         backend: ExecBackend | str | None = None,
         shuffle_budget: int | None = None,
+        shared_broadcast: bool | None = None,
+        affinity: str | None = None,
     ):
         try:
             self.source = as_split_source(X)
@@ -388,6 +459,8 @@ class LocalMapReduceRuntime:
             self.workers = resolve_mr_workers(workers)
             self._backend = None if backend is None else resolve_backend(backend)
             self.shuffle_budget = resolve_shuffle_budget(shuffle_budget)
+            self.shared_broadcast = resolve_shared_broadcast(shared_broadcast)
+            self.affinity = resolve_affinity(affinity)
         except ValidationError as exc:
             raise MapReduceError(str(exc)) from exc
         #: Runtime-lifetime spill telemetry (see class docstring).
@@ -399,8 +472,10 @@ class LocalMapReduceRuntime:
         self._owns_backend = backend is not None and not isinstance(
             backend, ExecBackend
         )
-        #: per-split dicts persisting across jobs (models RDD caching).
-        self.split_states: list[dict[str, Any]] = [{} for _ in range(n_splits)]
+        #: Driver-side owner of the per-split state dicts persisting
+        #: across jobs (models RDD caching) and, under the zero-copy
+        #: plane, of their shared-memory segments.
+        self._state = SplitStateManager(n_splits)
         self.job_log: list[JobStats] = []
         self.simulated_seconds: float = 0.0
         self._job_counter = 0
@@ -410,6 +485,17 @@ class LocalMapReduceRuntime:
     def backend(self) -> ExecBackend:
         """The execution backend jobs are scheduled through."""
         return self._backend if self._backend is not None else get_backend()
+
+    @property
+    def split_states(self) -> list[dict[str, Any]]:
+        """Per-split state dicts, in split order (the RDD-cache model).
+
+        Entries kept resident in shared memory by the data plane appear
+        here as segment-backed views — in-place worker writes are
+        visible without any transfer — so callers read (and tests poke)
+        these dicts exactly as before.
+        """
+        return self._state.states
 
     @property
     def X(self) -> np.ndarray:
@@ -441,6 +527,9 @@ class LocalMapReduceRuntime:
         if self._active_store is not None:
             self._active_store.close()
             self._active_store = None
+        # Free the data plane's shared-memory segments (state residency
+        # ends with the runtime; ``split_states`` keeps plain copies).
+        self._state.release()
         if self._owns_backend and self._backend is not None:
             self._backend.shutdown()
 
@@ -461,6 +550,23 @@ class LocalMapReduceRuntime:
         split_rngs = spawn_generators(self._seed_root, self.n_splits)
         broadcast_bytes = estimate_nbytes(job.broadcast) if job.broadcast is not None else 0
 
+        # ---- data plane: how values reach the tasks ----
+        # ``shared_broadcast`` is the *mode* (fixes the accounting, so
+        # simulated time is backend-independent at a fixed mode); actual
+        # shared-memory transport only engages when the backend can put
+        # a task in another process.  The broadcast is published once
+        # per job and freed in the ``finally`` below; split state goes
+        # out as descriptors and comes back as resident markers.
+        crosses = backend.crosses_processes
+        transport_shared = self.shared_broadcast and crosses
+        affinity_spec = (
+            AffinitySpec(
+                [i % self.workers for i in range(self.n_splits)], self.workers
+            )
+            if self.affinity == "pinned"
+            else None
+        )
+
         # One shuffle store per job: in-memory unless a budget is set.
         # Spill files (the driver's and the map tasks') all live in the
         # store's managed temp dir, deleted in the ``finally`` below —
@@ -474,33 +580,62 @@ class LocalMapReduceRuntime:
             if isinstance(store, SpillingShuffleStore)
             else None
         )
+        published = None
         try:
+            # Telemetry hygiene: a failed previous job may have left
+            # half-accounted state counters behind; this job starts clean.
+            self._state.drain_counters()
+            # Publish inside the guarded region: whatever fails between
+            # here and the reduce, the ``finally`` frees the segment.
+            published = publish_broadcast(job.broadcast, shared=transport_shared)
+            ship_job = job if published.segment is None else replace(
+                job, broadcast=published.ref
+            )
             # ---- map (+ per-split combine) phase: fan out via the backend ----
             # Tasks are shipped as picklable split descriptors (path +
             # range for file-backed sources), so a process backend
             # re-opens the memory map in the child instead of serializing
             # the rows.  Under a spilling shuffle, tasks with fat output
-            # spill locally and ship back only a manifest.
+            # spill locally and ship back only a manifest.  On the
+            # zero-copy plane, state ships as descriptors too — the only
+            # per-task payload left is O(1)-sized.
+            state_args: list[Any] = (
+                [self._state.spec(i) for i in range(self.n_splits)]
+                if transport_shared
+                else self._state.states
+            )
             calls = [
                 (
-                    job,
+                    ship_job,
                     self.source.descriptor(self._bounds[i], self._bounds[i + 1]),
                     i,
                     self.n_splits,
                     split_rngs[i],
-                    self.split_states[i],
+                    state_args[i],
                     spill_spec,
                 )
                 for i in range(self.n_splits)
             ]
-            task_results: list[_MapTaskResult] = backend.run_calls(
-                _execute_map_task, calls, parallelism=self.workers
-            )
-            # Re-install per-split state by index: in-process backends hand
-            # back the same dicts (no-op); a process backend hands back the
-            # pickled-and-updated copies from the workers.
+            if affinity_spec is not None:
+                task_results: list[_MapTaskResult] = backend.run_calls(
+                    _execute_map_task,
+                    calls,
+                    parallelism=self.workers,
+                    affinity=affinity_spec,
+                )
+            else:
+                task_results = backend.run_calls(
+                    _execute_map_task, calls, parallelism=self.workers
+                )
+            # Re-install per-split state by index.  Plane tasks hand back
+            # marker updates (resident entries never moved); legacy
+            # in-process backends hand back the same dicts (no-op) and
+            # the legacy process path hands back pickled copies.
             for i, result in enumerate(task_results):
-                self.split_states[i] = result.state
+                if result.state_update is not None:
+                    self._state.apply(result.state_update)
+                else:
+                    self._state.install(i, result.state)
 
             counters = Counters()
             for result in task_results:  # merged in split order: deterministic
@@ -575,13 +710,22 @@ class LocalMapReduceRuntime:
                     reduce_emitted += 1
 
             # ---- simulated clock ----
+            # Broadcast accounting follows the *mode*, not the backend:
+            # the shared plane publishes the payload once per job (one
+            # network crossing, charged via ``job_time``'s
+            # ``broadcast_bytes``); the legacy path re-reads it in every
+            # map task, so it rides in each split's scan bytes — the
+            # historical per-task charge.  Charging both would count the
+            # same bytes twice (the double-count this fixes).
+            per_task_broadcast = 0 if self.shared_broadcast else broadcast_bytes
             bytes_per_split = [
                 float(
                     self.source.block_nbytes(self._bounds[i], self._bounds[i + 1])
-                    + broadcast_bytes
+                    + per_task_broadcast
                 )
                 for i in range(self.n_splits)
             ]
+            state_shipped, state_resident = self._state.drain_counters()
             stats = JobStats(
                 name=job.name,
                 n_splits=self.n_splits,
@@ -594,6 +738,16 @@ class LocalMapReduceRuntime:
                 map_flops_per_split=map_flops,
                 reduce_flops=reduce_flops,
                 broadcast_bytes=broadcast_bytes,
+                broadcast_mode="shared" if self.shared_broadcast else "task",
+                broadcast_bytes_published=(
+                    broadcast_bytes if self.shared_broadcast else 0
+                ),
+                broadcast_bytes_per_task=(
+                    0 if self.shared_broadcast else broadcast_bytes * self.n_splits
+                ),
+                state_bytes_shipped=state_shipped,
+                state_bytes_resident=state_resident,
+                plane_steals=affinity_spec.steals if affinity_spec is not None else 0,
                 spill_bytes=store.stats.spill_bytes,
                 spill_files=store.stats.spill_files,
                 shuffle_peak_bytes=store.stats.peak_bytes,
@@ -604,6 +758,9 @@ class LocalMapReduceRuntime:
                 shuffle_bytes=shuffle_bytes,
                 reduce_flops=reduce_flops,
                 spill_bytes=float(stats.spill_bytes),
+                broadcast_bytes=(
+                    float(broadcast_bytes) if self.shared_broadcast else 0.0
+                ),
             )
             if stats.spill_files:
                 self.shuffle_counters.increment("shuffle", "spilled_jobs", 1)
@@ -621,7 +778,11 @@ class LocalMapReduceRuntime:
             return JobResult(output=output, counters=counters, stats=stats)
         finally:
             # Normal completion, failure, or interrupt: the job's spill
-            # files are gone before the caller sees the JobResult.
+            # files and its published broadcast segment are gone before
+            # the caller sees the JobResult (broadcasts are job-scoped,
+            # like a Spark broadcast destroyed at the end of the round).
+            if published is not None:
+                published.release()
             store.close()
             self._active_store = None
 

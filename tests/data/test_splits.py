@@ -270,3 +270,77 @@ class TestSplitDescriptors:
                     np.asarray(src.descriptor(lo, hi).load()),
                     np.asarray(src.block(lo, hi)),
                 )
+
+
+class TestShardedRowReader:
+    """Out-of-core driver sections: as_array() streams, never concatenates."""
+
+    @pytest.fixture
+    def shard_dir(self, X, tmp_path):
+        d = tmp_path / "reader-shards"
+        d.mkdir()
+        for i, (lo, hi) in enumerate([(0, 10), (10, 30), (30, 37)]):
+            np.save(d / f"shard-{i:03d}.npy", X[lo:hi])
+        return d
+
+    def test_numpy_facade(self, X, shard_dir):
+        reader = ShardedSplitSource(shard_dir).as_array()
+        assert reader.shape == X.shape
+        assert reader.dtype == X.dtype
+        assert reader.ndim == 2
+        assert len(reader) == X.shape[0]
+        assert reader.nbytes == X.nbytes
+
+    def test_slicing_matches_dense(self, X, shard_dir):
+        reader = ShardedSplitSource(shard_dir).as_array()
+        for sl in [slice(0, 5), slice(3, 25), slice(None), slice(5, 37, 3),
+                   slice(30, 10, -1)]:
+            np.testing.assert_array_equal(reader[sl], X[sl])
+
+    def test_row_and_fancy_indexing(self, X, shard_dir):
+        reader = ShardedSplitSource(shard_dir).as_array()
+        np.testing.assert_array_equal(reader[7], X[7])
+        np.testing.assert_array_equal(reader[-2], X[-2])
+        idx = np.array([36, 0, 12, 12, 29, 5])
+        np.testing.assert_array_equal(reader[idx], X[idx])
+        np.testing.assert_array_equal(reader[[3, -1]], X[[3, -1]])
+        mask = np.zeros(X.shape[0], dtype=bool)
+        mask[::5] = True
+        np.testing.assert_array_equal(reader[mask], X[mask])
+        with pytest.raises(IndexError):
+            reader[np.array([99])]
+        with pytest.raises(IndexError):
+            reader[41]
+
+    def test_within_shard_slice_is_zero_copy(self, X, shard_dir):
+        reader = ShardedSplitSource(shard_dir).as_array()
+        block = reader[12:25]  # inside shard 1
+        assert block.base is not None  # memmap view
+
+    def test_peak_allocation_stays_sectional(self, X, shard_dir):
+        """Regression: a chunked kernel scan must never materialize the
+        concatenation — peak per-access rows stay at the chunk size."""
+        from repro.linalg.distances import min_sq_dists
+
+        src = ShardedSplitSource(shard_dir)
+        reader = src.as_array()
+        C = X[:4].copy()
+        # A chunk budget of 4 rows' scratch: 4 centers * 8 B * 4 rows.
+        got = min_sq_dists(reader, C, chunk_bytes=4 * 4 * 8)
+        np.testing.assert_array_equal(got, min_sq_dists(X, C))
+        assert 0 < reader.peak_section_rows < X.shape[0]
+
+    def test_top_up_and_seed_cost_stream(self, X, shard_dir):
+        """The two driver-side consumers of as_array() work lazily."""
+        from repro.core.reclustering import TopUpPolicy, apply_top_up
+
+        reader = ShardedSplitSource(shard_dir).as_array()
+        rng = np.random.default_rng(0)
+        centers = apply_top_up(X[:2].copy(), reader, 5, TopUpPolicy.PAD, rng)
+        assert centers.shape == (5, X.shape[1])
+        assert reader.peak_section_rows < X.shape[0]
+
+    def test_full_materialization_via_asarray_still_works(self, X, shard_dir):
+        reader = ShardedSplitSource(shard_dir).as_array()
+        np.testing.assert_array_equal(np.asarray(reader), X)
+        assert reader.peak_section_rows == X.shape[0]  # and it shows

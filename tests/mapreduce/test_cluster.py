@@ -95,3 +95,66 @@ class TestJobTime:
         cl = ClusterModel(n_workers=2, worker_flops=10.0)
         # Two groups of 100 flops -> 10 s each, in parallel.
         assert cl.parallel_group_seconds([100.0, 100.0]) == pytest.approx(10.0)
+
+
+class TestBroadcastCharge:
+    """Publish-once vs per-task broadcast accounting (the data plane)."""
+
+    def _model(self) -> ClusterModel:
+        return ClusterModel(
+            n_workers=2,
+            worker_flops=100.0,
+            scan_bytes_per_s=100.0,
+            shuffle_bytes_per_s=50.0,
+            job_overhead_s=0.0,
+        )
+
+    def test_published_broadcast_charged_once_on_the_network(self):
+        cl = self._model()
+        t = cl.job_time(
+            map_flops_per_split=[100.0, 100.0],
+            map_bytes_per_split=[100.0, 100.0],
+            shuffle_bytes=100.0,
+            reduce_flops=0.0,
+            broadcast_bytes=100.0,
+        )
+        # 100 B shuffle + 100 B broadcast, once, at 50 B/s.
+        assert t.shuffle == pytest.approx(4.0)
+        assert t.map == pytest.approx(2.0)  # scan unchanged: no per-task copy
+
+    def test_default_keeps_legacy_accounting(self):
+        cl = self._model()
+        legacy = cl.job_time(
+            map_flops_per_split=[100.0, 100.0],
+            # The legacy path folds the payload into every split's scan.
+            map_bytes_per_split=[200.0, 200.0],
+            shuffle_bytes=100.0,
+            reduce_flops=0.0,
+        )
+        assert legacy.shuffle == pytest.approx(2.0)
+        assert legacy.map == pytest.approx(3.0)
+
+    def test_shared_mode_strictly_cheaper_for_multi_split_jobs(self):
+        # An aggregate network faster than one worker's scan rate (every
+        # realistic cluster): re-reading the payload per task then loses.
+        cl = ClusterModel(
+            n_workers=4,
+            worker_flops=100.0,
+            scan_bytes_per_s=100.0,
+            shuffle_bytes_per_s=1000.0,
+            job_overhead_s=0.0,
+        )
+        shared = cl.job_time(
+            map_flops_per_split=[0.0] * 4,
+            map_bytes_per_split=[100.0] * 4,
+            shuffle_bytes=0.0,
+            reduce_flops=0.0,
+            broadcast_bytes=400.0,
+        )
+        legacy = cl.job_time(
+            map_flops_per_split=[0.0] * 4,
+            map_bytes_per_split=[500.0] * 4,
+            shuffle_bytes=0.0,
+            reduce_flops=0.0,
+        )
+        assert shared.total < legacy.total

@@ -12,6 +12,7 @@ PUBLIC_MODULES = [
     "repro.baselines",
     "repro.data",
     "repro.exec",
+    "repro.plane",
     "repro.linalg",
     "repro.mapreduce",
     "repro.mapreduce.jobs",
