@@ -74,7 +74,7 @@ class _MeteringBackend:
                 self.job_bytes: list[int] = []  # one entry per region
                 self.total_bytes = 0
 
-            def run_calls(self, fn, calls, *, parallelism=None, affinity=None):
+            def run_calls(self, fn, calls, *, parallelism=None, affinity=None, **kwargs):
                 region = 0
                 results = []
                 for args in calls:

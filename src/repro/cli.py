@@ -45,8 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
             "in MiB; past it the shuffle spills to disk), "
             "REPRO_SHARED_BROADCAST (1 = zero-copy data plane: broadcasts "
             "published once to shared memory, split state resident behind "
-            "descriptors), and REPRO_AFFINITY (none|pinned — pin splits to "
-            "home worker processes on the process backend)."
+            "descriptors), REPRO_AFFINITY (none|pinned — pin splits to "
+            "home worker processes on the process backend), and the fault-"
+            "tolerance knobs: REPRO_FAULTS_MAX_RETRIES (crash-class retries "
+            "per task), REPRO_FAULTS_TASK_TIMEOUT (seconds per process-"
+            "backend task attempt), REPRO_FAULTS_SPECULATION (1 = duplicate "
+            "stragglers on idle pinned slots), REPRO_FAULTS_BACKOFF_S / "
+            "REPRO_FAULTS_BLACKLIST_AFTER, and REPRO_FAULTS_CHAOS / "
+            "REPRO_FAULTS_CHAOS_RATE / REPRO_FAULTS_CHAOS_SEED "
+            "(deterministic fault injection for chaos testing)."
         ),
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
@@ -127,6 +134,41 @@ def build_parser() -> argparse.ArgumentParser:
             "and shared-memory attachments stay warm per split. Only the "
             "process backend places tasks; others ignore it (default: "
             "$REPRO_AFFINITY or 'none')"
+        ),
+    )
+    parser.add_argument(
+        "--max-task-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "crash-class retries per task (worker death, broken pool, "
+            "timeout) before the run fails with TaskFailedError; crashed map "
+            "tasks recompute their split state from lineage, so results stay "
+            "bit-identical to a fault-free run (default: "
+            "$REPRO_FAULTS_MAX_RETRIES or 2). Ordinary task exceptions are "
+            "never retried"
+        ),
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock limit per process-backend task attempt; a hung "
+            "worker is killed and the task retried (default: "
+            "$REPRO_FAULTS_TASK_TIMEOUT, else no limit)"
+        ),
+    )
+    parser.add_argument(
+        "--speculation",
+        action="store_true",
+        help=(
+            "speculatively duplicate slowest-quantile straggler tasks onto "
+            "idle pinned worker slots (process backend + --affinity pinned); "
+            "first result wins, so output is unchanged (default: "
+            "$REPRO_FAULTS_SPECULATION or off)"
         ),
     )
     parser.add_argument(
@@ -298,6 +340,24 @@ def _configure_engine(parser: argparse.ArgumentParser, args: argparse.Namespace)
     except ValidationError as exc:
         parser.error(str(exc))
 
+    import dataclasses
+
+    from repro.exec import resolve_retry_policy, set_default_retry_policy
+
+    try:
+        policy = resolve_retry_policy()  # fail fast on bad $REPRO_FAULTS_*
+        overrides: dict = {}
+        if args.max_task_retries is not None:
+            overrides["max_task_retries"] = args.max_task_retries
+        if args.task_timeout is not None:
+            overrides["task_timeout_s"] = args.task_timeout
+        if args.speculation:
+            overrides["speculation"] = True
+        if overrides:
+            set_default_retry_policy(dataclasses.replace(policy, **overrides))
+    except ValidationError as exc:
+        parser.error(str(exc))
+
 
 def _run_mr(args: argparse.Namespace) -> int:
     """The ``mr`` subcommand: the pipeline over a memory-mapped dataset."""
@@ -334,6 +394,15 @@ def _run_mr(args: argparse.Namespace) -> int:
               f"state_shipped={plane['state_bytes_shipped']}B "
               f"state_resident={plane['state_bytes_resident']}B "
               f"steals={plane['steals']}")
+    faults = report.faults
+    if faults and any(faults.values()):
+        print(f"    faults retries={faults['retries']} "
+              f"crashes={faults['crashes']} timeouts={faults['timeouts']} "
+              f"pool_rebuilds={faults['pool_rebuilds']} "
+              f"blacklisted={faults['workers_blacklisted']} "
+              f"speculative={faults['speculative_won']}/"
+              f"{faults['speculative_launched']} "
+              f"state_recomputed={faults['state_recomputed_bytes']}B")
     for phase, minutes in report.breakdown.items():
         print(f"    {phase:<10} {minutes:10.2f} simulated min")
     budget = report.params.get("shuffle_budget")

@@ -16,6 +16,7 @@ __all__ = [
     "EmptyClusterError",
     "InsufficientCentersError",
     "MapReduceError",
+    "TaskFailedError",
     "JobSpecError",
     "ExperimentError",
 ]
@@ -58,6 +59,37 @@ class InsufficientCentersError(ReproError, RuntimeError):
 
 class MapReduceError(ReproError, RuntimeError):
     """A simulated MapReduce job failed while executing user code."""
+
+
+class TaskFailedError(MapReduceError):
+    """A task kept crashing until its retry budget was exhausted.
+
+    Raised by the execution layer after ``max_task_retries`` crash-class
+    failures (worker death, broken pool, timeout, injected kill) of the
+    same task.  Carries enough forensics to debug without re-running:
+
+    Attributes
+    ----------
+    task_index:
+        Index of the failing task within its parallel region.
+    attempts:
+        Total attempts made (first run + retries).
+    original_traceback:
+        Formatted traceback of the last underlying failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task_index: int = -1,
+        attempts: int = 0,
+        original_traceback: str = "",
+    ):
+        super().__init__(message)
+        self.task_index = task_index
+        self.attempts = attempts
+        self.original_traceback = original_traceback
 
 
 class JobSpecError(ReproError, ValueError):

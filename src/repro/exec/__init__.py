@@ -28,6 +28,28 @@ from repro.exec.backends import (
     use_backend,
 )
 from repro.exec.budget import ENV_EXEC_WORKERS, WorkerBudget, default_budget_limit
+from repro.exec.faults import (
+    ENV_BACKOFF_S,
+    ENV_BLACKLIST_AFTER,
+    ENV_CHAOS,
+    ENV_CHAOS_RATE,
+    ENV_CHAOS_SEED,
+    ENV_MAX_RETRIES,
+    ENV_SPECULATION,
+    ENV_TASK_TIMEOUT,
+    ChaosInjector,
+    FaultInjector,
+    FaultStats,
+    RetryPolicy,
+    SimulatedWorkerCrash,
+    TaskTimeoutError,
+    get_fault_injector,
+    is_crash_failure,
+    reset_region_ids,
+    resolve_retry_policy,
+    set_default_retry_policy,
+    set_fault_injector,
+)
 
 __all__ = [
     "ExecBackend",
@@ -44,7 +66,27 @@ __all__ = [
     "get_worker_budget",
     "set_worker_budget",
     "default_budget_limit",
+    "RetryPolicy",
+    "FaultStats",
+    "FaultInjector",
+    "ChaosInjector",
+    "SimulatedWorkerCrash",
+    "TaskTimeoutError",
+    "is_crash_failure",
+    "reset_region_ids",
+    "resolve_retry_policy",
+    "set_default_retry_policy",
+    "get_fault_injector",
+    "set_fault_injector",
     "ENV_BACKEND",
     "ENV_EXEC_WORKERS",
     "DEFAULT_BACKEND",
+    "ENV_MAX_RETRIES",
+    "ENV_TASK_TIMEOUT",
+    "ENV_SPECULATION",
+    "ENV_BACKOFF_S",
+    "ENV_BLACKLIST_AFTER",
+    "ENV_CHAOS",
+    "ENV_CHAOS_RATE",
+    "ENV_CHAOS_SEED",
 ]

@@ -38,8 +38,16 @@ completes.  Consequences, which the scheduler tests pin down:
 Failure semantics: a *parallel* region runs every task to completion
 even if one fails (no straggler is left running when the caller sees the
 error), then re-raises the error of the lowest-indexed failing task —
-the same exception a serial run would surface first.  Inline execution
+the same exception a serial run would surface first — with every sibling
+failure chained onto it via ``__context__``/notes.  Inline execution
 (the serial backend, or a region that found no free tokens) fails fast.
+
+Fault tolerance (:mod:`repro.exec.faults`): ``run_calls`` regions retry
+crash-class failures (worker death, broken pools, timeouts, injected
+kills) under a :class:`~repro.exec.faults.RetryPolicy`; the process
+backend rebuilds broken pools, blacklists repeatedly-crashing pinned
+slots, and can speculatively duplicate stragglers onto idle slots.
+Ordinary task exceptions keep fail-fast-per-task semantics.
 
 Selection
 ---------
@@ -59,17 +67,30 @@ from __future__ import annotations
 
 import abc
 import functools
+import math
 import os
 import pickle
 import threading
+import time
+import traceback
 import weakref
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from contextlib import contextmanager
 from typing import Any, Callable, ClassVar, Iterable, Iterator, Sequence, TypeVar
 
-from repro.exceptions import ValidationError
+from repro.exceptions import TaskFailedError, ValidationError
 from repro.exec.budget import WorkerBudget
+from repro.exec.faults import (
+    RetryPolicy,
+    TaskTimeoutError,
+    call_with_faults,
+    get_fault_injector,
+    is_crash_failure,
+    next_region_id,
+    resolve_retry_policy,
+)
 
 __all__ = [
     "ExecBackend",
@@ -119,6 +140,136 @@ class AffinitySpec:
 ENV_BACKEND = "REPRO_EXEC_BACKEND"
 #: Backend used when neither code nor environment chose one.
 DEFAULT_BACKEND = "thread"
+
+
+def _invoke(fn: Callable[..., T], args: tuple) -> T:
+    """Inline submit target: run ``fn(*args)`` on the calling thread."""
+    return fn(*args)
+
+
+def _raise_region_errors(errors: dict[int, Exception]) -> None:
+    """Serial semantics, nothing discarded: raise the lowest-indexed
+    failure, with every sibling failure chained via ``__context__`` and
+    summarized in exception notes so multi-failure regions debug whole.
+    """
+    primary = errors[min(errors)]
+    siblings = tuple(errors[i] for i in sorted(errors) if errors[i] is not primary)
+    primary.sibling_errors = siblings
+    if siblings and hasattr(primary, "add_note"):  # Python >= 3.11
+        primary.add_note(
+            f"{len(siblings)} sibling task(s) of this parallel region also "
+            "failed (chained via __context__):"
+        )
+        for i in sorted(errors):
+            if errors[i] is not primary:
+                primary.add_note(f"  task {i}: {type(errors[i]).__name__}: {errors[i]}")
+    # Append the siblings to the tail of the primary's context chain,
+    # skipping anything already present (cycles would hang traceback
+    # printing).
+    seen: set[int] = set()
+    tail = primary
+    while tail.__context__ is not None and id(tail) not in seen:
+        seen.add(id(tail))
+        tail = tail.__context__
+    seen.add(id(tail))
+    for sibling in siblings:
+        if id(sibling) in seen:
+            continue
+        tail.__context__ = sibling
+        seen.add(id(sibling))
+        tail = sibling
+    raise primary
+
+
+class _FaultContext:
+    """Per-region retry/injection state shared by every backend.
+
+    One instance per ``run_calls`` region: resolves the effective
+    :class:`RetryPolicy`, captures the active fault injector (so a
+    region sees one consistent injector even if tests swap it
+    mid-flight), names the region for deterministic jitter/chaos, and
+    owns the retry loop that every execution lane funnels through.
+    """
+
+    __slots__ = ("fn", "policy", "stats", "retry_args", "injector", "region")
+
+    def __init__(self, fn, *, retry=None, faults=None, retry_args=None):
+        self.fn = fn
+        self.policy = resolve_retry_policy(retry)
+        self.stats = faults
+        self.retry_args = retry_args
+        self.injector = get_fault_injector()
+        name = getattr(fn, "__name__", type(fn).__name__)
+        self.region = f"{name}#{next_region_id()}"
+
+    def bump(self, field: str, n: int = 1) -> None:
+        if self.stats is not None:
+            self.stats.bump(field, n)
+
+    def task(self, index: int, args: tuple, attempt: int) -> tuple[Callable, tuple]:
+        """The (callable, args) actually submitted for one attempt."""
+        if self.injector is None:
+            return self.fn, args
+        return (
+            call_with_faults,
+            (self.injector, self.region, index, attempt, self.fn) + args,
+        )
+
+    def next_args(self, index: int, attempt: int, exc: Exception, args: tuple) -> tuple:
+        """Arguments for a retry: lineage-recovered if the caller gave a
+        ``retry_args`` hook (the MapReduce runtime does), else unchanged."""
+        if self.retry_args is None:
+            return args
+        return tuple(self.retry_args(index, attempt, exc))
+
+    def record_crash(self, exc: Exception) -> None:
+        # Timeouts are already counted at the submit site that killed
+        # the worker; count everything else as a crash.
+        if not isinstance(exc, TaskTimeoutError):
+            self.bump("crashes")
+
+    def task_failed(self, index: int, attempt: int, exc: Exception) -> TaskFailedError:
+        tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+        return TaskFailedError(
+            f"task {index} of region {self.region!r} failed after "
+            f"{attempt + 1} attempt(s); last failure: "
+            f"{type(exc).__name__}: {exc}\n"
+            f"--- original traceback ---\n{tb}",
+            task_index=index,
+            attempts=attempt + 1,
+            original_traceback=tb,
+        )
+
+    def run(
+        self,
+        index: int,
+        args: tuple,
+        submit: Callable[[Callable, tuple], T],
+    ) -> T:
+        """Run task ``index`` to completion under the retry policy.
+
+        ``submit`` executes one attempt (inline, on a thread lane, or on
+        a process pool) and raises whatever the attempt raised.  Only
+        crash-class failures are retried; task bugs propagate unwrapped.
+        """
+        args = tuple(args)
+        attempt = 0
+        while True:
+            task_fn, task_args = self.task(index, args, attempt)
+            try:
+                return submit(task_fn, task_args)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if not is_crash_failure(exc):
+                    raise
+                self.record_crash(exc)
+                if attempt >= self.policy.max_task_retries:
+                    raise self.task_failed(index, attempt, exc) from exc
+                attempt += 1
+                self.bump("retries")
+                delay = self.policy.backoff(self.region, index, attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                args = self.next_args(index, attempt, exc, args)
 
 
 class ExecBackend(abc.ABC):
@@ -186,6 +337,9 @@ class ExecBackend(abc.ABC):
         *,
         parallelism: int | None = None,
         affinity: AffinitySpec | None = None,
+        retry: RetryPolicy | None = None,
+        faults: Any = None,
+        retry_args: Callable[[int, int, Exception], tuple] | None = None,
     ) -> list[T]:
         """Run ``fn(*args)`` for each argument tuple; results in order.
 
@@ -194,10 +348,19 @@ class ExecBackend(abc.ABC):
         return value must be picklable.  ``affinity`` (optional) names a
         preferred worker slot per task; backends without real placement
         ignore it — results never depend on it.
+
+        Fault tolerance: crash-class failures of a task are retried
+        under ``retry`` (default: :func:`resolve_retry_policy`), counted
+        into ``faults`` (a :class:`~repro.exec.faults.FaultStats`), with
+        ``retry_args(index, attempt, exc)`` — if given — rebuilding the
+        task's argument tuple before each retry (lineage recovery).
         """
-        return self.run_tasks(
-            [functools.partial(fn, *args) for args in calls], parallelism=parallelism
-        )
+        ctx = _FaultContext(fn, retry=retry, faults=faults, retry_args=retry_args)
+        tasks = [
+            functools.partial(ctx.run, i, tuple(args), _invoke)
+            for i, args in enumerate(calls)
+        ]
+        return self.run_tasks(tasks, parallelism=parallelism)
 
     # -- lifecycle ------------------------------------------------------
     def shutdown(self) -> None:
@@ -232,8 +395,19 @@ class SerialBackend(ExecBackend):
         for task in tasks:
             yield task()
 
-    def run_calls(self, fn, calls, *, parallelism=None, affinity=None):
-        return [fn(*args) for args in calls]
+    def run_calls(
+        self,
+        fn,
+        calls,
+        *,
+        parallelism=None,
+        affinity=None,
+        retry=None,
+        faults=None,
+        retry_args=None,
+    ):
+        ctx = _FaultContext(fn, retry=retry, faults=faults, retry_args=retry_args)
+        return [ctx.run(i, tuple(args), _invoke) for i, args in enumerate(calls)]
 
 
 class ThreadBackend(ExecBackend):
@@ -355,8 +529,9 @@ class ThreadBackend(ExecBackend):
             self.budget.release(got)
         if errors:
             # Serial semantics: the lowest-indexed failure wins, and it
-            # is raised only after every task of the region has finished.
-            raise errors[min(errors)]
+            # is raised only after every task of the region has finished
+            # — with the sibling failures chained, not discarded.
+            _raise_region_errors(errors)
         return results
 
     def run_tasks(self, tasks, *, parallelism=None):
@@ -410,11 +585,49 @@ def _process_worker_init(chunk_bytes: int) -> None:
     os.environ[ENV_BACKEND] = "serial"
     os.environ["REPRO_ENGINE_WORKERS"] = "1"
     os.environ["REPRO_MR_WORKERS"] = "1"
+    # Injection is a *driver* decision, shipped inside the task tuple
+    # (call_with_faults).  A worker must never synthesize its own chaos
+    # injector from inherited env, or retried attempts would re-inject.
+    os.environ.pop("REPRO_FAULTS_CHAOS", None)
     set_worker_budget(WorkerBudget(1))
     set_backend(SerialBackend())
     from repro.linalg.engine import Engine, set_engine
 
     set_engine(Engine(workers=1, chunk_bytes=chunk_bytes))
+
+
+def _noop() -> None:
+    """Priming task: forces a pool to fork + initialize its worker *now*."""
+    return None
+
+
+#: Serializes worker forks against driver-side shared-memory traffic.
+#: A fork taken while another thread holds the multiprocessing resource
+#: tracker's lock (every SharedMemory create/close registers through it)
+#: leaves the child's copy of that lock held forever — the worker then
+#: deadlocks at its *first* shm attach and its future never resolves.
+#: _prime_pool holds this around the priming forks; lineage recovery
+#: (the one codepath that creates segments from lane threads) holds it
+#: around its state installs.
+_FORK_LOCK = threading.Lock()
+
+
+def _prime_pool(pool: ProcessPoolExecutor, n_workers: int = 1) -> None:
+    """Fork a pool's workers eagerly, from the calling (driver) thread.
+
+    ``ProcessPoolExecutor`` forks workers lazily at submit time.  Under
+    the fault-tolerant scheduler, first submits happen from lane threads
+    racing sibling pools' queue feeders and driver-side shared-memory
+    registration (lineage recovery installs recomputed state from lane
+    threads); a child forked at the wrong instant inherits a *held*
+    queue or resource-tracker lock and deadlocks inside its first task —
+    the future simply never resolves.  Priming at a region boundary
+    (no lanes running, feeders parked in condition-wait) makes every
+    fork happen at a provably quiescent moment.
+    """
+    with _FORK_LOCK:
+        for fut in [pool.submit(_noop) for _ in range(max(1, n_workers))]:
+            fut.result()
 
 
 class ProcessBackend(ThreadBackend):
@@ -457,12 +670,19 @@ class ProcessBackend(ThreadBackend):
         #: task routed to slot ``s`` always lands in the same OS process.
         self._slot_pools: list[ProcessPoolExecutor] = []
         self._slot_pid = 0
+        #: Crash bookkeeping for pinned slots, persistent across regions:
+        #: a slot whose worker keeps dying gets blacklisted and its home
+        #: tasks remapped to survivors.
+        self._slot_crashes: dict[int, int] = {}
+        self._slot_blacklist: set[int] = set()
 
     def _reset_locks_in_child(self) -> None:
         super()._reset_locks_in_child()
         self._proc_lock = threading.Lock()
         self._proc_pool = None  # parent's workers are not this child's
         self._slot_pools = []
+        self._slot_crashes = {}
+        self._slot_blacklist = set()
 
     def _mp_context(self):
         import multiprocessing as mp
@@ -479,13 +699,15 @@ class ProcessBackend(ThreadBackend):
                 # drop the reference and build a fresh one lazily.
                 from repro.linalg.engine import get_engine
 
+                n_workers = max(1, self.budget.limit - 1)
                 self._proc_pool = ProcessPoolExecutor(
-                    max_workers=max(1, self.budget.limit - 1),
+                    max_workers=n_workers,
                     mp_context=self._mp_context(),
                     initializer=_process_worker_init,
                     initargs=(get_engine().chunk_bytes,),
                 )
                 self._proc_pid = os.getpid()
+                _prime_pool(self._proc_pool, n_workers)
             return self._proc_pool
 
     def _get_slot_pools(self, n_slots: int) -> list[ProcessPoolExecutor]:
@@ -494,19 +716,38 @@ class ProcessBackend(ThreadBackend):
                 # Pools inherited through fork are dead in the child.
                 self._slot_pools = []
                 self._slot_pid = os.getpid()
-            if len(self._slot_pools) < n_slots:
+            missing = len(self._slot_pools) < n_slots or any(
+                pool is None for pool in self._slot_pools[:n_slots]
+            )
+            if missing:
                 from repro.linalg.engine import get_engine
 
                 chunk_bytes = get_engine().chunk_bytes
-                while len(self._slot_pools) < n_slots:
-                    self._slot_pools.append(
-                        ProcessPoolExecutor(
-                            max_workers=1,
-                            mp_context=self._mp_context(),
-                            initializer=_process_worker_init,
-                            initargs=(chunk_bytes,),
-                        )
+
+                def fresh() -> ProcessPoolExecutor:
+                    return ProcessPoolExecutor(
+                        max_workers=1,
+                        mp_context=self._mp_context(),
+                        initializer=_process_worker_init,
+                        initargs=(chunk_bytes,),
                     )
+
+                created = []
+                while len(self._slot_pools) < n_slots:
+                    self._slot_pools.append(fresh())
+                    created.append(self._slot_pools[-1])
+                # Slots retired by a crash mid-region (left as None) are
+                # revived here, at a region boundary: no lane threads are
+                # running yet, so the fork cannot inherit a sibling
+                # executor's held queue/resource-tracker locks.
+                for s in range(n_slots):
+                    if self._slot_pools[s] is None:
+                        self._slot_pools[s] = fresh()
+                        created.append(self._slot_pools[s])
+                # Fork each new slot's worker now, serially, while the
+                # region is quiescent (see _prime_pool).
+                for pool in created:
+                    _prime_pool(pool)
             return self._slot_pools[:n_slots]
 
     def shutdown(self) -> None:
@@ -518,8 +759,12 @@ class ProcessBackend(ThreadBackend):
             if self._slot_pools:
                 if self._slot_pid == os.getpid():
                     for pool in self._slot_pools:
-                        pool.shutdown(wait=True)
+                        if pool is not None:
+                            pool.shutdown(wait=True)
                 self._slot_pools = []
+            # A fresh fleet starts with a clean record.
+            self._slot_crashes = {}
+            self._slot_blacklist = set()
         super().shutdown()
 
     @staticmethod
@@ -531,15 +776,163 @@ class ProcessBackend(ThreadBackend):
         except Exception:  # noqa: BLE001 - any serialization failure
             return False
 
-    def run_calls(self, fn, calls, *, parallelism=None, affinity=None):
+    # -- crash handling --------------------------------------------------
+    @staticmethod
+    def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+        """Terminate a pool's worker processes (hung workers never exit
+        on their own) and tear the pool down without waiting."""
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # noqa: BLE001 - already dead is fine
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _invalidate_shared_pool(
+        self, pool: ProcessPoolExecutor, ctx: _FaultContext, *, kill: bool
+    ) -> None:
+        """Retire a broken/hung shared pool; the next use rebuilds lazily."""
+        with self._proc_lock:
+            if self._proc_pool is pool:
+                self._proc_pool = None
+                ctx.bump("pool_rebuilds")
+        if kill:
+            self._kill_pool_workers(pool)
+        else:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _retire_slot(
+        self,
+        pools: list[ProcessPoolExecutor | None],
+        slot: int,
+        ctx: _FaultContext,
+        pool: ProcessPoolExecutor,
+    ) -> None:
+        """Tear down one pinned slot's (dead or hung) pool mid-region.
+
+        The slot is left as ``None`` — *never* replaced mid-region —
+        because forking a replacement worker here would happen from a
+        running region: sibling executors' queue-feeder threads, result
+        unpicklers, and the shared resource tracker can hold locks at
+        fork time, and the child inherits them held, hanging inside its
+        first task without ever breaking the pool.  Retired slots are
+        revived at the next region boundary (``_get_slot_pools``), when
+        no lanes are running and forking is provably quiescent.  If the
+        *whole* fleet dies mid-region, remaining attempts run inline on
+        the driver (see :meth:`_submit_slot`) — bit-identical by the
+        engine's worker-count invariance, and fork-free.
+
+        ``pool`` is the generation guard: a single worker death fails
+        *every* future queued on that slot, and each failing lane reports
+        it — only the first retire may act, or the second would tear down
+        the freshly built replacement.
+        """
+        with self._proc_lock:
+            if (
+                self._slot_pid != os.getpid()
+                or slot >= len(self._slot_pools)
+                or self._slot_pools[slot] is not pool
+            ):
+                return
+            old = pool
+            self._slot_pools[slot] = None
+            if slot < len(pools):
+                pools[slot] = None
+            ctx.bump("pool_rebuilds")
+        self._kill_pool_workers(old)
+
+    def _note_slot_crash(
+        self,
+        pools: list[ProcessPoolExecutor],
+        slot: int,
+        ctx: _FaultContext,
+    ) -> None:
+        """One pinned slot lost its worker (the pool itself was already
+        retired by ``_submit_slot``): record the strike, and blacklist
+        the slot once it has crashed ``blacklist_after`` times (never
+        the last usable slot — a fleet of zero cannot run anything)."""
+        with self._proc_lock:
+            self._slot_crashes[slot] = self._slot_crashes.get(slot, 0) + 1
+            crashes = self._slot_crashes[slot]
+        after = ctx.policy.blacklist_after
+        if after <= 0 or crashes < after:
+            return
+        with self._proc_lock:
+            others = [
+                s
+                for s, pool in enumerate(pools)
+                if s != slot and pool is not None and s not in self._slot_blacklist
+            ]
+            if slot not in self._slot_blacklist and others:
+                self._slot_blacklist.add(slot)
+                ctx.bump("workers_blacklisted")
+
+    def _remap_slot(self, home: int, n_slots: int) -> int:
+        """A blacklisted home slot maps deterministically to a survivor."""
+        with self._proc_lock:
+            blacklist = set(self._slot_blacklist)
+        if home not in blacklist:
+            return home
+        usable = [s for s in range(n_slots) if s not in blacklist]
+        if not usable:
+            return home
+        return usable[home % len(usable)]
+
+    def _submit_shared(
+        self, task_fn: Callable, task_args: tuple, ctx: _FaultContext
+    ):
+        """One attempt on the shared pool, with timeout + crash teardown."""
+        pool = self._get_process_pool()
+        try:
+            fut = pool.submit(task_fn, *task_args)
+        except Exception as exc:  # noqa: BLE001 - classified below
+            # submit() itself raises once the pool is broken; retire it
+            # so the retry builds a fresh fleet.
+            self._invalidate_shared_pool(pool, ctx, kill=False)
+            if isinstance(exc, RuntimeError) and not is_crash_failure(exc):
+                raise TaskTimeoutError(f"process pool unusable: {exc}") from exc
+            raise
+        timeout = ctx.policy.task_timeout_s
+        try:
+            return fut.result(timeout)
+        except (_FuturesTimeout, TimeoutError):
+            ctx.bump("timeouts")
+            self._invalidate_shared_pool(pool, ctx, kill=True)
+            raise TaskTimeoutError(
+                f"task exceeded task_timeout_s={timeout}s on the shared pool"
+            ) from None
+        except Exception as exc:  # noqa: BLE001 - classified below
+            if is_crash_failure(exc):
+                self._invalidate_shared_pool(pool, ctx, kill=False)
+            raise
+
+    def run_calls(
+        self,
+        fn,
+        calls,
+        *,
+        parallelism=None,
+        affinity=None,
+        retry=None,
+        faults=None,
+        retry_args=None,
+    ):
         calls = [tuple(args) for args in calls]
         n = len(calls)
         if n == 0:
             return []
         if self._effective(n, parallelism) <= 1:
-            return [fn(*args) for args in calls]
+            ctx = _FaultContext(fn, retry=retry, faults=faults, retry_args=retry_args)
+            return [ctx.run(i, args, _invoke) for i, args in enumerate(calls)]
         if not self._portable(fn, calls[0]):
-            return super().run_calls(fn, calls, parallelism=parallelism)
+            return super().run_calls(
+                fn,
+                calls,
+                parallelism=parallelism,
+                retry=retry,
+                faults=faults,
+                retry_args=retry_args,
+            )
         if affinity is None:
             # Once pinned slot pools exist, route unpinned regions (the
             # reduce phases of a pinned runtime) over them round-robin
@@ -557,25 +950,83 @@ class ProcessBackend(ThreadBackend):
             if n_slots:
                 n_slots = max(n_slots, self._effective(n, parallelism))
                 affinity = AffinitySpec(range(n), n_slots=n_slots)
+        ctx = _FaultContext(fn, retry=retry, faults=faults, retry_args=retry_args)
         if affinity is not None:
-            return self._run_pinned(fn, calls, affinity, parallelism)
-        pool = self._get_process_pool()
+            return self._run_pinned(calls, affinity, parallelism, ctx)
+        self._get_process_pool()  # build the fleet before the lanes race
 
-        def exec_inline(args: tuple):
-            return fn(*args)
+        def exec_inline(unit: tuple):
+            i, args = unit
+            return ctx.run(i, args, _invoke)
 
-        def exec_lane(args: tuple):
-            return pool.submit(fn, *args).result()
+        def exec_lane(unit: tuple):
+            i, args = unit
+            return ctx.run(
+                i, args, lambda task_fn, task_args: self._submit_shared(
+                    task_fn, task_args, ctx
+                )
+            )
 
-        return self._schedule(calls, exec_inline, exec_lane, parallelism)
+        return self._schedule(list(enumerate(calls)), exec_inline, exec_lane, parallelism)
+
+    def _submit_slot(
+        self,
+        pools: list[ProcessPoolExecutor],
+        slot: int,
+        task_fn: Callable,
+        task_args: tuple,
+        ctx: _FaultContext,
+    ):
+        """One attempt on one pinned slot, with timeout + hung-worker kill."""
+        pool = pools[slot]
+        if pool is None:
+            if any(
+                p is not None and s not in self._slot_blacklist
+                for s, p in enumerate(pools)
+            ):
+                # Retired by a sibling lane between claim and submit; the
+                # retry re-claims a live slot.  TaskTimeoutError is the
+                # crash-class marker that skips the double strike.
+                raise TaskTimeoutError(
+                    f"slot {slot} was retired mid-claim"
+                ) from None
+            # The whole fleet died mid-region.  Forking a replacement
+            # here is the one thing we must never do (see _retire_slot),
+            # so finish the attempt inline on the driver — bit-identical
+            # by the engine's worker-count invariance — and let the next
+            # region boundary rebuild the fleet at a quiescent moment.
+            return task_fn(*task_args)
+        try:
+            fut = pool.submit(task_fn, *task_args)
+        except Exception as exc:  # noqa: BLE001 - classified below
+            # submit() itself raises once the pool is broken/shut down.
+            self._retire_slot(pools, slot, ctx, pool)
+            if is_crash_failure(exc):
+                raise
+            raise TaskTimeoutError(f"slot {slot} pool unusable: {exc}") from exc
+        timeout = ctx.policy.task_timeout_s
+        try:
+            return fut.result(timeout)
+        except (_FuturesTimeout, TimeoutError):
+            ctx.bump("timeouts")
+            self._retire_slot(pools, slot, ctx, pool)
+            raise TaskTimeoutError(
+                f"task exceeded task_timeout_s={timeout}s on slot {slot}"
+            ) from None
+        except Exception as exc:  # noqa: BLE001 - classified below
+            if is_crash_failure(exc):
+                # Worker death fails every future queued on this slot;
+                # the generation guard makes the retire act exactly once.
+                self._retire_slot(pools, slot, ctx, pool)
+            raise
 
     def _run_pinned(
         self,
-        fn: Callable[..., T],
         calls: list[tuple],
         affinity: AffinitySpec,
         parallelism: int | None,
-    ) -> list[T]:
+        ctx: _FaultContext,
+    ) -> list:
         """Affinity region: route every task to its home slot's process.
 
         Slots are single-worker pools, so slot ``s`` *is* one long-lived
@@ -587,6 +1038,15 @@ class ProcessBackend(ThreadBackend):
         is busy, the oldest task is *stolen* onto an idle slot (counted
         in ``affinity.steals``) rather than waiting.  Results are
         collected by index, so placement never affects output.
+
+        Fault handling: a slot whose worker dies is retired for the rest
+        of the region (revived at the next region boundary, where forking
+        a replacement is safe) and the lost task retried on a surviving
+        slot under ``ctx``'s retry policy; repeatedly-crashing slots are
+        blacklisted (their home tasks remapped deterministically).  With speculation enabled,
+        idle lanes duplicate slowest-quantile stragglers onto idle slots
+        — first result wins, by index, so placement and duplication
+        provably never affect output.
         """
         n = len(calls)
         owners = affinity.owners
@@ -599,21 +1059,41 @@ class ProcessBackend(ThreadBackend):
         if got == 0:
             # No tokens: inline serial execution (the degraded leaf path —
             # same semantics, no placement, and no worker fleet spawned).
-            return [fn(*args) for args in calls]
+            return [ctx.run(i, args, _invoke) for i, args in enumerate(calls)]
         try:
-            pools = self._get_slot_pools(affinity.n_slots)
+            pools = list(self._get_slot_pools(affinity.n_slots))
         except BaseException:
             # A pool-creation failure must not leak the borrowed tokens.
             self.budget.release(got)
             raise
 
+        n_slots = affinity.n_slots
+        policy = ctx.policy
+        speculate = policy.speculation and n_slots > 1
         results: list[Any] = [None] * n
+        done = [False] * n  # settled: a result or an error is recorded
         errors: dict[int, Exception] = {}
         lock = threading.Lock()
         remaining = list(range(n))
-        busy = [0] * affinity.n_slots
+        busy = [0] * n_slots
+        current_args: list[tuple] = list(calls)
+        started_at: dict[int, float] = {}
+        durations: list[float] = []
+        speculated: set[int] = set()
+        completed = 0
         stolen = 0
         stop = False
+
+        def usable(slot: int) -> bool:
+            return pools[slot] is not None and slot not in self._slot_blacklist
+
+        def route(home: int) -> int:
+            """A dead/blacklisted home maps deterministically to a
+            survivor (a retired slot revives only at the next region)."""
+            if usable(home):
+                return home
+            live = [s for s in range(n_slots) if usable(s)]
+            return live[home % len(live)] if live else home
 
         def claim() -> tuple[int, int] | None:
             nonlocal stolen
@@ -621,37 +1101,164 @@ class ProcessBackend(ThreadBackend):
                 if stop or not remaining:
                     return None
                 for pos, i in enumerate(remaining):
-                    if busy[owners[i]] == 0:
+                    home = route(self._remap_slot(owners[i], n_slots))
+                    if busy[home] == 0 and usable(home):
                         remaining.pop(pos)
-                        busy[owners[i]] += 1
-                        return i, owners[i]
+                        busy[home] += 1
+                        if home != owners[i]:
+                            stolen += 1
+                        return i, home
                 # Every remaining task's home is busy: steal the oldest
                 # onto an idle slot if one exists, else queue it home.
                 i = remaining.pop(0)
-                home = owners[i]
+                home = route(self._remap_slot(owners[i], n_slots))
                 idle = next(
-                    (s for s in range(affinity.n_slots) if busy[s] == 0), None
+                    (s for s in range(n_slots) if busy[s] == 0 and usable(s)),
+                    None,
                 )
                 slot = home if idle is None else idle
                 busy[slot] += 1
-                if slot != home:
+                if slot != owners[i]:
                     stolen += 1
                 return i, slot
+
+        def claim_retry_slot(i: int) -> int:
+            """Pick a slot for a retry: the (remapped) home if idle, else
+            any idle usable slot, else queue on the home anyway."""
+            with lock:
+                home = route(self._remap_slot(owners[i], n_slots))
+                if busy[home] == 0 and usable(home):
+                    slot = home
+                else:
+                    idle = next(
+                        (s for s in range(n_slots) if busy[s] == 0 and usable(s)),
+                        None,
+                    )
+                    slot = home if idle is None else idle
+                busy[slot] += 1
+                return slot
+
+        def run_task(i: int, slot: int) -> None:
+            attempt = 0
+            args = calls[i]
+            while True:
+                task_fn, task_args = ctx.task(i, args, attempt)
+                try:
+                    out = self._submit_slot(pools, slot, task_fn, task_args, ctx)
+                except Exception as exc:  # noqa: BLE001 - classified below
+                    with lock:
+                        busy[slot] -= 1
+                    if not is_crash_failure(exc):
+                        raise
+                    ctx.record_crash(exc)
+                    if not isinstance(exc, TaskTimeoutError):
+                        # A real worker death: rebuild the slot, note the
+                        # strike (timeouts already rebuilt in _submit_slot).
+                        self._note_slot_crash(pools, slot, ctx)
+                    with lock:
+                        if done[i]:
+                            return  # a speculative twin already delivered
+                    if attempt >= policy.max_task_retries:
+                        raise ctx.task_failed(i, attempt, exc) from exc
+                    attempt += 1
+                    ctx.bump("retries")
+                    delay = policy.backoff(ctx.region, i, attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    args = ctx.next_args(i, attempt, exc, args)
+                    with lock:
+                        current_args[i] = args
+                    slot = claim_retry_slot(i)
+                else:
+                    with lock:
+                        busy[slot] -= 1
+                        if not done[i]:
+                            results[i] = out
+                            done[i] = True
+                    return
+
+        def pick_speculation() -> tuple[int, int] | None:
+            with lock:
+                if stop or completed >= n or not durations:
+                    return None
+                if len(durations) < max(1, math.ceil(policy.speculation_quantile * n)):
+                    return None
+                median = sorted(durations)[len(durations) // 2]
+                threshold = policy.speculation_multiplier * max(median, 1e-3)
+                now = time.monotonic()
+                candidates = [
+                    (now - t0, i)
+                    for i, t0 in started_at.items()
+                    if not done[i] and i not in speculated and now - t0 > threshold
+                ]
+                if not candidates:
+                    return None
+                idle = next(
+                    (s for s in range(n_slots) if busy[s] == 0 and usable(s)),
+                    None,
+                )
+                if idle is None:
+                    return None
+                _, i = max(candidates)
+                speculated.add(i)
+                busy[idle] += 1
+                ctx.bump("speculative_launched")
+                return i, idle
+
+        def run_speculative(i: int, slot: int) -> None:
+            # attempt=1: injectors fire only on first attempts, so the
+            # duplicate never inherits the straggler's injected fate.
+            task_fn, task_args = ctx.task(i, current_args[i], 1)
+            try:
+                out = self._submit_slot(pools, slot, task_fn, task_args, ctx)
+            except Exception as exc:  # noqa: BLE001 - speculation is best-effort
+                with lock:
+                    busy[slot] -= 1
+                if is_crash_failure(exc) and not isinstance(exc, TaskTimeoutError):
+                    self._note_slot_crash(pools, slot, ctx)
+                return
+            with lock:
+                busy[slot] -= 1
+                if not done[i]:
+                    results[i] = out
+                    done[i] = True
+                    ctx.bump("speculative_won")
+
+        def drive(i: int, slot: int) -> None:
+            nonlocal completed
+            t0 = time.monotonic()
+            with lock:
+                started_at[i] = t0
+            try:
+                run_task(i, slot)
+            except Exception as exc:  # noqa: BLE001 - re-raised below
+                with lock:
+                    if not done[i]:
+                        errors[i] = exc
+                        done[i] = True
+            finally:
+                with lock:
+                    completed += 1
+                    started_at.pop(i, None)
+                    durations.append(time.monotonic() - t0)
 
         def drain() -> None:
             while True:
                 claimed = claim()
-                if claimed is None:
+                if claimed is not None:
+                    drive(*claimed)
+                    continue
+                if not speculate:
                     return
-                i, slot = claimed
-                try:
-                    results[i] = pools[slot].submit(fn, *calls[i]).result()
-                except Exception as exc:  # noqa: BLE001 - re-raised below
-                    with lock:
-                        errors[i] = exc
-                finally:
-                    with lock:
-                        busy[slot] -= 1
+                with lock:
+                    settled = stop or completed >= n
+                if settled:
+                    return
+                dup = pick_speculation()
+                if dup is not None:
+                    run_speculative(*dup)
+                else:
+                    time.sleep(0.01)
 
         lanes = [self._get_thread_pool().submit(drain) for _ in range(got)]
         try:
@@ -673,7 +1280,7 @@ class ProcessBackend(ThreadBackend):
             self.budget.release(got)
             affinity.steals += stolen
         if errors:
-            raise errors[min(errors)]
+            _raise_region_errors(errors)
         return results
 
 

@@ -1,0 +1,489 @@
+"""Fault-tolerance policy, telemetry, and injection for the exec layer.
+
+Workers die.  At the scale the paper targets, a MapReduce run that
+cannot survive a lost worker is a toy — so every :meth:`run_calls`
+region schedules under a :class:`RetryPolicy`: *crash-class* failures
+(a worker process dying, a broken pool, a task timeout, an injected
+kill) are retried with exponential backoff and deterministic jitter,
+while ordinary task exceptions (a mapper raising ``ValueError``) keep
+their fail-fast semantics — a bug is a bug, retrying it is noise.
+
+Determinism is the point, not an afterthought.  Retried tasks re-run
+from reconstructed inputs (the MapReduce runtime rebuilds RNGs from
+pre-dispatch pickles and recomputes lost split state from lineage), so
+a run that lost three workers produces output bit-identical to a serial
+run that lost none.  The chaos suite pins this down.
+
+:class:`FaultInjector` is the test/benchmark hook: installed process
+wide (:func:`set_fault_injector`) or via ``REPRO_FAULTS_CHAOS=1``, it
+gets a callback before and after every task attempt and may delay the
+task or kill the worker.  :class:`ChaosInjector` is the shipped
+implementation — deterministic per (seed, region, task, point), firing
+only on first attempts so any retry budget >= 1 converges.
+
+Env knobs (CLI equivalents in parentheses):
+
+- ``REPRO_FAULTS_MAX_RETRIES`` (``--max-task-retries``)
+- ``REPRO_FAULTS_TASK_TIMEOUT`` (``--task-timeout``), seconds
+- ``REPRO_FAULTS_SPECULATION`` (``--speculation``)
+- ``REPRO_FAULTS_BACKOFF_S``, ``REPRO_FAULTS_BLACKLIST_AFTER``
+- ``REPRO_FAULTS_CHAOS``, ``REPRO_FAULTS_CHAOS_RATE``,
+  ``REPRO_FAULTS_CHAOS_SEED`` (fault injection for chaos testing)
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import os
+import threading
+import time
+import zlib
+from concurrent.futures import BrokenExecutor, CancelledError
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "RetryPolicy",
+    "FaultStats",
+    "FaultInjector",
+    "ChaosInjector",
+    "SimulatedWorkerCrash",
+    "TaskTimeoutError",
+    "call_with_faults",
+    "is_crash_failure",
+    "resolve_retry_policy",
+    "set_default_retry_policy",
+    "get_fault_injector",
+    "set_fault_injector",
+    "ENV_MAX_RETRIES",
+    "ENV_TASK_TIMEOUT",
+    "ENV_SPECULATION",
+    "ENV_BACKOFF_S",
+    "ENV_BLACKLIST_AFTER",
+    "ENV_CHAOS",
+    "ENV_CHAOS_RATE",
+    "ENV_CHAOS_SEED",
+]
+
+ENV_MAX_RETRIES = "REPRO_FAULTS_MAX_RETRIES"
+ENV_TASK_TIMEOUT = "REPRO_FAULTS_TASK_TIMEOUT"
+ENV_SPECULATION = "REPRO_FAULTS_SPECULATION"
+ENV_BACKOFF_S = "REPRO_FAULTS_BACKOFF_S"
+ENV_BLACKLIST_AFTER = "REPRO_FAULTS_BLACKLIST_AFTER"
+ENV_CHAOS = "REPRO_FAULTS_CHAOS"
+ENV_CHAOS_RATE = "REPRO_FAULTS_CHAOS_RATE"
+ENV_CHAOS_SEED = "REPRO_FAULTS_CHAOS_SEED"
+
+_TRUE = ("1", "true", "yes", "on")
+_FALSE = ("0", "false", "no", "off", "")
+
+
+class SimulatedWorkerCrash(Exception):
+    """An injected crash on an execution path with no process to kill.
+
+    A :class:`FaultInjector` running inside a worker process kills the
+    worker outright (``os._exit``); on the serial/thread backends and on
+    the inline lane there is no worker to kill, so it raises this
+    instead.  Crash-class: retried like a real worker death.
+    """
+
+
+class TaskTimeoutError(Exception):
+    """A task attempt exceeded :attr:`RetryPolicy.task_timeout_s`.
+
+    Crash-class: the (possibly hung) worker has already been torn down
+    when this is raised, and the attempt is retried on a fresh one.
+    """
+
+
+def is_crash_failure(exc: BaseException) -> bool:
+    """Is ``exc`` a lost-worker failure (retryable) vs a task bug (not)?"""
+    return isinstance(
+        exc,
+        (BrokenExecutor, CancelledError, SimulatedWorkerCrash, TaskTimeoutError),
+    )
+
+
+# ----------------------------------------------------------------------
+# Retry policy.
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a parallel region responds to crash-class task failures.
+
+    Backoff for attempt ``a`` (1-based) is
+    ``min(backoff_max_s, backoff_s * backoff_factor**(a-1))`` scaled by
+    a deterministic jitter in ``[0.5, 1.0]`` keyed on (region, task,
+    attempt) — reruns of the same schedule sleep the same amounts.
+    """
+
+    #: Crash-class retries per task beyond the first attempt; 0 disables.
+    max_task_retries: int = 2
+    #: Base backoff before the first retry, seconds.
+    backoff_s: float = 0.02
+    #: Multiplier per further retry.
+    backoff_factor: float = 2.0
+    #: Backoff ceiling, seconds.
+    backoff_max_s: float = 1.0
+    #: Per-attempt wall-clock limit for process-backend tasks; ``None``
+    #: disables.  On expiry the worker is killed and the task retried.
+    task_timeout_s: float | None = None
+    #: Duplicate slowest-quantile stragglers onto idle slots (pinned
+    #: process regions only); first result wins.
+    speculation: bool = False
+    #: Fraction of the region that must finish before stragglers are
+    #: considered for duplication.
+    speculation_quantile: float = 0.5
+    #: A task is a straggler once it has run longer than this multiple
+    #: of the median completed-task duration.
+    speculation_multiplier: float = 2.0
+    #: Blacklist a pinned slot after this many crashes (0 disables); the
+    #: last usable slot is never blacklisted.
+    blacklist_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_task_retries < 0:
+            raise ValidationError(
+                f"max_task_retries must be >= 0, got {self.max_task_retries}"
+            )
+        if self.backoff_s < 0 or self.backoff_max_s < 0:
+            raise ValidationError("backoff seconds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValidationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValidationError(
+                f"task_timeout_s must be > 0 or None, got {self.task_timeout_s}"
+            )
+        if not 0.0 < self.speculation_quantile <= 1.0:
+            raise ValidationError(
+                f"speculation_quantile must be in (0, 1], got "
+                f"{self.speculation_quantile}"
+            )
+        if self.speculation_multiplier <= 0:
+            raise ValidationError(
+                f"speculation_multiplier must be > 0, got "
+                f"{self.speculation_multiplier}"
+            )
+        if self.blacklist_after < 0:
+            raise ValidationError(
+                f"blacklist_after must be >= 0, got {self.blacklist_after}"
+            )
+
+    def backoff(self, region: str, index: int, attempt: int) -> float:
+        """Deterministic-jitter backoff before retry ``attempt`` (1-based)."""
+        if self.backoff_s <= 0:
+            return 0.0
+        base = min(
+            self.backoff_max_s,
+            self.backoff_s * self.backoff_factor ** (attempt - 1),
+        )
+        frac = zlib.crc32(f"{region}:{index}:{attempt}".encode()) / 0xFFFFFFFF
+        return base * (0.5 + 0.5 * frac)
+
+
+def _parse_bool(name: str, raw: str) -> bool:
+    value = raw.strip().lower()
+    if value in _TRUE:
+        return True
+    if value in _FALSE:
+        return False
+    raise ValidationError(f"{name} must be a boolean flag, got {raw!r}")
+
+
+def _parse_int(name: str, raw: str) -> int:
+    try:
+        return int(raw.strip())
+    except ValueError:
+        raise ValidationError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def _parse_float(name: str, raw: str) -> float:
+    try:
+        return float(raw.strip())
+    except ValueError:
+        raise ValidationError(f"{name} must be a number, got {raw!r}") from None
+
+
+_policy_lock = threading.Lock()
+_default_policy: RetryPolicy | None = None
+_env_policy_key: tuple | None = None
+_env_policy: RetryPolicy | None = None
+
+
+def set_default_retry_policy(policy: RetryPolicy | None) -> RetryPolicy | None:
+    """Install the process-wide default policy; returns the previous one.
+
+    ``None`` resets to the environment-derived default on next use.
+    """
+    global _default_policy
+    with _policy_lock:
+        previous = _default_policy
+        _default_policy = policy
+    return previous
+
+
+def _policy_from_env() -> RetryPolicy:
+    global _env_policy_key, _env_policy
+    key = tuple(
+        os.environ.get(name)
+        for name in (
+            ENV_MAX_RETRIES,
+            ENV_TASK_TIMEOUT,
+            ENV_SPECULATION,
+            ENV_BACKOFF_S,
+            ENV_BLACKLIST_AFTER,
+        )
+    )
+    with _policy_lock:
+        if key == _env_policy_key and _env_policy is not None:
+            return _env_policy
+    kwargs: dict = {}
+    raw = key[0]
+    if raw is not None:
+        kwargs["max_task_retries"] = _parse_int(ENV_MAX_RETRIES, raw)
+    raw = key[1]
+    if raw is not None and raw.strip().lower() not in ("", "none"):
+        kwargs["task_timeout_s"] = _parse_float(ENV_TASK_TIMEOUT, raw)
+    raw = key[2]
+    if raw is not None:
+        kwargs["speculation"] = _parse_bool(ENV_SPECULATION, raw)
+    raw = key[3]
+    if raw is not None:
+        kwargs["backoff_s"] = _parse_float(ENV_BACKOFF_S, raw)
+    raw = key[4]
+    if raw is not None:
+        kwargs["blacklist_after"] = _parse_int(ENV_BLACKLIST_AFTER, raw)
+    policy = RetryPolicy(**kwargs)
+    with _policy_lock:
+        _env_policy_key, _env_policy = key, policy
+    return policy
+
+
+def resolve_retry_policy(policy: RetryPolicy | None = None) -> RetryPolicy:
+    """Coerce a policy spec: argument > installed default > env > built-in."""
+    if policy is not None:
+        return policy
+    with _policy_lock:
+        if _default_policy is not None:
+            return _default_policy
+    return _policy_from_env()
+
+
+# ----------------------------------------------------------------------
+# Telemetry.
+
+
+class FaultStats:
+    """Thread-safe fault-tolerance counters for one job (or one report).
+
+    Plain integers behind a lock — instances are driver-side only and
+    never cross a process boundary (worker deaths are observed, and
+    counted, on the driver).
+    """
+
+    FIELDS = (
+        "retries",
+        "crashes",
+        "timeouts",
+        "pool_rebuilds",
+        "workers_blacklisted",
+        "speculative_launched",
+        "speculative_won",
+        "state_recomputed_bytes",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def bump(self, field: str, n: int = 1) -> None:
+        if field not in self.FIELDS:
+            raise ValidationError(f"unknown fault counter {field!r}")
+        with self._lock:
+            setattr(self, field, getattr(self, field) + int(n))
+
+    def merge(self, other: "FaultStats") -> None:
+        with other._lock:
+            snapshot = [(f, getattr(other, f)) for f in self.FIELDS]
+        with self._lock:
+            for field, value in snapshot:
+                setattr(self, field, getattr(self, field) + value)
+
+    def as_dict(self) -> dict[str, int]:
+        with self._lock:
+            return {field: getattr(self, field) for field in self.FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{f}={getattr(self, f)}" for f in self.FIELDS)
+        return f"FaultStats({inner})"
+
+
+# ----------------------------------------------------------------------
+# Fault injection.
+
+
+class FaultInjector(abc.ABC):
+    """Test/benchmark hook called around every task attempt.
+
+    Implementations must be picklable (they ride the task tuple into
+    worker processes) and deterministic if the suite asserting on them
+    wants reproducible kills.  ``fire`` may sleep (delay injection),
+    raise :class:`SimulatedWorkerCrash` (inline kill), or ``os._exit``
+    when running inside a worker process (real kill).
+    """
+
+    @abc.abstractmethod
+    def fire(self, point: str, region: str, index: int, attempt: int) -> None:
+        """Called at ``point`` (``"before"``/``"after"``) of each attempt."""
+
+
+class ChaosInjector(FaultInjector):
+    """Deterministic random kills/delays, keyed on (seed, region, task).
+
+    Decisions hash the coordinates (``crc32``), so a given seed kills
+    the same tasks at the same points on every run — chaos you can
+    bisect.  Fires only on first attempts (``attempt == 0``): retries
+    always see clean air, so any retry budget >= 1 converges.  Inside a
+    worker process a kill is a real ``os._exit``; on the driver (serial
+    backend, thread backend, inline lanes) it raises
+    :class:`SimulatedWorkerCrash`.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.05,
+        seed: int = 0,
+        *,
+        delay_rate: float = 0.0,
+        delay_s: float = 0.0,
+        points: tuple[str, ...] = ("before", "after"),
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValidationError(f"chaos rate must be in [0, 1], got {rate}")
+        if not 0.0 <= delay_rate <= 1.0:
+            raise ValidationError(
+                f"chaos delay_rate must be in [0, 1], got {delay_rate}"
+            )
+        if delay_s < 0:
+            raise ValidationError(f"chaos delay_s must be >= 0, got {delay_s}")
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self.delay_rate = float(delay_rate)
+        self.delay_s = float(delay_s)
+        self.points = tuple(points)
+        # Captured at construction on the driver: lets fire() distinguish
+        # "I am in a worker process" (really exit) from "I am on the
+        # driver thread" (raise, so the driver itself survives).
+        self.driver_pid = os.getpid()
+
+    def _chance(self, kind: str, point: str, region: str, index: int) -> float:
+        key = f"{self.seed}:{kind}:{point}:{region}:{index}"
+        return zlib.crc32(key.encode()) / 0xFFFFFFFF
+
+    def fire(self, point: str, region: str, index: int, attempt: int) -> None:
+        if attempt != 0 or point not in self.points:
+            return
+        if self.delay_rate > 0 and self.delay_s > 0:
+            if self._chance("delay", point, region, index) < self.delay_rate:
+                time.sleep(self.delay_s)
+        if self.rate > 0 and self._chance("kill", point, region, index) < self.rate:
+            if os.getpid() != self.driver_pid:
+                os._exit(29)
+            raise SimulatedWorkerCrash(
+                f"chaos killed task {index} of {region!r} at {point!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChaosInjector(rate={self.rate}, seed={self.seed}, "
+            f"delay_rate={self.delay_rate}, delay_s={self.delay_s})"
+        )
+
+
+def call_with_faults(
+    injector: FaultInjector,
+    region: str,
+    index: int,
+    attempt: int,
+    fn,
+    *args,
+):
+    """Run one task attempt under an injector (module-level: picklable)."""
+    injector.fire("before", region, index, attempt)
+    result = fn(*args)
+    injector.fire("after", region, index, attempt)
+    return result
+
+
+_injector_lock = threading.Lock()
+_installed_injector: FaultInjector | None = None
+_env_injector_key: tuple | None = None
+_env_injector: FaultInjector | None = None
+
+
+def set_fault_injector(injector: FaultInjector | None) -> FaultInjector | None:
+    """Install a process-wide injector; returns the previous one.
+
+    ``None`` clears the installed injector, falling back to whatever
+    ``REPRO_FAULTS_CHAOS`` configures (usually nothing).
+    """
+    global _installed_injector
+    with _injector_lock:
+        previous = _installed_injector
+        _installed_injector = injector
+    return previous
+
+
+def _injector_from_env() -> FaultInjector | None:
+    global _env_injector_key, _env_injector
+    key = (
+        os.environ.get(ENV_CHAOS),
+        os.environ.get(ENV_CHAOS_RATE),
+        os.environ.get(ENV_CHAOS_SEED),
+    )
+    with _injector_lock:
+        if key == _env_injector_key:
+            return _env_injector
+    raw_chaos, raw_rate, raw_seed = key
+    injector: FaultInjector | None = None
+    if raw_chaos is not None and _parse_bool(ENV_CHAOS, raw_chaos):
+        rate = 0.02 if raw_rate is None else _parse_float(ENV_CHAOS_RATE, raw_rate)
+        seed = 0 if raw_seed is None else _parse_int(ENV_CHAOS_SEED, raw_seed)
+        injector = ChaosInjector(rate=rate, seed=seed)
+    with _injector_lock:
+        _env_injector_key, _env_injector = key, injector
+    return injector
+
+
+def get_fault_injector() -> FaultInjector | None:
+    """The injector active for new regions (installed wins over env)."""
+    with _injector_lock:
+        if _installed_injector is not None:
+            return _installed_injector
+    return _injector_from_env()
+
+
+_region_counter = itertools.count()
+
+
+def next_region_id() -> int:
+    """Monotonic region id — makes region names unique and chaos kills
+    deterministic per region *position* in a run, not per wall clock."""
+    return next(_region_counter)
+
+
+def reset_region_ids() -> None:
+    """Restart region numbering at zero (tests and benchmarks only).
+
+    Region ids are process-global, so a pipeline's chaos schedule
+    depends on how many regions ran before it.  Resetting pins the
+    schedule to the pipeline's own shape: every replay sees the same
+    region names and therefore the same deterministic kills."""
+    global _region_counter
+    _region_counter = itertools.count()

@@ -87,6 +87,12 @@ class MRKMeansReport:
     #: split-state bytes shipped vs resident, and pinned-dispatch
     #: ``steals`` — see :func:`_plane_telemetry`.
     plane: dict = field(default_factory=dict)
+    #: Fault-tolerance telemetry summed over the run's jobs (all zeros
+    #: on a fault-free run): ``retries`` / ``crashes`` / ``timeouts`` /
+    #: ``pool_rebuilds`` / ``workers_blacklisted`` /
+    #: ``speculative_launched`` / ``speculative_won`` /
+    #: ``state_recomputed_bytes`` — see :func:`_fault_telemetry`.
+    faults: dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> str:
         """One-line report used by the examples and the CLI."""
@@ -145,6 +151,22 @@ def _plane_telemetry(runtime: LocalMapReduceRuntime) -> dict[str, int | str]:
     }
 
 
+def _fault_telemetry(runtime: LocalMapReduceRuntime) -> dict[str, int]:
+    """Aggregate a runtime's fault-tolerance telemetry for reports.
+
+    Sums the :class:`~repro.exec.FaultStats` counters recorded in each
+    job's :class:`~repro.mapreduce.runtime.JobStats` — retries and
+    crashes survived, pools rebuilt, workers blacklisted, speculative
+    duplicates launched/won, and bytes of split state recomputed from
+    lineage.  All zeros on a fault-free run; never affects output.
+    """
+    totals: dict[str, int] = {}
+    for stats in runtime.job_log:
+        for key, value in stats.faults.items():
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
+
 def mr_lloyd(
     runtime: LocalMapReduceRuntime,
     centers: FloatArray,
@@ -190,6 +212,7 @@ def mr_scalable_kmeans(
     shuffle_budget: int | None = None,
     shared_broadcast: bool | None = None,
     affinity: str | None = None,
+    retry_policy: "RetryPolicy | None" = None,
 ) -> MRKMeansReport:
     """Full ``k-means||`` pipeline on the simulated cluster.
 
@@ -210,6 +233,7 @@ def mr_scalable_kmeans(
         source, n_splits=n_splits, cluster=cluster, seed=seed, workers=workers,
         backend=backend, shuffle_budget=shuffle_budget,
         shared_broadcast=shared_broadcast, affinity=affinity,
+        retry_policy=retry_policy,
     ) as runtime:
         rng = np.random.default_rng(
             runtime._seed_root.integers(0, 2**63)  # driver-side randomness
@@ -310,6 +334,7 @@ def mr_scalable_kmeans(
             },
             shuffle=_shuffle_telemetry(runtime),
             plane=_plane_telemetry(runtime),
+            faults=_fault_telemetry(runtime),
         )
 
 
@@ -326,6 +351,7 @@ def mr_random_kmeans(
     shuffle_budget: int | None = None,
     shared_broadcast: bool | None = None,
     affinity: str | None = None,
+    retry_policy: "RetryPolicy | None" = None,
 ) -> MRKMeansReport:
     """The parallel ``Random`` baseline: uniform seed + bounded MR Lloyd.
 
@@ -338,6 +364,7 @@ def mr_random_kmeans(
         source, n_splits=n_splits, cluster=cluster, seed=seed, workers=workers,
         backend=backend, shuffle_budget=shuffle_budget,
         shared_broadcast=shared_broadcast, affinity=affinity,
+        retry_policy=retry_policy,
     ) as runtime:
         seed_centers = runtime.run_job(make_uniform_sample_job(k)).single(SAMPLE_KEY)
         if seed_centers.shape[0] < k:
@@ -367,6 +394,7 @@ def mr_random_kmeans(
                     "affinity": runtime.affinity},
             shuffle=_shuffle_telemetry(runtime),
             plane=_plane_telemetry(runtime),
+            faults=_fault_telemetry(runtime),
         )
 
 

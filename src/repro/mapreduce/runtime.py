@@ -61,6 +61,7 @@ pin this); only the spill telemetry and the simulated spill time differ.
 from __future__ import annotations
 
 import os
+import pickle
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Hashable
 
@@ -68,7 +69,15 @@ import numpy as np
 
 from repro.data.splits import SplitDescriptor, SplitSource, as_split_source
 from repro.exceptions import MapReduceError, ValidationError
-from repro.exec import AffinitySpec, ExecBackend, get_backend, resolve_backend
+from repro.exec import (
+    AffinitySpec,
+    ExecBackend,
+    FaultStats,
+    RetryPolicy,
+    get_backend,
+    resolve_backend,
+    resolve_retry_policy,
+)
 from repro.mapreduce.cluster import ClusterModel, PhaseTime
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import KeyValue, MapReduceJob, SplitContext
@@ -199,6 +208,11 @@ class JobStats:
     state_bytes_resident: int = 0
     #: Map tasks the pinned scheduler ran away from their home worker.
     plane_steals: int = 0
+    #: Fault-tolerance telemetry (:class:`repro.exec.FaultStats` counters:
+    #: retries, crashes, timeouts, pool rebuilds, blacklisted workers,
+    #: speculation launches/wins, lineage-recomputed state bytes).  All
+    #: zero on a fault-free run.
+    faults: dict[str, int] = field(default_factory=dict)
     time: PhaseTime | None = None
 
 
@@ -415,6 +429,14 @@ class LocalMapReduceRuntime:
         :func:`repro.plane.resolve_affinity` (``--affinity`` /
         ``REPRO_AFFINITY``, default ``"none"``). Output is
         bit-identical either way.
+    retry_policy:
+        Fault-tolerance policy for this runtime's parallel regions
+        (:class:`repro.exec.RetryPolicy`). ``None`` resolves via
+        :func:`repro.exec.resolve_retry_policy` (the CLI's
+        ``--max-task-retries`` / ``--task-timeout`` / ``--speculation``,
+        then ``REPRO_FAULTS_*``). Crashed map tasks are retried with
+        their split state recomputed from lineage; outputs stay
+        bit-identical to a fault-free run.
 
     Attributes
     ----------
@@ -442,6 +464,7 @@ class LocalMapReduceRuntime:
         shuffle_budget: int | None = None,
         shared_broadcast: bool | None = None,
         affinity: str | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         try:
             self.source = as_split_source(X)
@@ -461,6 +484,7 @@ class LocalMapReduceRuntime:
             self.shuffle_budget = resolve_shuffle_budget(shuffle_budget)
             self.shared_broadcast = resolve_shared_broadcast(shared_broadcast)
             self.affinity = resolve_affinity(affinity)
+            self.retry_policy = resolve_retry_policy(retry_policy)
         except ValidationError as exc:
             raise MapReduceError(str(exc)) from exc
         #: Runtime-lifetime spill telemetry (see class docstring).
@@ -476,6 +500,19 @@ class LocalMapReduceRuntime:
         #: across jobs (models RDD caching) and, under the zero-copy
         #: plane, of their shared-memory segments.
         self._state = SplitStateManager(n_splits)
+        #: Lineage: every successfully completed job (with its pre-dispatch
+        #: per-split RNG pickles), in order.  When a worker dies holding a
+        #: split's only copy of some state, the retry replays these jobs
+        #: for that split — from the immutable input and recorded RNG
+        #: streams — instead of restoring a checkpoint (there is none).
+        self._lineage: list[tuple[MapReduceJob, list[bytes]]] = []
+        # Recovery replays jobs and *installs shm state from lane
+        # threads*; the backend's fork lock serializes that against
+        # worker forks, whose children would otherwise inherit a held
+        # resource-tracker lock and deadlock (see exec.backends).
+        from repro.exec.backends import _FORK_LOCK
+
+        self._recover_lock = _FORK_LOCK
         self.job_log: list[JobStats] = []
         self.simulated_seconds: float = 0.0
         self._job_counter = 0
@@ -548,6 +585,10 @@ class LocalMapReduceRuntime:
         # dispatch: stream identity depends only on (seed, job index,
         # split index), never on execution interleaving.
         split_rngs = spawn_generators(self._seed_root, self.n_splits)
+        # Snapshot each RNG's pre-dispatch state: a retried map task must
+        # see the exact stream the lost attempt saw, not a mutated one.
+        rng_blobs = [pickle.dumps(rng) for rng in split_rngs]
+        fault_stats = FaultStats()
         broadcast_bytes = estimate_nbytes(job.broadcast) if job.broadcast is not None else 0
 
         # ---- data plane: how values reach the tasks ----
@@ -616,17 +657,27 @@ class LocalMapReduceRuntime:
                 )
                 for i in range(self.n_splits)
             ]
+            def _retry_map_args(index: int, attempt: int, exc: Exception) -> tuple:
+                # Lineage recovery: the worker that died may have held the
+                # only live copy of the split's resident state arrays (and
+                # its spill never made it back) — rebuild everything for
+                # this split, then re-issue the task with a fresh RNG.
+                return self._recover_map_call(
+                    index, ship_job, rng_blobs[index], spill_spec,
+                    transport_shared, fault_stats,
+                )
+
+            run_kwargs: dict[str, Any] = dict(
+                parallelism=self.workers,
+                retry=self.retry_policy,
+                faults=fault_stats,
+                retry_args=_retry_map_args,
+            )
             if affinity_spec is not None:
-                task_results: list[_MapTaskResult] = backend.run_calls(
-                    _execute_map_task,
-                    calls,
-                    parallelism=self.workers,
-                    affinity=affinity_spec,
-                )
-            else:
-                task_results = backend.run_calls(
-                    _execute_map_task, calls, parallelism=self.workers
-                )
+                run_kwargs["affinity"] = affinity_spec
+            task_results: list[_MapTaskResult] = backend.run_calls(
+                _execute_map_task, calls, **run_kwargs
+            )
             # Re-install per-split state by index.  Plane tasks hand back
             # marker updates (resident entries never moved); legacy
             # in-process backends hand back the same dicts (no-op) and
@@ -682,6 +733,11 @@ class LocalMapReduceRuntime:
                         for key, values, _ in window
                     ],
                     parallelism=self.workers,
+                    # Reduce tasks are pure functions of driver-held
+                    # groups: a crashed attempt retries with the same
+                    # arguments, no lineage needed.
+                    retry=self.retry_policy,
+                    faults=fault_stats,
                 )
                 for (key, _values, _nb), result in zip(window, results):
                     reduced[key] = result
@@ -748,6 +804,7 @@ class LocalMapReduceRuntime:
                 state_bytes_shipped=state_shipped,
                 state_bytes_resident=state_resident,
                 plane_steals=affinity_spec.steals if affinity_spec is not None else 0,
+                faults=fault_stats.as_dict(),
                 spill_bytes=store.stats.spill_bytes,
                 spill_files=store.stats.spill_files,
                 shuffle_peak_bytes=store.stats.peak_bytes,
@@ -775,16 +832,96 @@ class LocalMapReduceRuntime:
             )
             self.simulated_seconds += stats.time.total
             self.job_log.append(stats)
+            # The job is now part of history: record its lineage so a
+            # later worker loss can replay it for the affected split.
+            self._lineage.append((job, rng_blobs))
             return JobResult(output=output, counters=counters, stats=stats)
         finally:
             # Normal completion, failure, or interrupt: the job's spill
             # files and its published broadcast segment are gone before
             # the caller sees the JobResult (broadcasts are job-scoped,
             # like a Spark broadcast destroyed at the end of the round).
-            if published is not None:
-                published.release()
-            store.close()
-            self._active_store = None
+            # Nested so a release() blown up by a dead worker (e.g. a
+            # BrokenProcessPool unraveling mid-release) can never leak
+            # the spill tempdir behind it.
+            try:
+                if published is not None:
+                    published.release()
+            finally:
+                try:
+                    store.close()
+                finally:
+                    self._active_store = None
+
+    # ------------------------------------------------------------------
+    def _recover_map_call(
+        self,
+        split_id: int,
+        ship_job: MapReduceJob,
+        rng_blob: bytes,
+        spill_spec: MapSpillSpec | None,
+        transport_shared: bool,
+        fault_stats: FaultStats,
+    ) -> tuple:
+        """Rebuild a crashed map task's argument tuple via lineage replay.
+
+        A dead worker may have held the split's only live copy of its
+        resident state segments mid-mutation, and any spill file it wrote
+        died with its tempdir lease — so nothing the lost attempt
+        produced is trusted.  Recovery recomputes the split's state from
+        first principles: replay every previously *completed* job for
+        this split (immutable input + the recorded pre-dispatch RNG
+        streams — deterministic, so the replayed state is bit-identical
+        to what the lost worker saw), reinstall it, and hand back a
+        fresh argument tuple for the retry.
+
+        Replay runs inline on the driver; the engine's results are
+        worker-count-invariant, so inline replay is bit-identical to
+        worker execution.  The recomputed bytes are charged to
+        ``state_recomputed_bytes`` — and the plane's shipped/resident
+        counters are restored afterwards, so ``state_bytes_*`` telemetry
+        stays bit-identical to a fault-free run.
+        """
+        descriptor = self.source.descriptor(
+            self._bounds[split_id], self._bounds[split_id + 1]
+        )
+        with self._recover_lock:
+            shipped0 = self._state.shipped_bytes
+            resident0 = self._state.resident_bytes
+            state: dict[str, Any] = {}
+            for past_job, past_blobs in self._lineage:
+                replay = _execute_map_task(
+                    past_job,
+                    descriptor,
+                    split_id,
+                    self.n_splits,
+                    pickle.loads(past_blobs[split_id]),
+                    state,
+                    None,  # replayed emissions are discarded; never spill
+                )
+                if replay.state is not None:
+                    state = replay.state
+            recomputed = sum(
+                int(v.nbytes) for v in state.values() if isinstance(v, np.ndarray)
+            )
+            self._state.install(split_id, state)
+            state_arg: Any = (
+                self._state.spec(split_id)
+                if transport_shared
+                else self._state.states[split_id]
+            )
+            self._state.shipped_bytes = shipped0
+            self._state.resident_bytes = resident0
+        fault_stats.bump("state_recomputed_bytes", recomputed)
+        return (
+            ship_job,
+            descriptor,
+            split_id,
+            self.n_splits,
+            pickle.loads(rng_blob),
+            state_arg,
+            spill_spec,
+        )
 
     # ------------------------------------------------------------------
     def charge_sequential(self, flops: float, label: str = "driver") -> float:

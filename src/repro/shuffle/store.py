@@ -45,6 +45,7 @@ from __future__ import annotations
 import abc
 import os
 import pathlib
+import secrets
 import shutil
 import tempfile
 import weakref
@@ -257,7 +258,12 @@ def spill_map_emissions(
             canonical_order_key(key), (split_id, index), nb, key, value,
         )
         by_partition.setdefault(key_partition(key, spec.n_partitions), []).append(rec)
-    path = os.path.join(spec.dir, f"map-{split_id:06d}.spill")
+    # Attempt-unique filename: a retried task (or a speculative twin
+    # racing the straggler it duplicates) must never truncate or
+    # interleave with another attempt's file — the driver only ever
+    # reads the one path named in the manifest it actually received.
+    token = f"{os.getpid()}-{secrets.token_hex(4)}"
+    path = os.path.join(spec.dir, f"map-{split_id:06d}-{token}.spill")
     runs: list[tuple[int, SpillRun]] = []
     with open(path, "wb") as fh:
         for p in sorted(by_partition):

@@ -422,6 +422,14 @@ class TestAffinity:
     def test_pinned_tasks_land_on_home_processes(self):
         from repro.exec import AffinitySpec
 
+        from tests.conftest import CHAOS_ENV
+
+        if CHAOS_ENV:
+            pytest.skip(
+                "pid residency does not hold when chaos injection kills "
+                "workers: a retired slot revives with a fresh process"
+            )
+
         with ProcessBackend(budget=WorkerBudget(4)) as backend:
             # Two rounds, same owners: each slot is one long-lived
             # process, so a split's home pid is stable across jobs.
