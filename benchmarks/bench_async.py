@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Async dataflow benchmark: overlapped vs sequential job schedules.
+
+Runs the full ``mr_scalable_kmeans`` + MR-Lloyd pipeline on the real
+process backend twice per scenario — once with the sequential scheduler
+(every job runs start-to-finish before the next) and once with the
+async dataflow scheduler (``REPRO_MR_ASYNC`` / ``--async-scheduler``:
+round ``T``'s cost aggregation overlaps round ``T+1``'s sampling maps,
+Lloyd iterations pipeline, finalize/teardown overlaps successor maps) —
+at the same worker budget, and reports the wall-clock delta:
+
+* **clean** — no injection; the win comes from overlapping each job's
+  trailing phases (reduce, finalize, broadcast teardown) with the next
+  job's publish/maps and the driver-side scans;
+* **stragglers** — deterministic *delays* (no kills): each job's first
+  reduce attempt sleeps, identically under either scheduler.  Map-side
+  delays chain through the per-split determinism edges and cannot be
+  hidden, but reduce-side delays in jobs the driver does not await —
+  the final candidate-fold cost pass, the prefetched first Lloyd round
+  behind the driver's seed-cost scan — overlap neighbouring work under
+  the async schedule, while a sequential schedule serialises them all.
+
+Every configuration is checked bit-identical to the serial sequential
+reference (the run fails otherwise).  Results land in
+``benchmarks/results/BENCH_async.json``::
+
+    PYTHONPATH=src python benchmarks/bench_async.py          # n=50k
+    PYTHONPATH=src python benchmarks/bench_async.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import tempfile
+import time
+
+from repro.exec import FaultInjector
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_OUT = HERE / "results" / "BENCH_async.json"
+
+
+class StragglerSleeps(FaultInjector):
+    """Deterministic stragglers: each job's first reduce attempt sleeps.
+
+    The sleep schedule is identical under either scheduler — one delayed
+    aggregation per job — so both modes pay the same sleep count; only
+    the schedule decides how much of it hides behind other work.
+    """
+
+    def __init__(self, delay_s):
+        self.delay_s = delay_s
+
+    def fire(self, point, region, index, attempt):
+        if (
+            point == "before"
+            and attempt == 0
+            and index == 0
+            and "_execute_reduce_task" in region
+        ):
+            time.sleep(self.delay_s)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=50_000, help="rows (default 50k)")
+    parser.add_argument("--d", type=int, default=8, help="dimensions")
+    parser.add_argument("--k", type=int, default=16, help="clusters")
+    parser.add_argument("--splits", type=int, default=8, help="input splits")
+    parser.add_argument("--rounds", type=int, default=3, help="k-means|| rounds")
+    parser.add_argument("--lloyd", type=int, default=4, help="MR Lloyd iterations")
+    parser.add_argument("--workers", type=int, default=4, help="MR worker request")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="timing repetitions; best-of is reported")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--delay-s", type=float, default=0.5,
+                        help="straggler injection: per-reduce sleep, seconds")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: n=10k, k=8, 2 Lloyd iterations, 1 repetition",
+    )
+    return parser
+
+
+def _pipeline(path, args, *, backend, workers=None, async_scheduler=False):
+    from repro.mapreduce.kmeans_mr import mr_scalable_kmeans
+
+    return mr_scalable_kmeans(
+        path, args.k, l=2.0 * args.k, r=args.rounds, n_splits=args.splits,
+        seed=args.seed, lloyd_max_iter=args.lloyd,
+        workers=args.workers if workers is None else workers,
+        backend=backend, shared_broadcast=True,
+        async_scheduler=async_scheduler,
+    )
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.n, args.k, args.lloyd, args.repeat = 10_000, 8, 2, 1
+        args.delay_s = 0.15
+
+    import numpy as np
+
+    from repro.data.gauss_mixture import make_gauss_mixture
+    from repro.exec import (
+        ProcessBackend,
+        SerialBackend,
+        WorkerBudget,
+        reset_region_ids,
+        set_fault_injector,
+    )
+
+    # The bench owns its knobs: a REPRO_FAULTS_CHAOS / REPRO_MR_ASYNC
+    # environment (the CI legs) must not leak into the baseline legs.
+    os.environ.pop("REPRO_FAULTS_CHAOS", None)
+    os.environ.pop("REPRO_MR_ASYNC", None)
+
+    print(f"generating GaussMixture n={args.n} d={args.d} k={args.k} ...",
+          flush=True)
+    X = make_gauss_mixture(n=args.n, d=args.d, k=args.k, seed=args.seed).X
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-async-")
+    path = os.path.join(tmpdir, "data.npy")
+    np.save(path, X)
+
+    reference = _pipeline(path, args, backend=SerialBackend(), workers=1)
+
+    def check(report) -> bool:
+        return bool(
+            np.array_equal(report.centers, reference.centers)
+            and report.final_cost == reference.final_cost
+            and report.simulated_minutes == reference.simulated_minutes
+        )
+
+    def timed(async_scheduler, injector=None):
+        """Best-of-``repeat`` wall clock for one scheduler mode."""
+        best, report = float("inf"), None
+        for _ in range(args.repeat):
+            reset_region_ids()  # same injection schedule per repetition
+            set_fault_injector(injector)
+            backend = ProcessBackend(budget=WorkerBudget(args.workers))
+            try:
+                start = time.perf_counter()
+                report = _pipeline(path, args, backend=backend,
+                                   async_scheduler=async_scheduler)
+                best = min(best, time.perf_counter() - start)
+            finally:
+                backend.shutdown()
+                set_fault_injector(None)
+        return best, report
+
+    delayer = StragglerSleeps(args.delay_s)
+    all_identical = True
+    scenarios: dict[str, dict] = {}
+    for name, injector in (("clean", None), ("stragglers", delayer)):
+        sync_wall, sync_report = timed(False, injector)
+        async_wall, async_report = timed(True, injector)
+        sync_ok, async_ok = check(sync_report), check(async_report)
+        all_identical = all_identical and sync_ok and async_ok
+        speedup = sync_wall / async_wall if async_wall > 0 else 0.0
+        scenarios[name] = {
+            "sync_wall_s": sync_wall,
+            "async_wall_s": async_wall,
+            "speedup": speedup,
+            "saved_s": sync_wall - async_wall,
+            "identical_to_serial": sync_ok and async_ok,
+        }
+        print(f"  {name:<11} sync={sync_wall:7.3f}s  async={async_wall:7.3f}s  "
+              f"speedup={speedup:5.2f}x  identical={sync_ok and async_ok}",
+              flush=True)
+
+    payload = {
+        "meta": {
+            "n": args.n, "d": args.d, "k": args.k, "n_splits": args.splits,
+            "rounds": args.rounds, "lloyd_max_iter": args.lloyd,
+            "workers": args.workers, "repeat": args.repeat,
+            "delay_s": args.delay_s,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "scenarios": scenarios,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}", flush=True)
+    if not all_identical:
+        print("ERROR: some configuration diverged from the serial reference",
+              flush=True)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,12 @@ Output (default ``benchmarks/results/BENCH_core.json``)::
         ...
       }
     }
+
+Every run also refreshes ``benchmarks/results/BENCH_summary.json``: one
+consolidated file aggregating *all* ``BENCH_*.json`` results (name,
+config, headline metrics per bench) so the perf trajectory across the
+whole suite is machine-readable in one place.  ``--summary-only``
+rebuilds just that file without re-running anything.
 """
 
 from __future__ import annotations
@@ -33,7 +39,9 @@ import sys
 import tempfile
 
 HERE = pathlib.Path(__file__).parent
-DEFAULT_OUT = HERE / "results" / "BENCH_core.json"
+RESULTS = HERE / "results"
+DEFAULT_OUT = RESULTS / "BENCH_core.json"
+SUMMARY = RESULTS / "BENCH_summary.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick", action="store_true",
         help="only run the kernel micro-benchmarks (skip the n=100k Lloyd sweep)",
+    )
+    parser.add_argument(
+        "--summary-only", action="store_true",
+        help="just rebuild BENCH_summary.json from existing BENCH_*.json files",
     )
     return parser
 
@@ -80,8 +92,82 @@ def condense(raw: dict, *, workers: int | None) -> dict:
     }
 
 
+# Preferred headline metric per result row, first match wins; rows with
+# none of these fall back to their shallow numeric fields.
+_HEADLINE_KEYS = (
+    "speedup",
+    "mean_s",
+    "wall_s",
+    "overhead_vs_faultfree",
+    "total_ipc_bytes",
+    "peak_over_budget",
+)
+
+
+def _headline(payload: dict) -> dict:
+    """Flatten one bench payload to ``section/entry/metric: value`` rows."""
+    out: dict[str, float] = {}
+    for section, value in payload.items():
+        if section == "meta":
+            continue
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[section] = value
+            continue
+        if not isinstance(value, dict):
+            continue
+        for entry, metrics in value.items():
+            if isinstance(metrics, (int, float)) and not isinstance(metrics, bool):
+                out[f"{section}/{entry}"] = metrics
+                continue
+            if not isinstance(metrics, dict):
+                continue
+            for key in _HEADLINE_KEYS:
+                if isinstance(metrics.get(key), (int, float)):
+                    out[f"{section}/{entry}/{key}"] = metrics[key]
+                    break
+            else:
+                for key, metric in metrics.items():
+                    if isinstance(metric, (int, float)) and not isinstance(
+                        metric, bool
+                    ):
+                        out[f"{section}/{entry}/{key}"] = metric
+    return out
+
+
+def summarize(results_dir: pathlib.Path = RESULTS) -> dict:
+    """Aggregate every ``BENCH_*.json`` into one machine-readable file."""
+    summary: dict[str, dict] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        if path.name == SUMMARY.name:
+            continue
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            summary[path.stem.removeprefix("BENCH_")] = {"error": str(exc)}
+            continue
+        summary[path.stem.removeprefix("BENCH_")] = {
+            "file": path.name,
+            "config": payload.get("meta", {}),
+            "headline": _headline(payload),
+        }
+    return {"benches": summary}
+
+
+def write_summary() -> int:
+    result = summarize()
+    SUMMARY.parent.mkdir(parents=True, exist_ok=True)
+    SUMMARY.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+    n = len(result["benches"])
+    print(f"wrote {SUMMARY} ({n} bench files aggregated)")
+    return n
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.summary_only:
+        write_summary()
+        return 0
     if args.workers is not None:
         os.environ["REPRO_ENGINE_WORKERS"] = str(args.workers)
 
@@ -112,6 +198,7 @@ def main(argv=None) -> int:
     args.out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n",
                         encoding="utf-8")
     print(f"wrote {args.out} ({len(result['benchmarks'])} benchmarks)")
+    write_summary()
     return 0
 
 

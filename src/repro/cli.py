@@ -46,7 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
             "REPRO_SHARED_BROADCAST (1 = zero-copy data plane: broadcasts "
             "published once to shared memory, split state resident behind "
             "descriptors), REPRO_AFFINITY (none|pinned — pin splits to "
-            "home worker processes on the process backend), and the fault-"
+            "home worker processes on the process backend), REPRO_MR_ASYNC "
+            "(1 = async dataflow scheduler: consecutive MapReduce jobs "
+            "overlap through a DAG frontier, bit-identical results), and "
+            "the fault-"
             "tolerance knobs: REPRO_FAULTS_MAX_RETRIES (crash-class retries "
             "per task), REPRO_FAULTS_TASK_TIMEOUT (seconds per process-"
             "backend task attempt), REPRO_FAULTS_SPECULATION (1 = duplicate "
@@ -134,6 +137,19 @@ def build_parser() -> argparse.ArgumentParser:
             "and shared-memory attachments stay warm per split. Only the "
             "process backend places tasks; others ignore it (default: "
             "$REPRO_AFFINITY or 'none')"
+        ),
+    )
+    parser.add_argument(
+        "--async-scheduler",
+        action="store_true",
+        help=(
+            "overlap consecutive MapReduce jobs through the async dataflow "
+            "scheduler: each job's maps start as soon as their per-split "
+            "inputs exist, so round T's cost aggregation runs concurrently "
+            "with round T+1's sampling maps and Lloyd iterations pipeline. "
+            "Centers, costs, counters, and simulated minutes stay "
+            "bit-identical to the sequential schedule (default: "
+            "$REPRO_MR_ASYNC or off)"
         ),
     )
     parser.add_argument(
@@ -337,6 +353,16 @@ def _configure_engine(parser: argparse.ArgumentParser, args: argparse.Namespace)
             set_default_affinity(args.affinity)
         else:
             resolve_affinity()  # fail fast on a bad $REPRO_AFFINITY
+    except ValidationError as exc:
+        parser.error(str(exc))
+
+    from repro.exec import resolve_async_scheduler, set_default_async_scheduler
+
+    try:
+        if args.async_scheduler:
+            set_default_async_scheduler(True)
+        else:
+            resolve_async_scheduler()  # fail fast on a bad $REPRO_MR_ASYNC
     except ValidationError as exc:
         parser.error(str(exc))
 

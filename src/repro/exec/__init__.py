@@ -28,6 +28,13 @@ from repro.exec.backends import (
     use_backend,
 )
 from repro.exec.budget import ENV_EXEC_WORKERS, WorkerBudget, default_budget_limit
+from repro.exec.dataflow import (
+    ENV_MR_ASYNC,
+    DataflowScheduler,
+    TaskNode,
+    resolve_async_scheduler,
+    set_default_async_scheduler,
+)
 from repro.exec.faults import (
     ENV_BACKOFF_S,
     ENV_BLACKLIST_AFTER,
@@ -66,6 +73,10 @@ __all__ = [
     "get_worker_budget",
     "set_worker_budget",
     "default_budget_limit",
+    "DataflowScheduler",
+    "TaskNode",
+    "resolve_async_scheduler",
+    "set_default_async_scheduler",
     "RetryPolicy",
     "FaultStats",
     "FaultInjector",
@@ -80,6 +91,7 @@ __all__ = [
     "set_fault_injector",
     "ENV_BACKEND",
     "ENV_EXEC_WORKERS",
+    "ENV_MR_ASYNC",
     "DEFAULT_BACKEND",
     "ENV_MAX_RETRIES",
     "ENV_TASK_TIMEOUT",

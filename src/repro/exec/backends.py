@@ -222,6 +222,14 @@ class _FaultContext:
             return args
         return tuple(self.retry_args(index, attempt, exc))
 
+    def ping(self, slot: int) -> None:
+        """Heartbeat: a pinned slot just accepted work or returned a
+        result.  Feeds :attr:`FaultStats.slot_last_ping`."""
+        if self.stats is not None:
+            record = getattr(self.stats, "ping", None)
+            if record is not None:
+                record(slot)
+
     def record_crash(self, exc: Exception) -> None:
         # Timeouts are already counted at the submit site that killed
         # the worker; count everything else as a crash.
@@ -361,6 +369,39 @@ class ExecBackend(abc.ABC):
             for i, args in enumerate(calls)
         ]
         return self.run_tasks(tasks, parallelism=parallelism)
+
+    def run_one(
+        self,
+        fn: Callable[..., T],
+        args: tuple,
+        *,
+        index: int = 0,
+        retry: RetryPolicy | None = None,
+        faults: Any = None,
+        retry_args: Callable[[int, int, Exception], tuple] | None = None,
+    ) -> T:
+        """Run a single ``fn(*args)`` under the retry policy.
+
+        The async dataflow scheduler's entry point: one graph node, one
+        task.  ``index`` names the task inside its region for fault
+        injection and telemetry; callers that pass a ``retry_args`` hook
+        should close over their own task identity (the hook's ``index``
+        argument is region-local, not the caller's).  The default
+        delegates to :meth:`run_calls` so subclasses (and test doubles)
+        that override only ``run_calls`` keep their semantics;
+        :class:`ProcessBackend` overrides this to ship the single task
+        to a worker process (its ``run_calls`` fast-path would otherwise
+        always run an n=1 region inline).
+        """
+        del index  # region-local task index is always 0 on this path
+        return self.run_calls(
+            fn,
+            [tuple(args)],
+            parallelism=1,
+            retry=retry,
+            faults=faults,
+            retry_args=retry_args,
+        )[0]
 
     # -- lifecycle ------------------------------------------------------
     def shutdown(self) -> None:
@@ -969,6 +1010,29 @@ class ProcessBackend(ThreadBackend):
 
         return self._schedule(list(enumerate(calls)), exec_inline, exec_lane, parallelism)
 
+    def run_one(self, fn, args, *, index=0, retry=None, faults=None, retry_args=None):
+        """One task to one worker process — the dataflow node path.
+
+        ``run_calls`` with a single call always runs inline (its n<=1
+        fast-path), which is right for a sync region but wrong for a
+        dataflow node: the point of the async scheduler is that several
+        single-task nodes from different jobs occupy worker processes
+        *concurrently*.  Ship the task to the shared pool under the
+        usual retry context; unpicklable work still runs inline.
+        """
+        args = tuple(args)
+        if not self._portable(fn, args):
+            return super().run_one(
+                fn, args, index=index, retry=retry, faults=faults,
+                retry_args=retry_args,
+            )
+        ctx = _FaultContext(fn, retry=retry, faults=faults, retry_args=retry_args)
+        return ctx.run(
+            index,
+            args,
+            lambda task_fn, task_args: self._submit_shared(task_fn, task_args, ctx),
+        )
+
     def _submit_slot(
         self,
         pools: list[ProcessPoolExecutor],
@@ -1004,9 +1068,10 @@ class ProcessBackend(ThreadBackend):
             if is_crash_failure(exc):
                 raise
             raise TaskTimeoutError(f"slot {slot} pool unusable: {exc}") from exc
+        ctx.ping(slot)  # heartbeat: the slot accepted the submission
         timeout = ctx.policy.task_timeout_s
         try:
-            return fut.result(timeout)
+            result = fut.result(timeout)
         except (_FuturesTimeout, TimeoutError):
             ctx.bump("timeouts")
             self._retire_slot(pools, slot, ctx, pool)
@@ -1019,6 +1084,8 @@ class ProcessBackend(ThreadBackend):
                 # the generation guard makes the retire act exactly once.
                 self._retire_slot(pools, slot, ctx, pool)
             raise
+        ctx.ping(slot)  # heartbeat: the slot returned a result
+        return result
 
     def _run_pinned(
         self,

@@ -1,0 +1,562 @@
+"""Async dataflow scheduler: a DAG frontier over the worker budget.
+
+Skywriting-style dynamic task graphs for the MapReduce runtime.  A
+:class:`DataflowScheduler` holds a frontier of ready :class:`TaskNode`\\ s
+from *all* in-flight jobs and feeds them, in submission order, to lane
+threads that each draw one token from the shared
+:class:`~repro.exec.budget.WorkerBudget` before executing — so async
+execution composes with every existing backend (the node's callable is
+free to call ``backend.run_one`` / ``backend.run_calls``, which draw
+*additional* tokens opportunistically and degrade to inline execution
+when the pool is dry, exactly like nested sync regions do).
+
+Determinism contract
+--------------------
+The scheduler itself never reorders *effects*: ordering-sensitive work
+(split-order shuffle ingest, sorted-key reduce folds, job-log appends)
+is expressed as graph edges by the runtime, so any interleaving the
+frontier picks yields bit-identical outputs.  The frontier only decides
+*when* independent work runs, never *what order* dependent work commits.
+
+Fault cones
+-----------
+Retry/blacklisting/lineage-recovery stay inside each node's callable
+(the existing :class:`~repro.exec.faults.RetryPolicy` machinery).  A
+node whose retries exhaust fails **only its dependency cone**: every
+transitive dependent is cancelled with the original error, while
+independent nodes — including nodes of other in-flight jobs — keep
+running to completion.
+
+Speculation
+-----------
+A node may carry a ``speculate`` spec (policy + stats + group label).
+When every lane is otherwise idle and a running node's elapsed time
+exceeds ``speculation_multiplier ×`` the group's median duration (once a
+``speculation_quantile`` fraction of the group has finished), an idle
+lane runs a duplicate; the first completion wins and the loser's result
+is dropped — the node's ``commit`` hook runs exactly once.
+
+The knob: ``REPRO_MR_ASYNC`` / ``--async-scheduler`` / ``async_scheduler=``
+resolved with the usual precedence (argument > CLI default > env > off).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import os
+import threading
+import time
+from typing import Any, Callable, Iterable
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "ENV_MR_ASYNC",
+    "TaskNode",
+    "DataflowScheduler",
+    "resolve_async_scheduler",
+    "set_default_async_scheduler",
+    "PENDING",
+    "READY",
+    "RUNNING",
+    "FINISHING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+]
+
+ENV_MR_ASYNC = "REPRO_MR_ASYNC"
+
+_default_async: bool | None = None
+
+_TRUE = ("1", "true", "yes", "on")
+_FALSE = ("0", "false", "no", "off", "")
+
+# Node lifecycle.  PENDING -> READY -> RUNNING -> FINISHING -> DONE is
+# the happy path; FAILED replaces DONE when the callable raises, and
+# CANCELLED is the cascade state for dependents of a FAILED node.
+PENDING = "pending"
+READY = "ready"
+RUNNING = "running"
+FINISHING = "finishing"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+_SETTLED = (DONE, FAILED, CANCELLED)
+
+
+def set_default_async_scheduler(value: bool | None) -> bool | None:
+    """Install a process-wide default (the CLI's knob); returns previous."""
+    global _default_async
+    previous = _default_async
+    _default_async = None if value is None else bool(value)
+    return previous
+
+
+def resolve_async_scheduler(value: bool | None = None) -> bool:
+    """Resolve the scheduler mode: argument > default > env > off."""
+    if value is not None:
+        return bool(value)
+    if _default_async is not None:
+        return _default_async
+    raw = os.environ.get(ENV_MR_ASYNC)
+    if raw is None:
+        return False
+    raw = raw.strip().lower()
+    if raw in _TRUE:
+        return True
+    if raw in _FALSE:
+        return False
+    raise ValidationError(
+        f"{ENV_MR_ASYNC} must be a boolean (0/1/true/false), got {raw!r}"
+    )
+
+
+class TaskNode:
+    """One vertex of the dataflow graph.
+
+    ``fn`` computes the node's value; ``commit`` (optional) applies its
+    side effects exactly once, even under speculative duplication.
+    ``dependents`` / ``waiting`` wire the DAG; ``seq`` fixes the FIFO
+    frontier order so ready nodes run in submission order.
+    """
+
+    __slots__ = (
+        "seq",
+        "fn",
+        "label",
+        "commit",
+        "speculate",
+        "on_settle",
+        "needs_token",
+        "state",
+        "result",
+        "error",
+        "dependents",
+        "soft_dependents",
+        "waiting",
+        "started_at",
+        "speculated",
+    )
+
+    def __init__(self, seq: int, fn: Callable[[], Any], label: str):
+        self.seq = seq
+        self.fn = fn
+        self.label = label
+        self.commit: Callable[[Any], None] | None = None
+        self.speculate: dict | None = None
+        self.on_settle: Callable[["TaskNode"], None] | None = None
+        self.needs_token = True
+        self.state = PENDING
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.dependents: list[TaskNode] = []
+        self.soft_dependents: list[TaskNode] = []
+        self.waiting = 0
+        self.started_at: float | None = None
+        self.speculated = False
+
+    @property
+    def settled(self) -> bool:
+        return self.state in _SETTLED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskNode({self.label!r}, seq={self.seq}, state={self.state})"
+
+
+class DataflowScheduler:
+    """FIFO DAG frontier executed by budget-governed lane threads.
+
+    The driver thread is the budget's implicit first worker: waits go
+    through :meth:`pump_until`, which *executes ready nodes inline*
+    while the predicate is false — so progress is guaranteed even with
+    ``n_lanes == 0`` (workers=1) or when every lane thread is blocked
+    inside a nested region.
+    """
+
+    def __init__(self, budget, n_lanes: int, *, name: str = "dataflow"):
+        self.budget = budget
+        self.n_lanes = max(0, int(n_lanes))
+        self.name = name
+        self._lock = threading.Lock()
+        self.condition = threading.Condition(self._lock)
+        self._seq = 0
+        self._ready: list[tuple[int, TaskNode]] = []
+        self._running: dict[TaskNode, float] = {}
+        self._groups: dict[str, dict] = {}
+        self._lanes: list[threading.Thread] = []
+        self._stopping = False
+        self._pid = os.getpid()
+
+    # -- liveness ------------------------------------------------------
+
+    def alive_for(self, pid: int) -> bool:
+        """False once shut down or inherited across a fork."""
+        return not self._stopping and pid == self._pid
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[[], Any],
+        deps: Iterable[TaskNode] = (),
+        *,
+        label: str = "task",
+        commit: Callable[[Any], None] | None = None,
+        speculate: dict | None = None,
+        on_settle: Callable[[TaskNode], None] | None = None,
+        needs_token: bool = True,
+        after: Iterable[TaskNode] = (),
+    ) -> TaskNode:
+        """Add a node whose ``fn`` runs once every dep is DONE.
+
+        ``deps`` are *data* edges: a failed or cancelled dep cancels this
+        node (the failure cone).  ``after`` are *ordering* edges: the
+        node merely waits for those to settle — DONE, FAILED, or
+        CANCELLED all release it — so determinism constraints (run after
+        your predecessor) never propagate an unrelated job's failure.
+
+        ``needs_token=False`` marks a coordination node: it runs without
+        drawing a budget token, because its body either finishes in
+        microseconds (publish, ingest, finalize) or acquires its own
+        worker lanes from the same budget (a reduce's nested
+        ``run_calls``) — holding a token across that nested acquisition
+        would starve the very parallelism it requests.
+        """
+        cancelled_by: BaseException | None = None
+        with self.condition:
+            self._seq += 1
+            node = TaskNode(self._seq, fn, label)
+            node.commit = commit
+            node.speculate = speculate
+            node.on_settle = on_settle
+            node.needs_token = needs_token
+            for dep in deps:
+                if dep.state == DONE:
+                    continue
+                if dep.state in (FAILED, CANCELLED):
+                    cancelled_by = dep.error
+                    break
+                dep.dependents.append(node)
+                node.waiting += 1
+            if cancelled_by is None:
+                for dep in after:
+                    if dep.settled:
+                        continue
+                    dep.soft_dependents.append(node)
+                    node.waiting += 1
+            if cancelled_by is not None:
+                node.state = CANCELLED
+                node.error = cancelled_by
+            elif node.waiting == 0:
+                node.state = READY
+                heapq.heappush(self._ready, (node.seq, node))
+            if speculate is not None:
+                group = self._groups.setdefault(
+                    speculate["group"], {"n": 0, "durations": []}
+                )
+                group["n"] += 1
+            self.condition.notify_all()
+        if cancelled_by is not None:
+            self._after_settle(node)
+        else:
+            self._ensure_lanes()
+        return node
+
+    # -- lanes ---------------------------------------------------------
+
+    def _ensure_lanes(self) -> None:
+        if len(self._lanes) >= self.n_lanes or self._stopping:
+            return
+        while len(self._lanes) < self.n_lanes:
+            thread = threading.Thread(
+                target=self._lane_loop,
+                name=f"{self.name}-lane-{len(self._lanes)}",
+                daemon=True,
+            )
+            self._lanes.append(thread)
+            thread.start()
+
+    def _lane_loop(self) -> None:
+        while True:
+            with self.condition:
+                if self._stopping:
+                    return
+                if not self._ready and self._speculation_candidate_locked() is None:
+                    # Speculation thresholds are time-based, so poll only
+                    # while an unspeculated candidate could cross one;
+                    # otherwise block until a submit/settle notifies us —
+                    # an idle (or abandoned) scheduler costs zero CPU.
+                    self.condition.wait(
+                        0.05 if self._poll_for_speculation_locked() else None
+                    )
+                    continue
+                # Coordination nodes run token-free (their bodies draw
+                # their own worker lanes, like the sync driver does).
+                node = self._pop_ready_locked(tokenless_only=True)
+            if node is not None:
+                self._execute(node)
+                # Drop the reference: an idle lane must not pin the last
+                # node it ran (its closure reaches the whole job graph).
+                node = None
+                continue
+            # Budget token first, node second: a lane that cannot get a
+            # token must not hold a claimed node hostage.
+            got = self.budget.try_acquire(1)
+            if not got:
+                time.sleep(0.01)
+                continue
+            try:
+                node = None
+                twin = None
+                with self.condition:
+                    if self._stopping:
+                        return
+                    node = self._pop_ready_locked()
+                    if node is None:
+                        twin = self._pick_speculation_locked()
+                if node is not None:
+                    self._execute(node)
+                elif twin is not None:
+                    self._run_speculative(twin)
+                node = twin = None  # see above: idle lanes pin nothing
+            finally:
+                self.budget.release(1)
+
+    # -- driver participation -----------------------------------------
+
+    def pump_until(self, predicate: Callable[[], bool], timeout: float | None = None) -> bool:
+        """Run ready nodes on the calling thread until ``predicate``.
+
+        The caller (normally the driver) is the budget's implicit
+        worker, so no token is drawn.  Returns False only when a
+        ``timeout`` is given and expires first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if predicate():
+                return True
+            node = None
+            with self.condition:
+                if predicate():
+                    return True
+                node = self._pop_ready_locked()
+                if node is None:
+                    if deadline is not None and time.monotonic() >= deadline:
+                        return False
+                    self.condition.wait(0.05)
+                    continue
+            self._execute(node)
+
+    # -- execution -----------------------------------------------------
+
+    def _pop_ready_locked(self, *, tokenless_only: bool = False) -> TaskNode | None:
+        found = None
+        skipped: list[tuple[int, TaskNode]] = []
+        while self._ready:
+            entry = heapq.heappop(self._ready)
+            _, node = entry
+            if node.state != READY:
+                continue
+            if tokenless_only and node.needs_token:
+                skipped.append(entry)
+                continue
+            node.state = RUNNING
+            node.started_at = time.monotonic()
+            self._running[node] = node.started_at
+            found = node
+            break
+        for entry in skipped:
+            heapq.heappush(self._ready, entry)
+        if found is not None and found.speculate is not None:
+            # Wake idle lanes: they block without a timeout when nothing
+            # can be speculated, and this node just became a candidate.
+            self.condition.notify_all()
+        return found
+
+    def _poll_for_speculation_locked(self) -> bool:
+        return any(
+            node.speculate is not None and not node.speculated
+            for node in self._running
+        )
+
+    def _execute(self, node: TaskNode) -> None:
+        try:
+            result = node.fn()
+        except Exception as exc:
+            self._fail(node, exc)
+            return
+        except BaseException as exc:  # KeyboardInterrupt etc: fail then re-raise
+            self._fail(node, exc)
+            raise
+        self._finish(node, result)
+
+    def _finish(self, node: TaskNode, result: Any) -> bool:
+        """First completion wins; the winner runs ``commit`` exactly once."""
+        with self.condition:
+            if node.state != RUNNING:
+                return False
+            node.state = FINISHING
+        if node.commit is not None:
+            try:
+                node.commit(result)
+            except Exception as exc:
+                with self.condition:
+                    node.state = RUNNING  # _fail expects an unsettled node
+                self._fail(node, exc)
+                return False
+        newly_ready: list[TaskNode] = []
+        with self.condition:
+            node.state = DONE
+            node.result = result
+            self._settle_locked(node)
+            for dependent in node.dependents:
+                dependent.waiting -= 1
+                if dependent.waiting == 0 and dependent.state == PENDING:
+                    dependent.state = READY
+                    heapq.heappush(self._ready, (dependent.seq, dependent))
+                    newly_ready.append(dependent)
+            node.dependents = []
+            self.condition.notify_all()
+        self._after_settle(node)
+        return True
+
+    def _fail(self, node: TaskNode, exc: BaseException) -> None:
+        """Fail ``node`` and cancel its dependency cone, nothing else."""
+        settled: list[TaskNode] = []
+        with self.condition:
+            if node.settled:  # speculative loser racing a winner
+                return
+            node.state = FAILED
+            node.error = exc
+            self._settle_locked(node)
+            settled.append(node)
+            # Dependents are PENDING or READY by construction (a node
+            # only becomes READY once every dep is DONE), so the cascade
+            # never races a running dependent.
+            frontier = list(node.dependents)
+            node.dependents = []
+            while frontier:
+                dependent = frontier.pop()
+                if dependent.settled:
+                    continue
+                dependent.state = CANCELLED
+                dependent.error = exc
+                self._settle_locked(dependent)
+                settled.append(dependent)
+                frontier.extend(dependent.dependents)
+                dependent.dependents = []
+            self.condition.notify_all()
+        for settled_node in settled:
+            self._after_settle(settled_node)
+
+    def _settle_locked(self, node: TaskNode) -> None:
+        started = self._running.pop(node, None)
+        if started is not None and node.speculate is not None:
+            group = self._groups.get(node.speculate["group"])
+            if group is not None:
+                group["durations"].append(time.monotonic() - started)
+        # Ordering edges release on *any* terminal state — DONE, FAILED,
+        # or CANCELLED — so a predecessor's failure never cascades here.
+        for dependent in node.soft_dependents:
+            if dependent.settled:
+                continue
+            dependent.waiting -= 1
+            if dependent.waiting == 0 and dependent.state == PENDING:
+                dependent.state = READY
+                heapq.heappush(self._ready, (dependent.seq, dependent))
+        node.soft_dependents = []
+
+    def _after_settle(self, node: TaskNode) -> None:
+        if node.on_settle is not None:
+            try:
+                node.on_settle(node)
+            except Exception:  # settle hooks must never kill a lane
+                pass
+        # Drop the closures: state/result/error stay readable, but a
+        # settled node must not pin its whole job graph through ``fn``
+        # (successor jobs hold predecessor nodes for ordering edges).
+        node.fn = node.commit = node.speculate = node.on_settle = None
+
+    def cancel_pending(self, nodes: Iterable[TaskNode], exc: BaseException) -> None:
+        """Force-cancel every given node that has not started running.
+
+        The interrupt path (KeyboardInterrupt escaping a pump): nothing
+        new may start, in-flight nodes finish on their own, and settle
+        hooks fire for the cancelled ones so per-job cleanup still runs.
+        """
+        cancelled: list[TaskNode] = []
+        with self.condition:
+            for node in nodes:
+                if node.settled or node.state in (RUNNING, FINISHING):
+                    continue
+                node.state = CANCELLED
+                node.error = exc
+                self._settle_locked(node)
+                node.dependents = []
+                cancelled.append(node)
+            self.condition.notify_all()
+        for node in cancelled:
+            self._after_settle(node)
+
+    # -- speculation ---------------------------------------------------
+
+    def _speculation_candidate_locked(self) -> TaskNode | None:
+        for node in self._running:
+            if node.speculate is not None and not node.speculated:
+                return node
+        return None
+
+    def _pick_speculation_locked(self) -> TaskNode | None:
+        now = time.monotonic()
+        for node, started in self._running.items():
+            spec = node.speculate
+            if spec is None or node.speculated:
+                continue
+            policy = spec["policy"]
+            group = self._groups.get(spec["group"])
+            if group is None:
+                continue
+            durations = group["durations"]
+            quorum = max(1, math.ceil(policy.speculation_quantile * group["n"]))
+            if len(durations) < quorum:
+                continue
+            median = sorted(durations)[len(durations) // 2]
+            threshold = policy.speculation_multiplier * max(median, 1e-3)
+            if now - started <= threshold:
+                continue
+            node.speculated = True
+            stats = spec.get("stats")
+            if stats is not None:
+                stats.bump("speculative_launched")
+            return node
+        return None
+
+    def _run_speculative(self, node: TaskNode) -> None:
+        """Best-effort duplicate; failures are swallowed, first result wins."""
+        spec = node.speculate  # snapshot: settling clears the node's refs
+        fn = (spec.get("fn") or node.fn) if spec is not None else None
+        if fn is None:  # the primary settled between pick and launch
+            return
+        try:
+            result = fn()
+        except Exception:
+            return
+        if self._finish(node, result):
+            stats = spec.get("stats")
+            if stats is not None:
+                stats.bump("speculative_won")
+
+    # -- shutdown ------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop lanes.  In-flight nodes finish (commit/settle included)."""
+        with self.condition:
+            self._stopping = True
+            self.condition.notify_all()
+        for thread in self._lanes:
+            if thread.is_alive() and thread is not threading.current_thread():
+                thread.join()
+        self._lanes = []

@@ -301,6 +301,21 @@ class FaultStats:
         self._lock = threading.Lock()
         for field in self.FIELDS:
             setattr(self, field, 0)
+        #: Monotonic timestamp of the last successful interaction with
+        #: each pinned slot (submit accepted / result returned) — the
+        #: skywriting-style ``last_ping`` heartbeat the cluster backend's
+        #: asynchronous failure detector will consume.  Not part of
+        #: :attr:`FIELDS`: timestamps, not counters, and excluded from
+        #: :meth:`as_dict` so job telemetry stays integer-valued.
+        self.slot_last_ping: dict[int, float] = {}
+
+    def ping(self, slot: int, when: float | None = None) -> None:
+        """Record a heartbeat for a pinned slot."""
+        stamp = time.monotonic() if when is None else float(when)
+        with self._lock:
+            previous = self.slot_last_ping.get(slot)
+            if previous is None or stamp > previous:
+                self.slot_last_ping[slot] = stamp
 
     def bump(self, field: str, n: int = 1) -> None:
         if field not in self.FIELDS:
@@ -311,9 +326,14 @@ class FaultStats:
     def merge(self, other: "FaultStats") -> None:
         with other._lock:
             snapshot = [(f, getattr(other, f)) for f in self.FIELDS]
+            pings = dict(other.slot_last_ping)
         with self._lock:
             for field, value in snapshot:
                 setattr(self, field, getattr(self, field) + value)
+            for slot, stamp in pings.items():
+                previous = self.slot_last_ping.get(slot)
+                if previous is None or stamp > previous:
+                    self.slot_last_ping[slot] = stamp
 
     def as_dict(self) -> dict[str, int]:
         with self._lock:

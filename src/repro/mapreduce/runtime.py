@@ -60,10 +60,12 @@ pin this); only the spill telemetry and the simulated spill time differ.
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
+import threading
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Iterable
 
 import numpy as np
 
@@ -71,13 +73,16 @@ from repro.data.splits import SplitDescriptor, SplitSource, as_split_source
 from repro.exceptions import MapReduceError, ValidationError
 from repro.exec import (
     AffinitySpec,
+    DataflowScheduler,
     ExecBackend,
     FaultStats,
     RetryPolicy,
     get_backend,
+    resolve_async_scheduler,
     resolve_backend,
     resolve_retry_policy,
 )
+from repro.exec.dataflow import FAILED
 from repro.mapreduce.cluster import ClusterModel, PhaseTime
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.job import KeyValue, MapReduceJob, SplitContext
@@ -107,6 +112,7 @@ from repro.utils.rng import ensure_generator, spawn_generators
 __all__ = [
     "JobStats",
     "JobResult",
+    "JobFuture",
     "LocalMapReduceRuntime",
     "estimate_nbytes",
     "record_nbytes",
@@ -465,6 +471,7 @@ class LocalMapReduceRuntime:
         shared_broadcast: bool | None = None,
         affinity: str | None = None,
         retry_policy: RetryPolicy | None = None,
+        async_scheduler: bool | None = None,
     ):
         try:
             self.source = as_split_source(X)
@@ -485,6 +492,7 @@ class LocalMapReduceRuntime:
             self.shared_broadcast = resolve_shared_broadcast(shared_broadcast)
             self.affinity = resolve_affinity(affinity)
             self.retry_policy = resolve_retry_policy(retry_policy)
+            self.async_scheduler = resolve_async_scheduler(async_scheduler)
         except ValidationError as exc:
             raise MapReduceError(str(exc)) from exc
         #: Runtime-lifetime spill telemetry (see class docstring).
@@ -505,7 +513,9 @@ class LocalMapReduceRuntime:
         #: split's only copy of some state, the retry replays these jobs
         #: for that split — from the immutable input and recorded RNG
         #: streams — instead of restoring a checkpoint (there is none).
-        self._lineage: list[tuple[MapReduceJob, list[bytes]]] = []
+        #: (``None`` entries mark failed async jobs: recorded at submit,
+        #: voided when the job's graph fails — see ``_recover_map_call``.)
+        self._lineage: list[tuple[MapReduceJob, list[bytes]] | None] = []
         # Recovery replays jobs and *installs shm state from lane
         # threads*; the backend's fork lock serializes that against
         # worker forks, whose children would otherwise inherit a held
@@ -516,6 +526,9 @@ class LocalMapReduceRuntime:
         self.job_log: list[JobStats] = []
         self.simulated_seconds: float = 0.0
         self._job_counter = 0
+        #: Async dataflow machinery (lazily built by :meth:`submit_job`).
+        self._scheduler: DataflowScheduler | None = None
+        self._graphs: list[_AsyncJob] = []
 
     # ------------------------------------------------------------------
     @property
@@ -561,6 +574,12 @@ class LocalMapReduceRuntime:
         left running.  Any in-flight shuffle store (an interrupted job's)
         is closed too, deleting its spill files.
         """
+        if self._scheduler is not None:
+            self._scheduler.shutdown()
+            for graph in self._graphs:
+                graph._cleanup()  # idempotent: closes store, frees broadcast
+            self._graphs = []
+            self._scheduler = None
         if self._active_store is not None:
             self._active_store.close()
             self._active_store = None
@@ -578,7 +597,17 @@ class LocalMapReduceRuntime:
 
     # ------------------------------------------------------------------
     def run_job(self, job: MapReduceJob) -> JobResult:
-        """Execute one job over all splits; advance the simulated clock."""
+        """Execute one job over all splits; advance the simulated clock.
+
+        Under the async dataflow scheduler (``async_scheduler=`` /
+        ``REPRO_MR_ASYNC`` / ``--async-scheduler``) this is exactly
+        ``submit_job(job).result()`` — same outputs, same telemetry, bit
+        for bit — so every existing caller gets the async engine without
+        changing; only callers that want *overlap* use
+        :meth:`submit_job` directly.
+        """
+        if self.async_scheduler:
+            return self.submit_job(job).result()
         self._job_counter += 1
         backend = self.backend
         # Pre-spawn every split's RNG on the driver thread, before any
@@ -862,6 +891,9 @@ class LocalMapReduceRuntime:
         spill_spec: MapSpillSpec | None,
         transport_shared: bool,
         fault_stats: FaultStats,
+        *,
+        upto: int | None = None,
+        sink: Any = None,
     ) -> tuple:
         """Rebuild a crashed map task's argument tuple via lineage replay.
 
@@ -881,15 +913,29 @@ class LocalMapReduceRuntime:
         ``state_recomputed_bytes`` — and the plane's shipped/resident
         counters are restored afterwards, so ``state_bytes_*`` telemetry
         stays bit-identical to a fault-free run.
+
+        Async jobs pass ``upto`` (their position in the lineage at
+        submission) so replay covers exactly the jobs *before* them —
+        the live lineage list already contains in-flight successors —
+        and ``sink`` (their per-job byte tally) so the counter
+        save/restore dance touches their accounting, not the shared
+        manager's.  Entries ``None``-ed out by a failed async job are
+        skipped: no successor of a failed job can ever retry a map task
+        (its cone was cancelled), so the skip is unobservable.
         """
         descriptor = self.source.descriptor(
             self._bounds[split_id], self._bounds[split_id + 1]
         )
+        tally = self._state if sink is None else sink
         with self._recover_lock:
-            shipped0 = self._state.shipped_bytes
-            resident0 = self._state.resident_bytes
+            shipped0 = tally.shipped_bytes
+            resident0 = tally.resident_bytes
             state: dict[str, Any] = {}
-            for past_job, past_blobs in self._lineage:
+            entries = self._lineage if upto is None else self._lineage[:upto]
+            for entry in entries:
+                if entry is None:  # a failed async job: nothing to replay
+                    continue
+                past_job, past_blobs = entry
                 replay = _execute_map_task(
                     past_job,
                     descriptor,
@@ -906,12 +952,12 @@ class LocalMapReduceRuntime:
             )
             self._state.install(split_id, state)
             state_arg: Any = (
-                self._state.spec(split_id)
+                self._state.spec(split_id, sink=sink)
                 if transport_shared
                 else self._state.states[split_id]
             )
-            self._state.shipped_bytes = shipped0
-            self._state.resident_bytes = resident0
+            tally.shipped_bytes = shipped0
+            tally.resident_bytes = resident0
         fault_stats.bump("state_recomputed_bytes", recomputed)
         return (
             ship_job,
@@ -922,6 +968,96 @@ class LocalMapReduceRuntime:
             state_arg,
             spill_spec,
         )
+
+    # ------------------------------------------------------------------
+    # Async dataflow: jobs as futures over a shared DAG frontier.
+
+    def submit_job(
+        self, job: MapReduceJob, deps: "Iterable[JobFuture]" = ()
+    ) -> "JobFuture":
+        """Submit a job to the dataflow scheduler; return its future.
+
+        The job expands into a task graph (publish → per-split maps →
+        split-order ingest → windowed reduce → finalize) whose nodes run
+        on budget-governed lanes alongside every other in-flight job's.
+        Consecutive submissions are chained per split (job t+1's map of
+        split *i* waits for job t's map of split *i* — the split-state
+        ordering sync execution guarantees implicitly) and per finalize
+        (job-log order, simulated clock), so outputs, counters, key
+        order, and simulated time are bit-identical to the sync path.
+        The parts sync callers *wait* on without needing — earlier jobs'
+        trailing reduce windows, finalize accounting, broadcast teardown
+        — overlap this job's map phase instead.
+
+        ``deps`` adds explicit edges: this job's graph starts only after
+        those futures' jobs fully finalize.
+
+        Do not mix with the sync :meth:`run_job` body mid-flight: under
+        ``async_scheduler`` every ``run_job`` call routes here already.
+        """
+        sched = self._ensure_scheduler()
+        prev = self._graphs[-1] if self._graphs else None
+        # Retire graphs that finished cleanly — keeping only the newest
+        # (the ordering-edge predecessor) and any failed ones, which
+        # ``drain()`` still has to surface.  Unbounded retention would
+        # otherwise grow per job submitted over the runtime's lifetime.
+        self._graphs = [
+            g
+            for g in self._graphs
+            if g is prev or g.error is not None or not g._all_settled()
+        ]
+        graph = _AsyncJob(self, job, deps, prev, sched)
+        self._graphs.append(graph)
+        return JobFuture(graph)
+
+    def _ensure_scheduler(self) -> DataflowScheduler:
+        sched = self._scheduler
+        if sched is None or not sched.alive_for(os.getpid()):
+            # First use, post-shutdown reuse, or a fork-inherited dead
+            # scheduler: lanes = workers - 1 (the driver thread is the
+            # budget's implicit first worker and pumps while waiting).
+            sched = DataflowScheduler(
+                self.backend.budget, max(0, self.workers - 1), name="mr-dataflow"
+            )
+            self._scheduler = sched
+            self._graphs = []
+        return sched
+
+    def drain(self) -> None:
+        """Wait until every in-flight async job settles; raise the first
+        failure (in submission order).  No-op when nothing is in flight."""
+        sched = self._scheduler
+        if sched is None:
+            return
+        graphs = list(self._graphs)
+        try:
+            for graph in graphs:
+                sched.pump_until(graph._all_settled)
+        except BaseException as exc:  # KeyboardInterrupt from a pumped node
+            self._abort_inflight(exc)
+            raise
+        for graph in graphs:
+            if graph.error is not None:
+                raise graph.error
+
+    def _abort_inflight(self, exc: BaseException) -> None:
+        """Interrupt semantics for the async path, mirroring sync's
+        ``finally`` blocks: nothing new starts, in-flight nodes drain,
+        and every job's spill store and broadcast segment is released.
+        """
+        sched = self._scheduler
+        if sched is None:
+            return
+        graphs = list(self._graphs)
+        for graph in graphs:
+            sched.cancel_pending(graph._nodes(), exc)
+        for graph in graphs:
+            # In-flight nodes (other lanes) finish on their own; bounded
+            # wait so a hung worker cannot wedge the interrupt forever.
+            if not sched.pump_until(graph._all_settled, timeout=30.0):
+                break
+        for graph in graphs:
+            graph._cleanup()
 
     # ------------------------------------------------------------------
     def charge_sequential(self, flops: float, label: str = "driver") -> float:
@@ -956,6 +1092,573 @@ class LocalMapReduceRuntime:
     def peak_shuffle_bytes(self) -> int:
         """Largest driver-held shuffle residency of any job so far."""
         return max((s.shuffle_peak_bytes for s in self.job_log), default=0)
+
+
+class _StateSink:
+    """Per-job tally for split-state byte accounting under async.
+
+    Mirrors the two counters of :class:`SplitStateManager`; every
+    spec/apply/recovery call of one async job routes its bumps here, so
+    concurrent jobs cannot interleave their ``state_bytes_*`` telemetry
+    on the shared manager.  All writes happen under the runtime's
+    recover lock, so plain attributes suffice.
+    """
+
+    __slots__ = ("shipped_bytes", "resident_bytes")
+
+    def __init__(self) -> None:
+        self.shipped_bytes = 0
+        self.resident_bytes = 0
+
+    def drain(self) -> tuple[int, int]:
+        out = (self.shipped_bytes, self.resident_bytes)
+        self.shipped_bytes = 0
+        self.resident_bytes = 0
+        return out
+
+
+_MISSING = object()
+
+
+class _AsyncJob:
+    """One submitted job's dataflow graph and driver-side bookkeeping.
+
+    Node layout (``P`` = publish, ``M_i`` = map of split *i*, ``I_i`` =
+    ingest of split *i*, ``R`` = windowed reduce, ``F`` = finalize)::
+
+        deps.F ──→ P ──→ M_i ──→ I_0 → I_1 → ... → I_last ──→ R ──→ F
+               prev.M_i ──↗ (per split)              prev.F ─────────↗
+
+    The per-split ``prev.M_i → M_i`` chain reproduces the sync path's
+    split-state evolution order; the ``I_{i-1} → I_i`` chain is the
+    deterministic split-order shuffle ingest; the ``prev.F → F`` chain
+    pins job-log append order and the simulated clock's accumulation
+    order.  Everything else the frontier schedules freely — outputs are
+    bit-identical regardless of interleaving, because every
+    ordering-sensitive effect is an edge.
+    """
+
+    def __init__(self, runtime, job, deps, prev, sched):
+        self.runtime = runtime
+        self.job = job
+        runtime._job_counter += 1
+        self.seq = runtime._job_counter
+        self.backend = runtime.backend
+        # All submission-order state (RNG spawns, lineage position) is
+        # fixed here, on the driver thread — identical to the sync path.
+        self.split_rngs = spawn_generators(runtime._seed_root, runtime.n_splits)
+        self.rng_blobs = [pickle.dumps(rng) for rng in self.split_rngs]
+        self.fault_stats = FaultStats()
+        self.broadcast_bytes = (
+            estimate_nbytes(job.broadcast) if job.broadcast is not None else 0
+        )
+        self.transport_shared = (
+            runtime.shared_broadcast and self.backend.crosses_processes
+        )
+        self.store = make_shuffle_store(
+            runtime.shuffle_budget, combiner_factory=job.combiner_factory
+        )
+        self.spill_spec = (
+            self.store.map_spill_spec(runtime.n_splits)
+            if isinstance(self.store, SpillingShuffleStore)
+            else None
+        )
+        self._sink = _StateSink()
+        self.lineage_index = len(runtime._lineage)
+        runtime._lineage.append((job, self.rng_blobs))
+        self._lock = threading.Lock()
+        self._state_args: dict[int, Any] = {}
+        self._map_results: list[_MapTaskResult | None] = [None] * runtime.n_splits
+        self.key_results: dict[Hashable, list[KeyValue]] = {}
+        self.output_dict: dict[Hashable, list[Any]] | None = None
+        self.job_result: JobResult | None = None
+        self.error: BaseException | None = None
+        self._cleaned = False
+        self._settled = 0
+        self.published = None
+        self.ship_job: MapReduceJob | None = None
+        self._shuffle_records = 0
+        self._shuffle_bytes = 0
+        self._reduce_flops = 0.0
+        self._reduce_emitted = 0
+
+        n = runtime.n_splits
+        self._n_nodes = 2 * n + 3
+        on_settle = self._node_settled
+        dep_nodes = [fut._graph.finish_node for fut in deps]
+        # Publish/ingest/reduce/finalize are coordination nodes: they
+        # run token-free because they either finish in microseconds or
+        # (the reduce) draw their own worker lanes via ``run_calls`` —
+        # only map nodes occupy a budget slot per se.
+        self.publish_node = sched.submit(
+            self._publish,
+            dep_nodes,
+            label=f"publish:{job.name}#{self.seq}",
+            on_settle=on_settle,
+            needs_token=False,
+        )
+        # Speculation composes per node: process backend only (attempts
+        # are pickled per submission, so the twin shares nothing live
+        # with the primary) and gated on the policy, like sync regions.
+        speculate_maps = (
+            runtime.retry_policy.speculation and self.backend.crosses_processes
+        )
+        self.map_nodes: list = []
+        for i in range(n):
+            # The predecessor edge is an *ordering* edge (``after``):
+            # split state must evolve in submission order, but a failed
+            # predecessor job must not cancel this one — sync semantics
+            # let a failed run_job be retried on the same runtime.
+            node_after = [prev.map_nodes[i]] if prev is not None else []
+            spec = None
+            if speculate_maps:
+                spec = {
+                    "policy": runtime.retry_policy,
+                    "stats": self.fault_stats,
+                    "group": f"map#{self.seq}",
+                    "fn": functools.partial(self._map_twin, i),
+                }
+            self.map_nodes.append(
+                sched.submit(
+                    functools.partial(self._map_fn, i),
+                    [self.publish_node],
+                    label=f"map:{job.name}#{self.seq}[{i}]",
+                    commit=functools.partial(self._map_commit, i),
+                    speculate=spec,
+                    on_settle=on_settle,
+                    after=node_after,
+                )
+            )
+        tail = None
+        self.ingest_nodes: list = []
+        for i in range(n):
+            node_deps = [self.map_nodes[i]]
+            if tail is not None:
+                node_deps.append(tail)
+            tail = sched.submit(
+                functools.partial(self._ingest, i),
+                node_deps,
+                label=f"ingest:{job.name}#{self.seq}[{i}]",
+                on_settle=on_settle,
+                needs_token=False,
+            )
+            self.ingest_nodes.append(tail)
+        self.reduce_node = sched.submit(
+            self._run_reduce,
+            [tail],
+            label=f"reduce:{job.name}#{self.seq}",
+            on_settle=on_settle,
+            needs_token=False,
+        )
+        # The finalize chain orders job-log appends and clock charges;
+        # like the map chain it is ordering-only, so a failed job (which
+        # logs nothing, as in sync) does not cancel its successors.
+        self.finish_node = sched.submit(
+            self._finalize,
+            [self.reduce_node],
+            label=f"finalize:{job.name}#{self.seq}",
+            on_settle=on_settle,
+            needs_token=False,
+            after=[prev.finish_node] if prev is not None else [],
+        )
+
+    # -- node bodies ---------------------------------------------------
+
+    def _publish(self):
+        runtime = self.runtime
+        with runtime._recover_lock:  # shm create vs worker forks
+            self.published = publish_broadcast(
+                self.job.broadcast, shared=self.transport_shared
+            )
+        self.ship_job = (
+            self.job
+            if self.published.segment is None
+            else replace(self.job, broadcast=self.published.ref)
+        )
+
+    def _map_args(self, i: int) -> tuple:
+        """The 7-tuple for split ``i``'s map task; state spec memoized.
+
+        ``spec()`` promotes segments and counts bytes, so it must run
+        exactly once per (job, split) even when a speculative twin also
+        builds its arguments — hence the memo under the graph lock.
+        """
+        runtime = self.runtime
+        with self._lock:
+            state_arg = self._state_args.get(i, _MISSING)
+            if state_arg is _MISSING:
+                if self.transport_shared:
+                    with runtime._recover_lock:
+                        state_arg = runtime._state.spec(i, sink=self._sink)
+                else:
+                    state_arg = runtime._state.states[i]
+                self._state_args[i] = state_arg
+        return (
+            self.ship_job,
+            runtime.source.descriptor(runtime._bounds[i], runtime._bounds[i + 1]),
+            i,
+            runtime.n_splits,
+            self.split_rngs[i],
+            state_arg,
+            self.spill_spec,
+        )
+
+    def _map_fn(self, i: int) -> _MapTaskResult:
+        runtime = self.runtime
+        callargs = self._map_args(i)
+
+        def _retry(index: int, attempt: int, exc: Exception) -> tuple:
+            # Lineage recovery, cone-local: replay only the jobs that
+            # were submitted *before* this one (the live lineage already
+            # holds in-flight successors) and charge the per-job sink.
+            return runtime._recover_map_call(
+                i,
+                self.ship_job,
+                self.rng_blobs[i],
+                self.spill_spec,
+                self.transport_shared,
+                self.fault_stats,
+                upto=self.lineage_index,
+                sink=self._sink,
+            )
+
+        return self.backend.run_one(
+            _execute_map_task,
+            callargs,
+            index=i,
+            retry=runtime.retry_policy,
+            faults=self.fault_stats,
+            retry_args=_retry,
+        )
+
+    def _map_twin(self, i: int) -> _MapTaskResult:
+        # Speculative duplicate: same inputs via the pre-dispatch RNG
+        # snapshot, zero retries and no lineage hook — a twin must never
+        # trigger recovery (it would reinstall pre-job state under the
+        # primary's feet).  First completion wins; the scheduler runs
+        # the winner's commit exactly once.
+        callargs = list(self._map_args(i))
+        callargs[4] = pickle.loads(self.rng_blobs[i])
+        return self.backend.run_one(
+            _execute_map_task,
+            tuple(callargs),
+            index=i,
+            retry=replace(self.runtime.retry_policy, max_task_retries=0),
+        )
+
+    def _map_commit(self, i: int, result: _MapTaskResult) -> None:
+        with self.runtime._recover_lock:  # segment churn vs forks
+            if result.state_update is not None:
+                self.runtime._state.apply(result.state_update, sink=self._sink)
+            else:
+                self.runtime._state.install(i, result.state)
+        self._map_results[i] = result
+
+    def _ingest(self, i: int) -> None:
+        result = self._map_results[i]
+        if result.manifest is not None:
+            self.store.add_manifest(result.manifest)
+        else:
+            self.store.add_split(i, result.emissions)
+        result.emissions = []  # drop driver references promptly
+
+    def _run_reduce(self) -> None:
+        runtime = self.runtime
+        job = self.job
+        store = self.store
+        backend = self.backend
+        sched = runtime._scheduler
+        self._shuffle_records = store.stats.records
+        self._shuffle_bytes = store.stats.nbytes
+        window: list[tuple[Hashable, list[Any], int]] = []
+        window_bytes = 0
+        window_cap = store.reduce_window_bytes
+        reduced: dict[Hashable, tuple[list[KeyValue], float]] = {}
+
+        def _flush_window() -> None:
+            nonlocal window_bytes
+            if not window:
+                return
+            results = backend.run_calls(
+                _execute_reduce_task,
+                [
+                    (job.reducer_factory, job.name, key, values)
+                    for key, values, _ in window
+                ],
+                parallelism=runtime.workers,
+                retry=runtime.retry_policy,
+                faults=self.fault_stats,
+            )
+            fresh = {}
+            for (key, _values, _nb), result in zip(window, results):
+                reduced[key] = result
+                fresh[key] = result[0]
+            window.clear()
+            store.discharge(window_bytes)
+            window_bytes = 0
+            # Incremental resolution: these keys are final the moment
+            # their window flushes — wake any wait_key() caller.
+            with self._lock:
+                self.key_results.update(fresh)
+            with sched.condition:
+                sched.condition.notify_all()
+
+        for key, values, group_nbytes in store.groups():
+            window.append((key, values, group_nbytes))
+            window_bytes += group_nbytes
+            if window_cap is not None and window_bytes >= window_cap:
+                _flush_window()
+        _flush_window()
+
+        output: dict[Hashable, list[Any]] = {}
+        reduce_flops = store.stats.combine_flops
+        reduce_emitted = 0
+        for key in _sorted_reduce_keys(reduced):  # deterministic order
+            results, work = reduced[key]
+            reduce_flops += work
+            for out_key, out_value in results:
+                output.setdefault(out_key, []).append(out_value)
+                reduce_emitted += 1
+        self._reduce_flops = reduce_flops
+        self._reduce_emitted = reduce_emitted
+        with self._lock:
+            self.output_dict = output
+        with sched.condition:
+            sched.condition.notify_all()
+
+    def _finalize(self) -> None:
+        runtime = self.runtime
+        job = self.job
+        store = self.store
+        counters = Counters()
+        for result in self._map_results:  # merged in split order
+            counters.merge(result.counters)
+        map_flops = [r.flops for r in self._map_results]
+        map_records = int(runtime._bounds[-1] - runtime._bounds[0])
+        map_emitted = sum(r.map_emitted for r in self._map_results)
+        combine_emitted = (
+            self._shuffle_records if job.combiner_factory is not None else 0
+        )
+        per_task_broadcast = 0 if runtime.shared_broadcast else self.broadcast_bytes
+        bytes_per_split = [
+            float(
+                runtime.source.block_nbytes(
+                    runtime._bounds[i], runtime._bounds[i + 1]
+                )
+                + per_task_broadcast
+            )
+            for i in range(runtime.n_splits)
+        ]
+        state_shipped, state_resident = self._sink.drain()
+        stats = JobStats(
+            name=job.name,
+            n_splits=runtime.n_splits,
+            map_records=map_records,
+            map_emitted=map_emitted,
+            combine_emitted=combine_emitted,
+            shuffle_records=self._shuffle_records,
+            shuffle_bytes=self._shuffle_bytes,
+            reduce_emitted=self._reduce_emitted,
+            map_flops_per_split=map_flops,
+            reduce_flops=self._reduce_flops,
+            broadcast_bytes=self.broadcast_bytes,
+            broadcast_mode="shared" if runtime.shared_broadcast else "task",
+            broadcast_bytes_published=(
+                self.broadcast_bytes if runtime.shared_broadcast else 0
+            ),
+            broadcast_bytes_per_task=(
+                0
+                if runtime.shared_broadcast
+                else self.broadcast_bytes * runtime.n_splits
+            ),
+            state_bytes_shipped=state_shipped,
+            state_bytes_resident=state_resident,
+            plane_steals=0,  # async maps route through the shared pool
+            faults=self.fault_stats.as_dict(),
+            spill_bytes=store.stats.spill_bytes,
+            spill_files=store.stats.spill_files,
+            shuffle_peak_bytes=store.stats.peak_bytes,
+        )
+        stats.time = runtime.cluster.job_time(
+            map_flops_per_split=map_flops,
+            map_bytes_per_split=bytes_per_split,
+            shuffle_bytes=self._shuffle_bytes,
+            reduce_flops=self._reduce_flops,
+            spill_bytes=float(stats.spill_bytes),
+            broadcast_bytes=(
+                float(self.broadcast_bytes) if runtime.shared_broadcast else 0.0
+            ),
+        )
+        if stats.spill_files:
+            runtime.shuffle_counters.increment("shuffle", "spilled_jobs", 1)
+            runtime.shuffle_counters.increment(
+                "shuffle", "spill_files", stats.spill_files
+            )
+            runtime.shuffle_counters.increment(
+                "shuffle", "spill_bytes", stats.spill_bytes
+            )
+        runtime.shuffle_counters.record_max(
+            "shuffle", "peak_bytes", stats.shuffle_peak_bytes
+        )
+        # The F-chain serializes these appends in submission order, so
+        # the fold-left clock accumulation is bit-identical to sync.
+        runtime.simulated_seconds += stats.time.total
+        runtime.job_log.append(stats)
+        # Release the broadcast and close the store *before* the future
+        # resolves: broadcasts stay job-scoped, exactly like sync.
+        self._cleanup()
+        self.job_result = JobResult(
+            output=self.output_dict, counters=counters, stats=stats
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _node_settled(self, node) -> None:
+        cleanup = False
+        with self._lock:
+            if node.error is not None and self.error is None:
+                self.error = node.error
+            self._settled += 1
+            if (
+                self._settled >= self._n_nodes
+                and self.error is not None
+                and not self._cleaned
+            ):
+                cleanup = True
+        if cleanup:
+            self._cleanup()
+            # Void this job's lineage entry: it never completed, and its
+            # cancelled cone means no successor can ever replay it.
+            self.runtime._lineage[self.lineage_index] = None
+
+    def _all_settled(self) -> bool:
+        return self._settled >= self._n_nodes
+
+    def _cleanup(self) -> None:
+        """Free the broadcast segment and the spill store. Idempotent."""
+        with self._lock:
+            if self._cleaned:
+                return
+            self._cleaned = True
+        try:
+            if self.published is not None:
+                with self.runtime._recover_lock:
+                    self.published.release()
+        finally:
+            self.store.close()
+
+    def _nodes(self):
+        yield self.publish_node
+        yield from self.map_nodes
+        yield from self.ingest_nodes
+        yield self.reduce_node
+        yield self.finish_node
+
+    # -- waits (the calling thread pumps the frontier) -----------------
+
+    def _pump(self, predicate) -> None:
+        try:
+            self.runtime._scheduler.pump_until(predicate)
+        except BaseException as exc:
+            # KeyboardInterrupt raised inside a node this thread pumped
+            # inline: it bypasses the failure-cone bookkeeping's waits,
+            # so release every in-flight job's resources before it
+            # reaches the caller — sync ``run_job``'s ``finally``.
+            self.runtime._abort_inflight(exc)
+            raise
+
+    def wait_result(self) -> JobResult:
+        self._pump(lambda: self.job_result is not None or self.error is not None)
+        if self.error is not None:
+            self._settle_all_and_raise()
+        return self.job_result
+
+    def wait_output(self) -> dict[Hashable, list[Any]]:
+        self._pump(lambda: self.output_dict is not None or self.error is not None)
+        if self.error is not None:
+            self._settle_all_and_raise()
+        return self.output_dict
+
+    def wait_key(self, key: Hashable) -> list[Any]:
+        def ready() -> bool:
+            return (
+                self.error is not None
+                or self.output_dict is not None
+                or key in self.key_results
+            )
+
+        self._pump(ready)
+        if self.error is not None:
+            self._settle_all_and_raise()
+        with self._lock:
+            if self.output_dict is not None:
+                return list(self.output_dict.get(key) or ())
+            emissions = self.key_results[key]
+        return [value for out_key, value in emissions if out_key == key]
+
+    def _settle_all_and_raise(self) -> None:
+        # Sync semantics on failure: by the time the caller sees the
+        # exception, cancellations have cascaded and every in-flight
+        # job's spill/broadcast resources are released.
+        runtime = self.runtime
+        sched = runtime._scheduler
+        for graph in list(runtime._graphs):
+            sched.pump_until(graph._all_settled)
+        # Sync also fixes *which* error: the lowest task index's, not
+        # whichever concurrent failure happened to settle first.  Every
+        # node has settled now, so re-derive deterministically (nodes
+        # are submitted in split order — min seq == min split).
+        failed = [node for node in self._nodes() if node.state == FAILED]
+        if failed:
+            self.error = min(failed, key=lambda node: node.seq).error
+        raise self.error
+
+
+class JobFuture:
+    """Handle to an in-flight async job (:meth:`LocalMapReduceRuntime.submit_job`).
+
+    ``result()`` is the sync contract: the full :class:`JobResult`,
+    available once the job finalizes.  ``output()`` resolves earlier —
+    at the end of the reduce phase, before finalize and teardown.
+    ``key()`` / ``single()`` resolve earlier still: the moment the
+    reduce window containing that key flushes — which is what lets the
+    k-means|| driver start round T+1's sampling while round T's job is
+    still winding down.  Every wait *pumps* ready dataflow nodes on the
+    calling thread, so waiting always makes progress (``workers=1``
+    degenerates to inline, effectively synchronous execution).
+    """
+
+    def __init__(self, graph: _AsyncJob):
+        self._graph = graph
+
+    @property
+    def job(self) -> MapReduceJob:
+        return self._graph.job
+
+    def done(self) -> bool:
+        return self._graph.job_result is not None or self._graph.error is not None
+
+    def result(self) -> JobResult:
+        return self._graph.wait_result()
+
+    def output(self) -> dict[Hashable, list[Any]]:
+        """The reduced output dict (resolves before finalize)."""
+        return self._graph.wait_output()
+
+    def key(self, key: Hashable) -> list[Any]:
+        """Values of one output key, as soon as its reduce window ran."""
+        return self._graph.wait_key(key)
+
+    def single(self, key: Hashable) -> Any:
+        """The unique value of ``key`` (raises if absent or non-unique)."""
+        values = self.key(key)
+        if not values:
+            raise MapReduceError(f"job produced no output for key {key!r}")
+        if len(values) != 1:
+            raise MapReduceError(
+                f"expected exactly one value for key {key!r}, got {len(values)}"
+            )
+        return values[0]
 
 
 def _group(emissions) -> dict[Hashable, list[Any]]:

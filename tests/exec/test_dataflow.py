@@ -1,0 +1,259 @@
+"""Unit tests for the async dataflow scheduler (:mod:`repro.exec.dataflow`).
+
+Covers the knob resolver, the DAG frontier (FIFO order, diamond joins,
+already-settled deps), cone-local failure semantics (a failed node
+cancels exactly its dependency cone and nothing else), exactly-once
+commits under speculative duplication, and driver pumping with zero
+lane threads (the workers=1 degenerate case).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.exec import WorkerBudget
+from repro.exec.dataflow import (
+    CANCELLED,
+    DONE,
+    ENV_MR_ASYNC,
+    FAILED,
+    DataflowScheduler,
+    resolve_async_scheduler,
+    set_default_async_scheduler,
+)
+from repro.exec.faults import FaultStats, RetryPolicy
+
+
+@pytest.fixture(autouse=True)
+def _no_default():
+    previous = set_default_async_scheduler(None)
+    yield
+    set_default_async_scheduler(previous)
+
+
+@pytest.fixture
+def sched():
+    """A pump-only scheduler: zero lanes, deterministic inline execution."""
+    scheduler = DataflowScheduler(WorkerBudget(1), 0, name="test")
+    yield scheduler
+    scheduler.shutdown()
+
+
+class TestResolver:
+    def test_defaults_off(self, monkeypatch):
+        monkeypatch.delenv(ENV_MR_ASYNC, raising=False)
+        assert resolve_async_scheduler() is False
+
+    def test_argument_wins_over_everything(self, monkeypatch):
+        monkeypatch.setenv(ENV_MR_ASYNC, "0")
+        set_default_async_scheduler(False)
+        assert resolve_async_scheduler(True) is True
+
+    def test_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_MR_ASYNC, "0")
+        set_default_async_scheduler(True)
+        assert resolve_async_scheduler() is True
+        set_default_async_scheduler(None)
+        assert resolve_async_scheduler() is False
+
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("1", True), ("true", True), (" YES ", True), ("on", True),
+         ("0", False), ("false", False), ("off", False), ("", False)],
+    )
+    def test_env_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(ENV_MR_ASYNC, raw)
+        assert resolve_async_scheduler() is expected
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(ENV_MR_ASYNC, "sideways")
+        with pytest.raises(ValidationError):
+            resolve_async_scheduler()
+
+    def test_set_default_returns_previous(self):
+        assert set_default_async_scheduler(True) is None
+        assert set_default_async_scheduler(None) is True
+
+
+class TestFrontier:
+    def test_diamond_runs_in_fifo_frontier_order(self, sched):
+        order: list[str] = []
+        a = sched.submit(lambda: order.append("a") or 1, label="a")
+        b = sched.submit(lambda: order.append("b") or 2, [a], label="b")
+        c = sched.submit(lambda: order.append("c") or 3, [a], label="c")
+        d = sched.submit(
+            lambda: order.append("d") or (b.result + c.result), [b, c], label="d"
+        )
+        assert sched.pump_until(lambda: d.settled, timeout=30)
+        assert d.state == DONE
+        assert d.result == 5
+        assert order == ["a", "b", "c", "d"]
+
+    def test_already_done_dep_is_skipped(self, sched):
+        a = sched.submit(lambda: 1)
+        assert sched.pump_until(lambda: a.settled, timeout=30)
+        b = sched.submit(lambda: a.result + 1, [a])
+        assert sched.pump_until(lambda: b.settled, timeout=30)
+        assert b.result == 2
+
+    def test_pump_until_timeout_returns_false(self, sched):
+        a = sched.submit(lambda: 1)
+        sched.pump_until(lambda: a.settled, timeout=30)
+        assert sched.pump_until(lambda: False, timeout=0.05) is False
+
+    def test_commit_runs_before_dependents_see_done(self, sched):
+        commits: list[int] = []
+        a = sched.submit(lambda: 7, commit=commits.append)
+        b = sched.submit(lambda: list(commits), [a])
+        assert sched.pump_until(lambda: b.settled, timeout=30)
+        assert commits == [7]
+        assert b.result == [7]
+
+    def test_on_settle_fires_for_every_terminal_state(self, sched):
+        seen: list[str] = []
+
+        def hook(node):
+            seen.append(node.state)
+
+        a = sched.submit(lambda: 1, on_settle=hook)
+        b = sched.submit(_boom, [a], on_settle=hook)
+        c = sched.submit(lambda: 3, [b], on_settle=hook)
+        assert sched.pump_until(
+            lambda: all(n.settled for n in (a, b, c)), timeout=30
+        )
+        assert sorted(seen) == [CANCELLED, DONE, FAILED]
+
+
+def _boom():
+    raise RuntimeError("boom")
+
+
+class TestFaultCones:
+    def test_failure_cancels_its_cone_only(self, sched):
+        a = sched.submit(_boom, label="a")
+        b = sched.submit(lambda: 2, [a], label="b")
+        c = sched.submit(lambda: 3, label="c")
+        d = sched.submit(lambda: 4, [b], label="d")
+        assert sched.pump_until(
+            lambda: all(n.settled for n in (a, b, c, d)), timeout=30
+        )
+        assert a.state == FAILED
+        assert isinstance(a.error, RuntimeError)
+        assert b.state == CANCELLED and b.error is a.error
+        assert d.state == CANCELLED and d.error is a.error
+        # The independent node is untouched by the cascade.
+        assert c.state == DONE and c.result == 3
+
+    def test_submit_on_settled_failure_cancels_immediately(self, sched):
+        a = sched.submit(_boom)
+        sched.pump_until(lambda: a.settled, timeout=30)
+        late = sched.submit(lambda: 5, [a])
+        assert late.state == CANCELLED
+        assert late.error is a.error
+
+    def test_commit_failure_fails_the_node_and_its_cone(self, sched):
+        def bad_commit(result):
+            raise ValueError("commit rejected")
+
+        a = sched.submit(lambda: 1, commit=bad_commit)
+        b = sched.submit(lambda: 2, [a])
+        assert sched.pump_until(lambda: a.settled and b.settled, timeout=30)
+        assert a.state == FAILED
+        assert isinstance(a.error, ValueError)
+        assert b.state == CANCELLED
+
+    def test_after_edge_orders_without_propagating_failure(self, sched):
+        a = sched.submit(_boom, label="a")
+        b = sched.submit(lambda: 2, label="b", after=[a])
+        assert sched.pump_until(lambda: b.settled, timeout=30)
+        assert a.state == FAILED
+        assert b.state == DONE and b.result == 2
+
+    def test_after_edge_waits_for_settlement(self, sched):
+        order: list[str] = []
+        a = sched.submit(lambda: order.append("a"), label="a")
+        b = sched.submit(lambda: order.append("b"), label="b", after=[a])
+        assert sched.pump_until(lambda: b.settled, timeout=30)
+        assert order == ["a", "b"]
+
+    def test_after_on_already_settled_node_runs_immediately(self, sched):
+        a = sched.submit(_boom)
+        sched.pump_until(lambda: a.settled, timeout=30)
+        b = sched.submit(lambda: 5, after=[a])
+        assert sched.pump_until(lambda: b.settled, timeout=30)
+        assert b.state == DONE and b.result == 5
+
+    def test_cancelled_node_releases_its_after_dependents(self, sched):
+        a = sched.submit(_boom, label="a")
+        b = sched.submit(lambda: 2, [a], label="b")  # cancelled by a
+        c = sched.submit(lambda: 3, label="c", after=[b])
+        assert sched.pump_until(lambda: c.settled, timeout=30)
+        assert b.state == CANCELLED
+        assert c.state == DONE and c.result == 3
+
+
+class TestLanes:
+    def test_lanes_and_pump_make_progress_together(self):
+        sched = DataflowScheduler(WorkerBudget(3), 2, name="test-lanes")
+        try:
+            gate = threading.Event()
+            # a blocks until b runs: only concurrent execution resolves it.
+            a = sched.submit(lambda: gate.wait(30), label="a")
+            b = sched.submit(lambda: gate.set() or "b", label="b")
+            assert sched.pump_until(lambda: a.settled and b.settled, timeout=30)
+            assert a.state == DONE and a.result is True
+            assert b.state == DONE and b.result == "b"
+        finally:
+            sched.shutdown()
+
+    def test_speculative_twin_commits_exactly_once(self):
+        policy = RetryPolicy(
+            speculation=True,
+            speculation_quantile=0.5,
+            speculation_multiplier=1.0,
+        )
+        stats = FaultStats()
+        sched = DataflowScheduler(WorkerBudget(3), 2, name="test-spec")
+        commits: list[str] = []
+        release = threading.Event()
+
+        def quick():
+            return "quick"
+
+        def slow_primary():
+            release.wait(30)  # a straggler until the twin wins
+            return "primary"
+
+        def twin():
+            return "twin"
+
+        try:
+            group = {"policy": policy, "stats": stats, "group": "g"}
+            a = sched.submit(quick, label="quick", speculate=dict(group))
+            sched.pump_until(lambda: a.settled, timeout=30)
+            b = sched.submit(
+                slow_primary,
+                label="slow",
+                commit=commits.append,
+                speculate={**group, "fn": twin},
+            )
+            # Poll instead of pump: pumping would make *this* thread run
+            # the straggler inline.  One lane blocks in the primary, the
+            # other must launch the twin, which wins.
+            deadline = time.monotonic() + 30
+            while not b.settled and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert b.settled
+            release.set()  # unblock the losing primary attempt
+            assert b.state == DONE
+            assert b.result == "twin"
+            assert commits == ["twin"]  # exactly one commit, the winner's
+            assert stats.as_dict()["speculative_launched"] == 1
+            assert stats.as_dict()["speculative_won"] == 1
+        finally:
+            release.set()
+            sched.shutdown()

@@ -168,6 +168,33 @@ class TestFaultStats:
         with pytest.raises(ValidationError):
             FaultStats().bump("optimism")
 
+    def test_ping_keeps_latest_heartbeat_per_slot(self):
+        stats = FaultStats()
+        stats.ping(0, when=10.0)
+        stats.ping(0, when=12.5)
+        stats.ping(0, when=11.0)  # stale stamp never rewinds the clock
+        stats.ping(2, when=1.0)
+        assert stats.slot_last_ping == {0: 12.5, 2: 1.0}
+        # Heartbeats are liveness telemetry, not job counters: they stay
+        # out of the integer-valued as_dict() snapshot.
+        assert "slot_last_ping" not in stats.as_dict()
+
+    def test_ping_defaults_to_monotonic_now(self):
+        stats = FaultStats()
+        before = time.monotonic()
+        stats.ping(1)
+        after = time.monotonic()
+        assert before <= stats.slot_last_ping[1] <= after
+
+    def test_merge_takes_freshest_heartbeat(self):
+        a, b = FaultStats(), FaultStats()
+        a.ping(0, when=5.0)
+        a.ping(1, when=9.0)
+        b.ping(0, when=7.0)
+        b.ping(2, when=3.0)
+        a.merge(b)
+        assert a.slot_last_ping == {0: 7.0, 1: 9.0, 2: 3.0}
+
 
 class TestChaosInjector:
     def test_deterministic_and_first_attempt_only(self):
@@ -420,3 +447,27 @@ class TestProcessBackendFaults:
         assert snapshot["speculative_launched"] >= 1
         assert snapshot["speculative_won"] >= 1
         assert snapshot["crashes"] == 0
+
+    def test_pinned_slots_record_heartbeats(self):
+        """Satellite: pinned dispatch stamps slot_last_ping per slot —
+        once at submission, once at result return — so driver telemetry
+        can tell a live-but-slow slot from a hung one."""
+        backend = ProcessBackend(budget=WorkerBudget(3))
+        stats = FaultStats()
+        start = time.monotonic()
+        try:
+            out = backend.run_calls(
+                _square,
+                [(i,) for i in range(6)],
+                parallelism=3,
+                affinity=AffinitySpec(list(range(6)), n_slots=3),
+                faults=stats,
+            )
+        finally:
+            backend.shutdown()
+        assert out == [i * i for i in range(6)]
+        end = time.monotonic()
+        assert stats.slot_last_ping  # at least one slot heartbeat recorded
+        assert set(stats.slot_last_ping) <= {0, 1, 2}
+        for stamp in stats.slot_last_ping.values():
+            assert start <= stamp <= end

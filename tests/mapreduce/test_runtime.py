@@ -265,6 +265,10 @@ class TestParallelExecution:
                                    backend="thread") as rt:
             rt.run_job(make_job())
             owned = rt.backend
+            # Async maps run inline on scheduler lanes, so the job alone
+            # may never build the pool; force it so exit has a pool to
+            # release in either scheduler mode.
+            owned.run_calls(int, [("1",), ("2",)], parallelism=2)
             assert owned._pool is not None
         assert owned._pool is None
         rt.shutdown()  # idempotent
@@ -278,6 +282,7 @@ class TestParallelExecution:
             with LocalMapReduceRuntime(X, n_splits=2, workers=2,
                                        backend=shared) as rt:
                 rt.run_job(make_job())
+                shared.run_calls(int, [("1",), ("2",)], parallelism=2)
             assert shared._pool is not None  # caller's instance untouched
         finally:
             shared.shutdown()

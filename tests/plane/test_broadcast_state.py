@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 import pickle
 
 import numpy as np
@@ -24,6 +25,11 @@ from repro.plane.state import (
 
 @pytest.fixture(autouse=True)
 def _clean_registry():
+    # Earlier tests may abandon runtimes to the garbage collector; the
+    # async scheduler's job graphs are reference cycles, so their
+    # segments free at cycle collection rather than by refcount.
+    # Collect first so the registry reflects live owners only.
+    gc.collect()
     yield
     release_all_segments()
 

@@ -218,6 +218,32 @@ class TestProcessChaosIdentity:
         _assert_identical(report, reference)
         assert report.faults["retries"] >= 1
 
+    def test_reduce_kill_mid_window_spilling_bit_identical(self, dataset, reference):
+        """Satellite regression: spill-run lifetime vs reduce retries.
+
+        A reduce task's worker is killed mid-window on the *spilling*
+        store (budget=1: every window streams from the external merge).
+        The retry must find the job's spill runs still on disk — they
+        are job-scoped, closed only at store close — and reproduce the
+        serial fault-free output bit-exactly, leaking no spill files.
+        """
+        set_fault_injector(KillRegion("_execute_reduce_task", point="before"))
+        backend = ProcessBackend(budget=WorkerBudget(3))
+        try:
+            report = _pipeline(
+                dataset,
+                backend=backend,
+                shuffle_budget=1,  # force every job's shuffle to spill
+                shared_broadcast=True,
+                retry_policy=RetryPolicy(max_task_retries=2, backoff_s=0.0),
+            )
+        finally:
+            backend.shutdown()
+            set_fault_injector(None)
+        _assert_identical(report, reference)
+        assert report.faults["retries"] >= 1
+        assert report.faults["crashes"] >= 1
+
     def test_crashed_run_leaks_nothing(self, dataset):
         """Satellite regression: a run whose retries exhaust mid-map must
         still free its shm broadcast segment and spill temp files."""
