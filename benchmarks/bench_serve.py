@@ -1,0 +1,334 @@
+#!/usr/bin/env python
+"""Serving-path benchmark: micro-batch throughput, latency, pruning savings.
+
+Drives the low-latency serving stack end to end — train a model, publish
+it through the :class:`~repro.serve.registry.ModelRegistry`, then hammer
+the :class:`~repro.serve.service.AssignmentService` with a closed-loop
+client fleet — and records:
+
+* **throughput** — queries/s of the coalescing service under concurrency
+  vs the one-request-at-a-time baseline (same service, sequential
+  caller), plus the coalescing telemetry (batches, mean batch points);
+* **latency vs micro-batch size** — p50/p99 per-request wall time as
+  ``max_batch`` sweeps from "no coalescing" to "whole cohort";
+* **pruning** — distance evaluations and wall clock of the bounds-pruned
+  assignment vs the naive full-distance path over the same points;
+* **refresh** — streaming mini-batch refresh throughput and the version
+  churn it produces.
+
+Every label anywhere in the run is checked **bit-identical** to the
+naive ``assign_labels`` answer against the exact model version that
+served it; the bench exits non-zero on any divergence.  Results land in
+``benchmarks/results/BENCH_serve.json``::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import threading
+import time
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_OUT = HERE / "results" / "BENCH_serve.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=50_000, help="rows (default 50k)")
+    parser.add_argument("--d", type=int, default=16, help="dimensions")
+    parser.add_argument("--k", type=int, default=128, help="clusters")
+    parser.add_argument("--R", type=float, default=16.0,
+                        help="mixture separation (pruning scales with it)")
+    parser.add_argument("--queries", type=int, default=1500,
+                        help="requests per throughput measurement")
+    parser.add_argument("--query-points", type=int, default=16,
+                        help="points per request")
+    parser.add_argument("--threads", type=int, default=16,
+                        help="concurrent client threads")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="timing repetitions; best-of is reported")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: n=10k, k=32, 300 queries, 8 threads, 1 repetition",
+    )
+    return parser
+
+
+def run_clients(service, queries, n_threads):
+    """Issue ``queries`` from ``n_threads`` closed-loop clients.
+
+    Returns (wall_s, per-request latencies, responses in request order).
+    """
+    n = len(queries)
+    responses = [None] * n
+    latencies = [0.0] * n
+    cursor = iter(range(n))
+    lock = threading.Lock()
+
+    def client() -> None:
+        while True:
+            with lock:
+                i = next(cursor, None)
+            if i is None:
+                return
+            t0 = time.perf_counter()
+            responses[i] = service.assign(queries[i])
+            latencies[i] = time.perf_counter() - t0
+
+    threads = [threading.Thread(target=client) for _ in range(n_threads)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0, latencies, responses
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.n, args.k, args.queries = 10_000, 32, 300
+        args.threads, args.repeat = 8, 1
+
+    import numpy as np
+
+    from repro.core import KMeans
+    from repro.data.gauss_mixture import make_gauss_mixture
+    from repro.linalg.distances import _as_working, assign_labels
+    from repro.plane.shm import active_owned_segments
+    from repro.serve import (
+        AssignmentService,
+        ModelRegistry,
+        StreamingRefresher,
+        assign_serve,
+        offline_fold,
+    )
+
+    def naive_labels(points, centers):
+        return assign_labels(*_as_working(points, np.asarray(centers)))
+
+    print(f"generating GaussMixture n={args.n} d={args.d} k={args.k} ...",
+          flush=True)
+    X = make_gauss_mixture(
+        n=args.n, d=args.d, k=args.k, R=args.R, seed=args.seed
+    ).X
+    model_fit = KMeans(
+        n_clusters=args.k, init="k-means||", max_iter=10, seed=args.seed
+    ).fit(X)
+    centers = model_fit.cluster_centers_
+
+    rng = np.random.default_rng(args.seed + 1)
+    P = args.query_points
+    queries = [
+        X[rng.integers(0, X.shape[0], size=P)] for _ in range(args.queries)
+    ]
+    # max_batch sized to half the in-flight cohort: the leader returns as
+    # soon as the fleet's outstanding requests have queued instead of
+    # lingering the full max_wait for stragglers that cannot exist.
+    cohort = args.threads * P
+    identity_failures = 0
+    payload: dict = {
+        "meta": {
+            "n": args.n, "d": args.d, "k": args.k,
+            "queries": args.queries, "query_points": P,
+            "threads": args.threads, "repeat": args.repeat,
+            "numpy": np.__version__, "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+
+    with ModelRegistry(shared=True, keep_versions=2) as registry:
+        registry.publish(centers)
+        served_centers = np.asarray(registry.current().centers)
+
+        def check_responses(responses) -> int:
+            bad = 0
+            for query, response in zip(queries, responses):
+                expected = naive_labels(query, served_centers)
+                if not np.array_equal(response.labels, expected):
+                    bad += 1
+            return bad
+
+        # ---- one-request-at-a-time baseline --------------------------
+        serial_wall = float("inf")
+        for _ in range(args.repeat):
+            service = AssignmentService(registry, max_wait_us=0.0)
+            for query in queries[:50]:  # warm caches / index
+                service.assign(query)
+            t0 = time.perf_counter()
+            for query in queries:
+                service.assign(query)
+            serial_wall = min(serial_wall, time.perf_counter() - t0)
+            service.close()
+        serial_qps = args.queries / serial_wall
+        print(f"  serial   {serial_wall:.3f}s  {serial_qps:,.0f} req/s",
+              flush=True)
+
+        # ---- micro-batched under concurrency -------------------------
+        batched_wall, batched_stats = float("inf"), None
+        for _ in range(args.repeat):
+            service = AssignmentService(
+                registry, max_batch=max(1, cohort // 2), max_wait_us=500.0
+            )
+            wall, _lat, responses = run_clients(
+                service, queries, args.threads
+            )
+            identity_failures += check_responses(responses)
+            if wall < batched_wall:
+                batched_wall, batched_stats = wall, service.stats()
+            service.close()
+        speedup = serial_wall / batched_wall
+        print(f"  batched  {batched_wall:.3f}s  "
+              f"{args.queries / batched_wall:,.0f} req/s  "
+              f"speedup={speedup:.2f}x  "
+              f"mean_batch={batched_stats.mean_batch_points:.0f}pt",
+              flush=True)
+        payload["throughput"] = {
+            "serial": {
+                "wall_s": serial_wall,
+                "qps": serial_qps,
+                "points_per_s": serial_qps * P,
+            },
+            "batched": {
+                "wall_s": batched_wall,
+                "qps": args.queries / batched_wall,
+                "points_per_s": args.queries / batched_wall * P,
+                "speedup": speedup,
+                "n_batches": batched_stats.n_batches,
+                "mean_batch_points": batched_stats.mean_batch_points,
+                "max_batch_points": batched_stats.max_batch_points,
+                "fast_path": batched_stats.n_fast_path,
+            },
+        }
+
+        # ---- latency percentiles vs micro-batch size -----------------
+        sweep = {}
+        for max_batch in (P, max(P, cohort // 4), max(P, cohort // 2), cohort):
+            label = f"max_batch={max_batch}"
+            if label in sweep:
+                continue
+            service = AssignmentService(
+                registry, max_batch=max_batch, max_wait_us=500.0
+            )
+            wall, latencies, responses = run_clients(
+                service, queries, args.threads
+            )
+            identity_failures += check_responses(responses)
+            stats = service.stats()
+            service.close()
+            ms = np.sort(np.asarray(latencies)) * 1e3
+            sweep[label] = {
+                "qps": args.queries / wall,
+                "p50_ms": float(ms[int(0.50 * len(ms))]),
+                "p99_ms": float(ms[min(len(ms) - 1, int(0.99 * len(ms)))]),
+                "mean_batch_points": stats.mean_batch_points,
+                "n_batches": stats.n_batches,
+            }
+            print(f"  {label:<16} qps={sweep[label]['qps']:>8,.0f}  "
+                  f"p50={sweep[label]['p50_ms']:.2f}ms  "
+                  f"p99={sweep[label]['p99_ms']:.2f}ms", flush=True)
+        payload["latency_vs_max_batch"] = sweep
+
+        # ---- pruned vs naive distance evaluations --------------------
+        served = registry.current()
+        pruning = {}
+        for label, prune in (("pruned", True), ("unpruned", False)):
+            best = float("inf")
+            result = None
+            for _ in range(args.repeat):
+                t0 = time.perf_counter()
+                result = assign_serve(X, served, prune=prune)
+                best = min(best, time.perf_counter() - t0)
+            pruning[label] = {
+                "wall_s": best,
+                "n_dist_evals": result.n_dist_evals,
+                "prune_fraction": result.prune_fraction,
+                "labels_hash": int(
+                    np.int64(result.labels.sum())
+                ),  # cheap cross-run anchor
+            }
+        if not np.array_equal(
+            assign_serve(X, served, prune=True).labels,
+            assign_serve(X, served, prune=False).labels,
+        ):
+            identity_failures += 1
+        eval_reduction = 1.0 - (
+            pruning["pruned"]["n_dist_evals"]
+            / pruning["unpruned"]["n_dist_evals"]
+        )
+        payload["pruning"] = {
+            **pruning,
+            "eval_reduction": eval_reduction,
+            "speedup": pruning["unpruned"]["wall_s"] / pruning["pruned"]["wall_s"],
+        }
+        print(f"  pruning  evals {pruning['pruned']['n_dist_evals']:,} vs "
+              f"{pruning['unpruned']['n_dist_evals']:,} naive "
+              f"(-{eval_reduction:.1%}), "
+              f"{payload['pruning']['speedup']:.2f}x wall", flush=True)
+
+        # ---- streaming refresh ---------------------------------------
+        n_fold = max(4, args.queries // 100)
+        fold_batches = [
+            X[rng.integers(0, X.shape[0], size=2048)] for _ in range(n_fold)
+        ]
+        refresher = StreamingRefresher(registry, publish_every=2)
+        base_version = registry.current().version
+        start_centers = np.asarray(registry.current().centers)
+        published = []
+        t0 = time.perf_counter()
+        for batch in fold_batches:
+            out = refresher.observe(batch)
+            if out is not None:
+                published.append(np.asarray(out.centers))
+        out = refresher.flush()
+        if out is not None:
+            published.append(np.asarray(out.centers))
+        refresh_wall = time.perf_counter() - t0
+        reference = offline_fold(start_centers, fold_batches, publish_every=2)
+        refresh_identical = len(published) == len(reference) and all(
+            np.array_equal(a, b) for a, b in zip(published, reference)
+        )
+        if not refresh_identical:
+            identity_failures += 1
+        payload["refresh"] = {
+            "wall_s": refresh_wall,
+            "points_per_s": sum(b.shape[0] for b in fold_batches) / refresh_wall,
+            "versions_published": len(published),
+            "final_version": registry.current().version,
+            "identical_to_offline_fold": refresh_identical,
+        }
+        print(f"  refresh  {len(published)} versions "
+              f"(v{base_version} -> v{registry.current().version}) in "
+              f"{refresh_wall:.3f}s, offline-fold identical="
+              f"{refresh_identical}", flush=True)
+
+    leaked = active_owned_segments()
+    payload["identity_ok"] = identity_failures == 0
+    payload["leaked_segments"] = len(leaked)
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.out}")
+    if identity_failures:
+        print(f"IDENTITY GATE FAILED: {identity_failures} divergent results",
+              file=sys.stderr)
+        return 1
+    if leaked:
+        print(f"SEGMENT LEAK: {leaked}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,8 @@ def condense(raw: dict, *, workers: int | None) -> dict:
 # none of these fall back to their shallow numeric fields.
 _HEADLINE_KEYS = (
     "speedup",
+    "qps",
+    "p99_ms",
     "mean_s",
     "wall_s",
     "overhead_vs_faultfree",

@@ -52,6 +52,13 @@ from repro.exec import (
     use_backend,
 )
 from repro.linalg.engine import Engine, get_engine, set_engine, use_engine
+from repro.serve import (
+    AssignmentService,
+    ModelRegistry,
+    ServedModel,
+    StreamingRefresher,
+    assign_serve,
+)
 
 __all__ = [
     "__version__",
@@ -76,6 +83,11 @@ __all__ = [
     "scalable_init",
     "kmeanspp_init",
     "random_init",
+    "ModelRegistry",
+    "ServedModel",
+    "AssignmentService",
+    "StreamingRefresher",
+    "assign_serve",
     "ReproError",
     "ValidationError",
     "NotFittedError",

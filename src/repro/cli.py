@@ -267,6 +267,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap on MapReduce Lloyd refinement rounds (default: 20)",
     )
     mr_p.add_argument("--seed", type=int, default=0, help="master seed")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve nearest-center queries from a trained model",
+        description=(
+            "Train (or load) a center set, publish it through the model "
+            "registry, and drive a concurrent query stream through the "
+            "micro-batching assignment service — reporting throughput, "
+            "coalescing behavior, pruning savings, and (with "
+            "--refresh-every) streaming model refresh. Labels are "
+            "bit-identical to the naive full-distance assignment; this "
+            "command re-checks that on every run."
+        ),
+    )
+    serve_p.add_argument(
+        "--splits-from",
+        default=None,
+        metavar="PATH",
+        help=(
+            "dataset to serve queries from (.npy/.npz); omitted = generate "
+            "a GaussMixture workload (--n/--d/-k/--R)"
+        ),
+    )
+    serve_p.add_argument("--n", type=int, default=20000, help="generated points (default: 20000)")
+    serve_p.add_argument("--d", type=int, default=16, help="generated dimensions (default: 16)")
+    serve_p.add_argument("-k", type=int, default=64, help="number of clusters (default: 64)")
+    serve_p.add_argument("--R", type=float, default=10.0, help="mixture spread (default: 10)")
+    serve_p.add_argument(
+        "--queries", type=int, default=256, metavar="Q",
+        help="total query requests to issue (default: 256)",
+    )
+    serve_p.add_argument(
+        "--query-points", type=int, default=64, metavar="P",
+        help="points per query request (default: 64)",
+    )
+    serve_p.add_argument(
+        "--threads", type=int, default=8, metavar="T",
+        help="concurrent client threads (default: 8)",
+    )
+    serve_p.add_argument(
+        "--max-batch", type=int, default=4096, metavar="P",
+        help="micro-batch coalescing target, in points (default: 4096)",
+    )
+    serve_p.add_argument(
+        "--max-wait-us", type=float, default=200.0, metavar="US",
+        help="leader linger for followers, microseconds (default: 200)",
+    )
+    serve_p.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable bounds pruning (labels are identical either way)",
+    )
+    serve_p.add_argument(
+        "--refresh-every", type=int, default=0, metavar="B",
+        help=(
+            "fold every served batch into a streaming refresher and publish "
+            "a new model version every B batches (default: 0 = off)"
+        ),
+    )
+    serve_p.add_argument(
+        "--keep-versions", type=int, default=2, metavar="V",
+        help="retired model versions retained by the registry (default: 2)",
+    )
+    serve_p.add_argument("--seed", type=int, default=0, help="master seed")
     return parser
 
 
@@ -342,7 +406,10 @@ def _configure_engine(parser: argparse.ArgumentParser, args: argparse.Namespace)
     try:
         if args.no_shared_broadcast:
             set_default_shared_broadcast(False)
-        elif args.command == "mr" and os.environ.get(ENV_SHARED_BROADCAST) is None:
+        elif (
+            args.command in ("mr", "serve")
+            and os.environ.get(ENV_SHARED_BROADCAST) is None
+        ):
             # The mr pipeline defaults the zero-copy plane ON; an explicit
             # environment setting (either way — the resolver reads the
             # empty string as off, so it counts too) still wins over this.
@@ -442,6 +509,132 @@ def _run_mr(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: model registry + micro-batched queries."""
+    import threading
+    import time
+
+    import numpy as np
+
+    from repro.core import KMeans
+    from repro.serve import (
+        AssignmentService,
+        ModelRegistry,
+        StreamingRefresher,
+        assign_serve,
+    )
+
+    if args.splits_from is not None:
+        if str(args.splits_from).endswith(".npy"):
+            X = np.load(args.splits_from)
+        else:
+            from repro.data.io import load_dataset
+
+            X = load_dataset(args.splits_from).X
+        if X.ndim != 2:
+            raise SystemExit(f"dataset must be 2-d, got shape {X.shape}")
+    else:
+        from repro.data.gauss_mixture import make_gauss_mixture
+
+        X = make_gauss_mixture(
+            seed=args.seed, n=args.n, d=args.d, k=args.k, R=args.R
+        ).X
+
+    t0 = time.perf_counter()
+    model = KMeans(
+        n_clusters=args.k, init="k-means||", max_iter=20, seed=args.seed
+    ).fit(X)
+    train_s = time.perf_counter() - t0
+    centers = model.cluster_centers_
+    print(f"trained k={args.k} on {X.shape[0]}x{X.shape[1]} in {train_s:.2f}s "
+          f"(cost {model.inertia_:.4g})")
+
+    rng = np.random.default_rng(args.seed + 1)
+    queries = [
+        X[rng.integers(0, X.shape[0], size=args.query_points)]
+        for _ in range(args.queries)
+    ]
+
+    with ModelRegistry(keep_versions=args.keep_versions) as registry:
+        registry.publish(centers)
+        refresher = (
+            StreamingRefresher(
+                registry,
+                publish_every=args.refresh_every,
+                prune=not args.no_prune,
+            )
+            if args.refresh_every > 0
+            else None
+        )
+        service = AssignmentService(
+            registry,
+            max_batch=args.max_batch,
+            max_wait_us=args.max_wait_us,
+            prune=not args.no_prune,
+        )
+        responses: list = [None] * len(queries)
+        cursor = iter(range(len(queries)))
+        lock = threading.Lock()
+
+        def client() -> None:
+            while True:
+                with lock:
+                    i = next(cursor, None)
+                if i is None:
+                    return
+                responses[i] = service.assign(queries[i])
+                if refresher is not None:
+                    refresher.observe(queries[i], labels=None)
+
+        t0 = time.perf_counter()
+        workers = [
+            threading.Thread(target=client)
+            for _ in range(max(1, args.threads))
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        wall = time.perf_counter() - t0
+        service.close()
+
+        stats = service.stats()
+        total_points = stats.n_points
+        naive_evals = total_points * args.k
+        print(f"served {stats.n_requests} requests / {total_points} points "
+              f"in {wall:.3f}s  ({total_points / wall:,.0f} points/s)")
+        print(f"    batches={stats.n_batches} "
+              f"mean_batch={stats.mean_batch_points:.1f}pt "
+              f"max_batch={stats.max_batch_points}pt "
+              f"fast_path={stats.n_fast_path}")
+        print(f"    dist_evals={stats.n_dist_evals} "
+              f"naive={naive_evals} "
+              f"({stats.n_dist_evals / max(1, naive_evals):.2%} of naive), "
+              f"pruned={stats.n_pruned / max(1, total_points):.2%} of points")
+        if refresher is not None:
+            print(f"    refresh: observed={refresher.n_observed}pt "
+                  f"published={refresher.n_published} versions "
+                  f"(current v{registry.current().version}, "
+                  f"retained {registry.versions()})")
+
+        # Identity gate: every response must match the naive assignment
+        # against the version it was served under.
+        checked = 0
+        for query, response in zip(queries, responses):
+            try:
+                served = registry.get(response.version)
+            except KeyError:
+                continue  # version retired since; centers are gone
+            expected = assign_serve(query, served, prune=False).labels
+            if not np.array_equal(response.labels, expected):
+                print("IDENTITY CHECK FAILED", file=sys.stderr)
+                return 1
+            checked += 1
+        print(f"    identity: {checked}/{len(queries)} responses re-checked "
+              f"against the naive assignment — identical")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
@@ -453,6 +646,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             return _run_mr(args)
         except (ValidationError, MapReduceError) as exc:
+            parser.error(str(exc))
+    if args.command == "serve":
+        from repro.exceptions import ValidationError
+
+        try:
+            return _run_serve(args)
+        except ValidationError as exc:
             parser.error(str(exc))
     # Deferred import: keep `repro --version` fast and allow `list` to work
     # even if an experiment module has issues.

@@ -51,14 +51,19 @@ import numpy as np
 from repro.core.lloyd import LloydResult, _repair_empties
 from repro.exceptions import ConvergenceWarning
 from repro.linalg.centroids import weighted_centroids
-from repro.linalg.distances import _row_scratch, assign_labels, row_norms_sq
+from repro.linalg.distances import (
+    _row_scratch,
+    assign_labels,
+    block_sq_dists,
+    row_norms_sq,
+)
 from repro.linalg.engine import get_engine
 from repro.types import FloatArray
 
-__all__ = ["lloyd_hamerly"]
+__all__ = ["lloyd_hamerly", "expansion_slack", "half_min_center_dist"]
 
 
-def _expansion_slack(x_norms, c_norms, d, dtype) -> float:
+def expansion_slack(x_norms, c_norms, d, dtype) -> float:
     """Round-off allowance for one GEMM-expansion squared distance.
 
     ``||x||^2 - 2<x,c> + ||c||^2`` loses up to ``O(d * eps * scale^2)``
@@ -88,8 +93,7 @@ def _assign_bounds(Xw, Cw, x_norms, c_norms, labels, ub, lb, slack, rows=None):
     def work(sl: slice) -> None:
         idxs = sl if rows is None else rows[sl]
         block = Xw[idxs]
-        d2 = x_norms[idxs][:, None] - 2.0 * (block @ Cw.T) + c_norms[None, :]
-        np.maximum(d2, 0.0, out=d2)
+        d2 = block_sq_dists(block, Cw, x_norms[idxs], c_norms)
         idx = d2.argmin(axis=1)
         labels[idxs] = idx
         best = np.take_along_axis(d2, idx[:, None], axis=1).ravel()
@@ -143,7 +147,7 @@ def _d2_to_assigned(Xw, Cw, labels, x_norms, c_norms):
     return out
 
 
-def _half_min_center_dist(Cw, c_norms, slack) -> np.ndarray:
+def half_min_center_dist(Cw, c_norms, slack) -> np.ndarray:
     """``0.5 * min_{j' != j} ||c_j - c_j'||`` per center, padded down (inf for k=1)."""
     k = Cw.shape[0]
     if k < 2:
@@ -215,7 +219,7 @@ def lloyd_hamerly(
     for _ in range(max_iter):
         Cw = np.ascontiguousarray(centers, dtype=wdt)
         c_norms = row_norms_sq(Cw)
-        slack = _expansion_slack(x_norms, c_norms, Xw.shape[1], wdt)
+        slack = expansion_slack(x_norms, c_norms, Xw.shape[1], wdt)
         if exact_profile:
             labels, d2a = assign(centers)
         elif not bounds_valid:
@@ -225,7 +229,7 @@ def lloyd_hamerly(
             # Drift the bounds instead of touching the data.
             ub += drift[labels]
             lb -= drift.max(initial=0.0)
-            s_half = _half_min_center_dist(Cw, c_norms, slack)
+            s_half = half_min_center_dist(Cw, c_norms, slack)
             n_dist += Cw.shape[0] * Cw.shape[0]
             limit = np.maximum(lb, s_half[labels])
             # Strict inequality: a tie (or anything within the round-off

@@ -42,6 +42,7 @@ __all__ = [
     "update_min_sq_dists",
     "update_min_sq_dists_argmin",
     "assign_labels",
+    "block_sq_dists",
     "row_norms_sq",
 ]
 
@@ -91,6 +92,27 @@ def _row_scratch(k: int) -> int:
     return 8 * max(1, k)
 
 
+def block_sq_dists(
+    block: np.ndarray,
+    C: np.ndarray,
+    x_norms_sq: np.ndarray,
+    c_norms_sq: np.ndarray,
+) -> np.ndarray:
+    """One clamped GEMM-expansion block: ``||x - c||^2`` for a row block.
+
+    The single expression every chunked kernel in this module evaluates —
+    shared so callers outside the module (the bounds-accelerated Lloyd,
+    the serving path) produce *byte-identical* squared distances to the
+    reference kernels for the same operands.  ``block`` and ``C`` must
+    already be in a common working dtype (see :func:`_as_working`);
+    ``x_norms_sq`` / ``c_norms_sq`` are the precomputed row norms of the
+    block and of ``C``.
+    """
+    d2 = x_norms_sq[:, None] - 2.0 * (block @ C.T) + c_norms_sq[None, :]
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
 def pairwise_sq_dists(
     X: np.ndarray,
     C: np.ndarray,
@@ -122,9 +144,7 @@ def pairwise_sq_dists(
         x_norms_sq = row_norms_sq(X)
     c_norms_sq = row_norms_sq(C)
     # GEMM dominates; the rank-1 corrections broadcast.
-    d2 = x_norms_sq[:, None] - 2.0 * (X @ C.T) + c_norms_sq[None, :]
-    np.maximum(d2, 0.0, out=d2)
-    return d2
+    return block_sq_dists(X, C, x_norms_sq, c_norms_sq)
 
 
 def sq_dists_to_point(
@@ -181,8 +201,7 @@ def min_sq_dists(
     def work(sl: slice) -> None:
         block = X[sl]
         xn = row_norms_sq(block) if norms is None else norms[sl]
-        d2 = xn[:, None] - 2.0 * (block @ C.T) + c_norms_sq[None, :]
-        np.maximum(d2, 0.0, out=d2)
+        d2 = block_sq_dists(block, C, xn, c_norms_sq)
         out[sl] = d2.min(axis=1)
 
     get_engine().run_chunks(n, _row_scratch(k), work, chunk_bytes=chunk_bytes)
@@ -223,8 +242,7 @@ def update_min_sq_dists(
     def work(sl: slice) -> None:
         block = X[sl]
         xn = row_norms_sq(block) if norms is None else norms[sl]
-        d2 = xn[:, None] - 2.0 * (block @ new_centers.T) + c_norms_sq[None, :]
-        np.maximum(d2, 0.0, out=d2)
+        d2 = block_sq_dists(block, new_centers, xn, c_norms_sq)
         np.minimum(current[sl], d2.min(axis=1), out=current[sl])
 
     get_engine().run_chunks(X.shape[0], _row_scratch(k_new), work, chunk_bytes=chunk_bytes)
@@ -266,8 +284,7 @@ def update_min_sq_dists_argmin(
     def work(sl: slice) -> None:
         block = X[sl]
         xn = row_norms_sq(block) if norms is None else norms[sl]
-        d2 = xn[:, None] - 2.0 * (block @ new_centers.T) + c_norms_sq[None, :]
-        np.maximum(d2, 0.0, out=d2)
+        d2 = block_sq_dists(block, new_centers, xn, c_norms_sq)
         idx = d2.argmin(axis=1)
         best_new = np.take_along_axis(d2, idx[:, None], axis=1).ravel()
         # Slices are views: writing through `cur`/`near` updates the
@@ -309,8 +326,7 @@ def assign_labels(
     def work(sl: slice) -> None:
         block = X[sl]
         xn = row_norms_sq(block) if norms is None else norms[sl]
-        d2 = xn[:, None] - 2.0 * (block @ C.T) + c_norms_sq[None, :]
-        np.maximum(d2, 0.0, out=d2)
+        d2 = block_sq_dists(block, C, xn, c_norms_sq)
         idx = d2.argmin(axis=1)
         labels[sl] = idx
         if best is not None:

@@ -1,0 +1,36 @@
+"""Low-latency serving path: registry, pruned assignment, micro-batching.
+
+The training side of this repository ends with a center matrix; this
+package is what happens *after* — answering nearest-center queries at
+serving rates:
+
+* :class:`~repro.serve.registry.ModelRegistry` — versioned, atomically
+  swapped :class:`~repro.serve.model.ServedModel` snapshots, published
+  through the data plane's broadcast machinery;
+* :func:`~repro.serve.assign.assign_serve` — bounds-pruned assignment,
+  bit-identical to the naive kernel but cheaper per point;
+* :class:`~repro.serve.service.AssignmentService` — leader/follower
+  micro-batching of concurrent callers into single chunked-engine runs;
+* :class:`~repro.serve.refresh.StreamingRefresher` — mini-batch folding
+  of observed data into fresh model versions without blocking readers.
+"""
+
+from repro.serve.assign import AssignResult, assign_serve
+from repro.serve.model import PruneIndex, ServedModel
+from repro.serve.refresh import StreamingRefresher, fold_centers, offline_fold
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import AssignmentService, ServeResponse, ServeStats
+
+__all__ = [
+    "AssignResult",
+    "AssignmentService",
+    "ModelRegistry",
+    "PruneIndex",
+    "ServeResponse",
+    "ServeStats",
+    "ServedModel",
+    "StreamingRefresher",
+    "assign_serve",
+    "fold_centers",
+    "offline_fold",
+]

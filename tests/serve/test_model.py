@@ -1,0 +1,114 @@
+"""ServedModel and PruneIndex: freezing, geometry, caching, pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serve.model import PruneIndex, ServedModel
+
+
+def test_freeze_basics(blobs):
+    _, centers = blobs
+    model = ServedModel.freeze(7, centers)
+    assert model.version == 7
+    assert (model.k, model.d) == centers.shape
+    assert model.dtype == centers.dtype
+    np.testing.assert_array_equal(np.asarray(model.centers), centers)
+
+
+def test_frozen_centers_are_read_only(blobs):
+    _, centers = blobs
+    model = ServedModel.freeze(1, centers)
+    with pytest.raises(ValueError):
+        model.centers[0, 0] = 99.0
+
+
+def test_freeze_copies_the_input(blobs):
+    _, centers = blobs
+    centers = centers.copy()
+    model = ServedModel.freeze(1, centers)
+    before = np.asarray(model.centers).copy()
+    centers[:] = -1.0
+    np.testing.assert_array_equal(np.asarray(model.centers), before)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        np.empty((0, 3)),
+        np.empty((3, 0)),
+        np.ones(4),
+        np.array([[1.0, np.nan], [0.0, 1.0]]),
+        np.array([[np.inf, 0.0], [0.0, 1.0]]),
+    ],
+)
+def test_freeze_rejects_bad_centers(bad):
+    with pytest.raises(ValidationError):
+        ServedModel.freeze(1, bad)
+
+
+def test_freeze_casts_exotic_dtypes_to_float64():
+    model = ServedModel.freeze(1, np.arange(8, dtype=np.int32).reshape(4, 2))
+    assert model.dtype == np.float64
+
+
+def test_pickle_round_trip(blobs):
+    _, centers = blobs
+    model = ServedModel.freeze(3, centers)
+    clone = pickle.loads(pickle.dumps(model))
+    assert clone.version == 3
+    np.testing.assert_array_equal(
+        np.asarray(clone.centers), np.asarray(model.centers)
+    )
+
+
+class TestPruneIndex:
+    def test_tiny_k_builds_no_index(self):
+        rng = np.random.default_rng(0)
+        for k in (1, 2, 3):
+            assert PruneIndex.build(rng.normal(size=(k, 3)), np.float64) is None
+
+    def test_coincident_centers_build_no_index(self):
+        assert PruneIndex.build(np.ones((10, 3)), np.float64) is None
+
+    def test_partition_covers_every_center(self):
+        rng = np.random.default_rng(1)
+        C = rng.normal(size=(25, 4))
+        index = PruneIndex.build(C, np.float64)
+        assert index is not None
+        assert index.n_groups >= 2
+        assert index.starts[-1] == 25
+        assert sorted(index.perm.tolist()) == list(range(25))
+        np.testing.assert_array_equal(
+            index.group_sizes, np.diff(index.starts)
+        )
+        np.testing.assert_array_equal(index.Cg, index.Cw[index.perm])
+
+    def test_radius_bounds_members(self):
+        rng = np.random.default_rng(2)
+        C = rng.normal(size=(30, 3))
+        index = PruneIndex.build(C, np.float64)
+        for gi in range(index.n_groups):
+            members = index.perm[index.starts[gi]:index.starts[gi + 1]]
+            dists = np.linalg.norm(C[members] - index.reps_w[gi], axis=1)
+            assert (dists <= index.radius_hi[gi]).all()
+
+    def test_separation_bound_is_a_lower_bound(self):
+        rng = np.random.default_rng(3)
+        C = rng.normal(size=(20, 5))
+        index = PruneIndex.build(C, np.float64)
+        D = np.linalg.norm(C[:, None, :] - C[None, :, :], axis=2)
+        np.fill_diagonal(D, np.inf)
+        assert (index.s_half_lo <= D.min(axis=1) / 2.0 + 1e-12).all()
+
+    def test_index_is_cached_per_dtype(self, blobs):
+        X, _ = blobs
+        model = ServedModel.freeze(1, X[:12])
+        first = model.index_for(np.float64)
+        assert model.index_for(np.float64) is first
+        other = model.index_for(np.float32)
+        assert other is not first

@@ -1,0 +1,175 @@
+"""StreamingRefresher: fold semantics, publish triggers, offline identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.gauss_mixture import make_gauss_mixture
+from repro.exceptions import ValidationError
+from repro.serve import ModelRegistry, StreamingRefresher, fold_centers, offline_fold
+
+
+@pytest.fixture(scope="module")
+def workload():
+    ds = make_gauss_mixture(seed=41, n=1800, d=5, k=12, R=8.0)
+    return ds.X, ds.true_centers
+
+
+def batches_of(X, size):
+    return [X[i:i + size] for i in range(0, X.shape[0], size)]
+
+
+class TestFoldCenters:
+    def test_plain_mean(self, rng):
+        centers = rng.normal(size=(3, 2))
+        sums = rng.normal(size=(3, 2))
+        counts = np.array([4.0, 2.0, 1.0])
+        folded = fold_centers(centers, sums, counts)
+        np.testing.assert_array_equal(folded, sums / counts[:, None])
+
+    def test_empty_cluster_keeps_row_bit_exact(self, rng):
+        centers = rng.normal(size=(4, 3))
+        sums = rng.normal(size=(4, 3))
+        sums[2] = 0.0
+        counts = np.array([5.0, 1.0, 0.0, 2.0])
+        folded = fold_centers(centers, sums, counts, prior_weight=0.5)
+        # Not just close: the untouched row must be the same bytes.
+        np.testing.assert_array_equal(folded[2], centers[2])
+
+    def test_prior_weight_damps(self, rng):
+        centers = np.zeros((2, 2))
+        sums = np.full((2, 2), 10.0)
+        counts = np.array([1.0, 1.0])
+        undamped = fold_centers(centers, sums, counts)
+        damped = fold_centers(centers, sums, counts, prior_weight=9.0)
+        np.testing.assert_array_equal(undamped, sums)
+        np.testing.assert_array_equal(damped, sums / 10.0)
+
+    def test_negative_prior_rejected(self):
+        with pytest.raises(ValidationError):
+            fold_centers(np.ones((2, 2)), np.ones((2, 2)), np.ones(2),
+                         prior_weight=-1.0)
+
+
+class TestStreamingRefresher:
+    def test_matches_offline_fold_publish_every(self, workload):
+        X, centers = workload
+        batches = batches_of(X, 300)
+        with ModelRegistry(shared=False, keep_versions=20) as registry:
+            registry.publish(centers)
+            refresher = StreamingRefresher(
+                registry, publish_every=2, prior_weight=1.5
+            )
+            published = []
+            for batch in batches:
+                model = refresher.observe(batch)
+                if model is not None:
+                    published.append(np.asarray(model.centers))
+            model = refresher.flush()
+            if model is not None:
+                published.append(np.asarray(model.centers))
+        reference = offline_fold(
+            centers, batches, publish_every=2, prior_weight=1.5
+        )
+        assert len(published) == len(reference)
+        for got, want in zip(published, reference):
+            np.testing.assert_array_equal(got, want)
+
+    def test_matches_offline_fold_drift_trigger(self, workload):
+        X, centers = workload
+        batches = batches_of(X, 250)
+        # Start from perturbed centers so there is real drift to detect.
+        start = centers + 0.8
+        with ModelRegistry(shared=False, keep_versions=20) as registry:
+            registry.publish(start)
+            refresher = StreamingRefresher(registry, drift_threshold=0.05)
+            published = []
+            for batch in batches:
+                model = refresher.observe(batch)
+                if model is not None:
+                    published.append(np.asarray(model.centers))
+            model = refresher.flush()
+            if model is not None:
+                published.append(np.asarray(model.centers))
+        reference = offline_fold(start, batches, drift_threshold=0.05)
+        assert published  # the perturbation must have triggered publishes
+        assert len(published) == len(reference)
+        for got, want in zip(published, reference):
+            np.testing.assert_array_equal(got, want)
+
+    def test_float32_model_round_trips(self, workload):
+        X, centers = workload
+        batches = batches_of(X.astype(np.float32), 400)
+        start = centers.astype(np.float32)
+        with ModelRegistry(shared=False, keep_versions=20) as registry:
+            registry.publish(start)
+            refresher = StreamingRefresher(registry, publish_every=1)
+            published = []
+            for batch in batches:
+                model = refresher.observe(batch)
+                if model is not None:
+                    published.append(np.asarray(model.centers))
+        reference = offline_fold(start, batches, publish_every=1)
+        assert len(published) == len(reference)
+        for got, want in zip(published, reference):
+            assert got.dtype == np.float32
+            np.testing.assert_array_equal(got, want)
+
+    def test_caller_supplied_labels_short_circuit(self, workload):
+        X, centers = workload
+        from repro.serve import assign_serve
+
+        with ModelRegistry(shared=False) as registry:
+            registry.publish(centers)
+            refresher = StreamingRefresher(registry, publish_every=1)
+            labels = assign_serve(X[:200], refresher.model).labels
+            via_labels = refresher.observe(X[:200], labels=labels)
+        with ModelRegistry(shared=False) as registry:
+            registry.publish(centers)
+            refresher = StreamingRefresher(registry, publish_every=1)
+            via_assign = refresher.observe(X[:200])
+        np.testing.assert_array_equal(
+            np.asarray(via_labels.centers), np.asarray(via_assign.centers)
+        )
+
+    def test_flush_without_pending_is_noop(self, workload):
+        _, centers = workload
+        with ModelRegistry(shared=False) as registry:
+            registry.publish(centers)
+            refresher = StreamingRefresher(registry, publish_every=1)
+            assert refresher.flush() is None
+            assert registry.current().version == 1
+
+    def test_refresher_never_blocks_readers(self, workload):
+        """Readers holding the pre-refresh model keep working mid-publish."""
+        X, centers = workload
+        from repro.serve import assign_serve
+
+        with ModelRegistry(shared=False, keep_versions=0) as registry:
+            old = registry.publish(centers)
+            expected = assign_serve(X[:50], old).labels
+            refresher = StreamingRefresher(registry, publish_every=1)
+            refresher.observe(X[:600])
+            assert registry.current().version == 2
+            np.testing.assert_array_equal(
+                assign_serve(X[:50], old).labels, expected
+            )
+
+    def test_validation(self, workload):
+        _, centers = workload
+        with ModelRegistry(shared=False) as registry:
+            registry.publish(centers)
+            with pytest.raises(ValidationError):
+                StreamingRefresher(registry, publish_every=0)
+            with pytest.raises(ValidationError):
+                StreamingRefresher(registry, drift_threshold=-0.1)
+            with pytest.raises(ValidationError):
+                StreamingRefresher(registry, prior_weight=-1.0)
+            refresher = StreamingRefresher(registry, publish_every=5)
+            with pytest.raises(ValidationError):
+                refresher.observe(np.ones((4, centers.shape[1] + 1)))
+            with pytest.raises(ValidationError):
+                refresher.observe(
+                    np.ones((4, centers.shape[1])), labels=np.zeros(3, dtype=np.int64)
+                )

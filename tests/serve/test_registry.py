@@ -1,0 +1,100 @@
+"""ModelRegistry: versioning, retention, atomic swap, segment hygiene."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.plane.shm import active_owned_segments
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture
+def centers(rng):
+    return rng.normal(size=(10, 4))
+
+
+def test_publish_and_current(centers):
+    with ModelRegistry(shared=False) as registry:
+        with pytest.raises(ValidationError):
+            registry.current()
+        model = registry.publish(centers)
+        assert model.version == 1
+        assert registry.current() is model
+        np.testing.assert_array_equal(np.asarray(model.centers), centers)
+
+
+def test_versions_are_monotonic(centers):
+    with ModelRegistry(shared=False, keep_versions=10) as registry:
+        versions = [registry.publish(centers + i).version for i in range(4)]
+        assert versions == [1, 2, 3, 4]
+        assert registry.versions() == versions
+        assert registry.current().version == 4
+
+
+def test_retention_evicts_oldest(centers):
+    with ModelRegistry(shared=False, keep_versions=1) as registry:
+        for i in range(4):
+            registry.publish(centers + i)
+        assert registry.versions() == [3, 4]
+        with pytest.raises(KeyError):
+            registry.get(1)
+        assert registry.get(3).version == 3
+
+
+def test_retired_model_centers_stay_readable(centers):
+    """A lagging reader holding a retired model must keep serving from it."""
+    with ModelRegistry(shared=True, keep_versions=0) as registry:
+        old = registry.publish(centers)
+        for i in range(3):
+            registry.publish(centers + i + 1.0)  # v1's segment is released
+        assert registry.versions() == [4]
+        np.testing.assert_array_equal(np.asarray(old.centers), centers)
+
+
+def test_publish_copies_the_input(centers):
+    mutable = centers.copy()
+    with ModelRegistry(shared=False) as registry:
+        model = registry.publish(mutable)
+        mutable[:] = -5.0
+        np.testing.assert_array_equal(np.asarray(model.centers), centers)
+
+
+def test_shared_mode_releases_all_segments(centers):
+    before = active_owned_segments()
+    registry = ModelRegistry(shared=True, keep_versions=5)
+    for i in range(4):
+        registry.publish(centers + i)
+    assert len(active_owned_segments()) == len(before) + 4
+    registry.close()
+    assert active_owned_segments() == before
+
+
+def test_eviction_releases_segments_incrementally(centers):
+    before = active_owned_segments()
+    with ModelRegistry(shared=True, keep_versions=0) as registry:
+        for i in range(6):
+            registry.publish(centers + i)
+            assert len(active_owned_segments()) == len(before) + 1
+    assert active_owned_segments() == before
+
+
+def test_dimension_change_rejected(centers):
+    with ModelRegistry(shared=False) as registry:
+        registry.publish(centers)
+        with pytest.raises(ValidationError):
+            registry.publish(np.ones((4, centers.shape[1] + 2)))
+
+
+def test_closed_registry_rejects_publish(centers):
+    registry = ModelRegistry(shared=False)
+    registry.close()
+    with pytest.raises(ValidationError):
+        registry.publish(centers)
+    registry.close()  # idempotent
+
+
+def test_keep_versions_validation():
+    with pytest.raises(ValidationError):
+        ModelRegistry(keep_versions=-1)

@@ -1,0 +1,190 @@
+"""AssignmentService: micro-batching, fast path, dtype grouping, errors."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data.gauss_mixture import make_gauss_mixture
+from repro.exceptions import ValidationError
+from repro.linalg.distances import _as_working, assign_labels
+from repro.serve import AssignmentService, ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def workload():
+    ds = make_gauss_mixture(seed=23, n=1500, d=6, k=16, R=8.0)
+    return ds.X, ds.true_centers
+
+
+@pytest.fixture
+def registry(workload):
+    _, centers = workload
+    with ModelRegistry(shared=False) as registry:
+        registry.publish(centers)
+        yield registry
+
+
+def naive_labels(X, centers):
+    return assign_labels(*_as_working(np.asarray(X), np.asarray(centers)))
+
+
+def test_fast_path_single_caller(workload, registry):
+    X, centers = workload
+    with AssignmentService(registry) as service:
+        response = service.assign(X[:50])
+        np.testing.assert_array_equal(
+            response.labels, naive_labels(X[:50], centers)
+        )
+        assert response.version == 1
+        assert response.batch_points == 50
+        stats = service.stats()
+        assert stats.n_requests == 1
+        assert stats.n_batches == 1
+        assert stats.n_fast_path == 1
+
+
+def test_single_point_1d_request(workload, registry):
+    X, centers = workload
+    with AssignmentService(registry) as service:
+        response = service.assign(X[0])
+        assert response.labels.shape == (1,)
+        np.testing.assert_array_equal(
+            response.labels, naive_labels(X[:1], centers)
+        )
+
+
+def test_concurrent_callers_coalesce_and_match_naive(workload, registry):
+    X, centers = workload
+    requests = np.array_split(X, 30)
+    responses = [None] * len(requests)
+    # A long linger plus a barrier makes coalescing all but certain.
+    with AssignmentService(registry, max_wait_us=20_000.0) as service:
+        barrier = threading.Barrier(len(requests))
+
+        def client(i):
+            barrier.wait()
+            responses[i] = service.assign(requests[i])
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(len(requests))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = service.stats()
+
+    for request, response in zip(requests, responses):
+        np.testing.assert_array_equal(
+            response.labels, naive_labels(request, centers)
+        )
+    assert stats.n_requests == len(requests)
+    assert stats.n_points == X.shape[0]
+    # Coalescing must actually have happened: fewer batches than requests.
+    assert stats.n_batches < len(requests)
+    assert stats.max_batch_points > max(r.shape[0] for r in requests)
+
+
+def test_max_batch_bounds_drain(workload, registry):
+    X, _ = workload
+    with AssignmentService(registry, max_batch=10, max_wait_us=20_000.0) as service:
+        barrier = threading.Barrier(4)
+        responses = [None] * 4
+
+        def client(i):
+            barrier.wait()
+            responses[i] = service.assign(X[i * 40:(i + 1) * 40])
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert all(r is not None for r in responses)
+
+
+def test_mixed_dtype_requests_share_a_batch(workload, registry):
+    X, centers = workload
+    with AssignmentService(registry, max_wait_us=20_000.0) as service:
+        barrier = threading.Barrier(2)
+        out = {}
+
+        def client(name, points):
+            barrier.wait()
+            out[name] = service.assign(points)
+
+        a = threading.Thread(
+            target=client, args=("f64", X[:80].astype(np.float64))
+        )
+        b = threading.Thread(
+            target=client, args=("f32", X[80:160].astype(np.float32))
+        )
+        a.start(); b.start(); a.join(); b.join()
+
+    np.testing.assert_array_equal(
+        out["f64"].labels, naive_labels(X[:80].astype(np.float64), centers)
+    )
+    np.testing.assert_array_equal(
+        out["f32"].labels,
+        naive_labels(X[80:160].astype(np.float32), centers),
+    )
+
+
+def test_prune_and_no_prune_agree(workload, registry):
+    X, _ = workload
+    with AssignmentService(registry, prune=True) as pruned, AssignmentService(
+        registry, prune=False
+    ) as plain:
+        np.testing.assert_array_equal(
+            pruned.assign(X[:200]).labels, plain.assign(X[:200]).labels
+        )
+
+
+def test_return_sq_dists(workload, registry):
+    X, centers = workload
+    with AssignmentService(registry, return_sq_dists=True) as service:
+        response = service.assign(X[:30])
+        assert response.sq_dists is not None
+        _, d2 = assign_labels(
+            *_as_working(X[:30], np.asarray(centers)), return_sq_dists=True
+        )
+        np.testing.assert_allclose(response.sq_dists, d2, rtol=1e-9, atol=1e-9)
+
+
+def test_dimension_mismatch_raises_in_caller(workload, registry):
+    with AssignmentService(registry) as service:
+        with pytest.raises(ValidationError):
+            service.assign(np.ones((4, 99)))
+        # The service must still work afterwards.
+        X, centers = workload
+        response = service.assign(X[:10])
+        np.testing.assert_array_equal(
+            response.labels, naive_labels(X[:10], centers)
+        )
+
+
+def test_closed_service_rejects(workload, registry):
+    X, _ = workload
+    service = AssignmentService(registry)
+    service.close()
+    with pytest.raises(ValidationError):
+        service.assign(X[:5])
+
+
+def test_knob_validation(registry):
+    with pytest.raises(ValidationError):
+        AssignmentService(registry, max_batch=0)
+    with pytest.raises(ValidationError):
+        AssignmentService(registry, max_wait_us=-1.0)
+
+
+def test_dist_eval_attribution_sums_to_batch_total(workload, registry):
+    X, _ = workload
+    with AssignmentService(registry) as service:
+        response = service.assign(X[:100])
+        stats = service.stats()
+        assert response.n_dist_evals == stats.n_dist_evals
