@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Cluster backend benchmark: wall vs workers, bytes-on-wire send-once.
+
+Three questions, answered over a GaussMixture ``mr_scalable_kmeans``
+workload against real localhost worker daemons:
+
+* **Identity** — the gate: the cluster run must be bit-identical to the
+  serial reference (centers and costs), else nothing below is reported.
+* **Scaling** — wall clock for worker fleets of 1/2/3 daemons (fresh
+  backend per cell, so spawn cost is visible and honest).
+* **Wire economics** — with shared broadcasts the driver ships each
+  job's broadcast payload *once per worker* (the send-once
+  ``sc.broadcast`` model) instead of once per task; the bench reports
+  both modes' ``bytes_sent`` / ``broadcast_bytes_sent`` and asserts the
+  steady-state invariant ``broadcast_sends = O(workers x jobs)``, not
+  ``O(tasks)``.
+
+Results land in ``benchmarks/results/BENCH_cluster.json``::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py          # n=50k
+    PYTHONPATH=src python benchmarks/bench_cluster.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_OUT = HERE / "results" / "BENCH_cluster.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=50_000, help="rows (default 50k)")
+    parser.add_argument("--d", type=int, default=16, help="dimensions")
+    parser.add_argument("--k", type=int, default=32, help="clusters")
+    parser.add_argument("--splits", type=int, default=6, help="input splits per job")
+    parser.add_argument(
+        "--workers", type=str, default="1,2,3",
+        help="comma-separated daemon counts to sweep (default: 1,2,3)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: n=8k, k=8, daemon counts 1,2",
+    )
+    return parser
+
+
+def _run(X, *, k: int, n_splits: int, seed: int, backend, **kwargs):
+    from repro.mapreduce.kmeans_mr import mr_scalable_kmeans
+
+    start = time.perf_counter()
+    report = mr_scalable_kmeans(
+        X, k, l=2.0 * k, r=3, n_splits=n_splits, seed=seed,
+        lloyd_max_iter=3, workers=n_splits, backend=backend, **kwargs,
+    )
+    wall_s = time.perf_counter() - start
+    return wall_s, report
+
+
+def _fingerprint(report) -> tuple:
+    return (
+        report.centers.tobytes(),
+        report.seed_cost,
+        report.final_cost,
+        report.lloyd_iters,
+        report.n_jobs,
+    )
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.n, args.k, args.workers = 8_000, 8, "1,2"
+    worker_counts = sorted({int(w) for w in args.workers.split(",")})
+
+    import numpy as np
+
+    from repro.cluster import ClusterBackend
+    from repro.data.gauss_mixture import make_gauss_mixture
+    from repro.exec import SerialBackend, WorkerBudget
+
+    print(f"generating GaussMixture n={args.n} d={args.d} k={args.k} ...",
+          flush=True)
+    X = make_gauss_mixture(n=args.n, d=args.d, k=args.k, seed=args.seed).X
+
+    # ---- identity gate -------------------------------------------------
+    _, reference = _run(
+        X, k=args.k, n_splits=args.splits, seed=args.seed,
+        backend=SerialBackend(),
+    )
+    ref_print = _fingerprint(reference)
+
+    results: dict[str, dict] = {}
+    all_identical = True
+
+    # ---- scaling: wall vs daemon count --------------------------------
+    for workers in worker_counts:
+        backend = ClusterBackend(
+            budget=WorkerBudget(args.splits), workers=workers
+        )
+        try:
+            wall_s, report = _run(
+                X, k=args.k, n_splits=args.splits, seed=args.seed,
+                backend=backend,
+            )
+            stats = backend.pool_stats
+        finally:
+            backend.shutdown()
+        identical = _fingerprint(report) == ref_print
+        all_identical = all_identical and identical
+        results[f"daemons={workers}"] = {
+            "wall_s": wall_s,
+            "identical_to_serial": identical,
+            "bytes_sent": stats["bytes_sent"],
+            "tasks_dispatched": stats["tasks_dispatched"],
+            "workers_lost": stats["workers_lost"],
+        }
+        print(f"  daemons={workers}  {wall_s:7.3f}s  identical={identical}  "
+              f"wire={stats['bytes_sent']:,}B", flush=True)
+
+    # ---- wire economics: send-once vs per-task broadcasts -------------
+    wire: dict[str, dict] = {}
+    for mode, shared in (("send_once", True), ("per_task", False)):
+        backend = ClusterBackend(
+            budget=WorkerBudget(args.splits), workers=worker_counts[-1]
+        )
+        try:
+            wall_s, report = _run(
+                X, k=args.k, n_splits=args.splits, seed=args.seed,
+                backend=backend, shared_broadcast=shared,
+            )
+            stats = backend.pool_stats
+        finally:
+            backend.shutdown()
+        identical = _fingerprint(report) == ref_print
+        all_identical = all_identical and identical
+        wire[mode] = {
+            "wall_s": wall_s,
+            "identical_to_serial": identical,
+            "bytes_sent": stats["bytes_sent"],
+            "broadcast_bytes_sent": stats["broadcast_bytes_sent"],
+            "broadcast_sends": stats["broadcast_sends"],
+            "broadcast_hits": stats["broadcast_hits"],
+            "tasks_dispatched": stats["tasks_dispatched"],
+            "n_jobs": report.n_jobs,
+        }
+        print(f"  broadcast={mode:<9} wire={stats['bytes_sent']:,}B  "
+              f"bc_bytes={stats['broadcast_bytes_sent']:,}B  "
+              f"sends={stats['broadcast_sends']}  "
+              f"hits={stats['broadcast_hits']}", flush=True)
+
+    # The send-once invariant: payloads cross the wire at most
+    # workers-many times per job, however many tasks the job fans out.
+    sends = wire["send_once"]["broadcast_sends"]
+    cap = worker_counts[-1] * wire["send_once"]["n_jobs"]
+    send_once_holds = 0 < sends <= cap
+    per_task_total = wire["per_task"]["bytes_sent"]
+    send_once_total = wire["send_once"]["bytes_sent"]
+    print(f"  send-once O(workers) invariant: sends={sends} <= "
+          f"workers*jobs={cap}: {send_once_holds}", flush=True)
+    print(f"  total wire bytes: send_once={send_once_total:,} "
+          f"per_task={per_task_total:,} "
+          f"(saved {per_task_total - send_once_total:,})", flush=True)
+
+    if not all_identical:
+        print("ERROR: cluster outputs diverged from the serial reference",
+              file=sys.stderr)
+        return 1
+    if not send_once_holds:
+        print("ERROR: broadcast sends not O(workers x jobs)", file=sys.stderr)
+        return 1
+
+    payload = {
+        "meta": {
+            "n": args.n, "d": args.d, "k": args.k, "n_splits": args.splits,
+            "worker_counts": worker_counts,
+            "identity_gate": all_identical,
+            "send_once_invariant": send_once_holds,
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "scaling": results,
+        "broadcast_wire": wire,
+        "wire_bytes_saved_by_send_once": per_task_total - send_once_total,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -102,6 +102,7 @@ _HEADLINE_KEYS = (
     "wall_s",
     "overhead_vs_faultfree",
     "total_ipc_bytes",
+    "broadcast_bytes_sent",
     "peak_over_budget",
 )
 

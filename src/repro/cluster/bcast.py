@@ -1,0 +1,125 @@
+"""Send-once remote broadcasts: the ``sc.broadcast`` model over sockets.
+
+The driver pickles one job's broadcast value exactly once, registers the
+payload with the :class:`~repro.cluster.worker_pool.WorkerPool`, and
+ships tasks a tiny :class:`RemoteBroadcast` handle.  The pool attaches
+the payload to the *first* ``TASK`` frame bound for each worker; every
+later task to that worker is a cache hit and carries only the id — so
+steady-state broadcast bytes on the wire are ``O(workers)`` per job,
+not ``O(tasks)``.
+
+Workers store the unpickled value in a process-global cache keyed by
+broadcast id (:func:`store_broadcast`), which is exactly what
+``RemoteBroadcast.resolve()`` reads.  The driver's transport seeds the
+same cache locally at publish time, so driver-inline fallback execution
+(whole-fleet loss) resolves the handle without special cases.  Releases
+are lazy: the driver drops its registration immediately and piggybacks
+``free`` markers on subsequent task frames.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.plane.broadcast import BroadcastRef, PublishedBroadcast
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.backend import ClusterBackend
+
+__all__ = [
+    "RemoteBroadcast",
+    "RemoteBroadcastTransport",
+    "store_broadcast",
+    "free_broadcast",
+    "cached_broadcast_ids",
+    "clear_broadcast_cache",
+]
+
+_CACHE: dict[str, Any] = {}
+_CACHE_LOCK = threading.Lock()
+_IDS = itertools.count()
+
+
+def store_broadcast(broadcast_id: str, value: Any) -> None:
+    """Install one broadcast value in this process's cache."""
+    with _CACHE_LOCK:
+        _CACHE[broadcast_id] = value
+
+
+def free_broadcast(broadcast_id: str) -> None:
+    """Drop one broadcast from the cache (idempotent)."""
+    with _CACHE_LOCK:
+        _CACHE.pop(broadcast_id, None)
+
+
+def cached_broadcast_ids() -> tuple[str, ...]:
+    """Snapshot of currently cached broadcast ids (leak checks)."""
+    with _CACHE_LOCK:
+        return tuple(_CACHE)
+
+
+def clear_broadcast_cache() -> None:
+    with _CACHE_LOCK:
+        _CACHE.clear()
+
+
+@dataclass(frozen=True)
+class RemoteBroadcast(BroadcastRef):
+    """Handle to a value the pool delivered (or will deliver) send-once.
+
+    Pickles as ``(broadcast_id, nbytes)`` — a few dozen bytes per task.
+    ``resolve()`` reads the process-global cache; the pool guarantees
+    the payload rode an earlier (or the same) ``TASK`` frame to this
+    worker, so a miss is a protocol violation, not a retryable state.
+    """
+
+    broadcast_id: str
+    nbytes: int = 0
+
+    def resolve(self) -> Any:
+        with _CACHE_LOCK:
+            try:
+                return _CACHE[self.broadcast_id]
+            except KeyError:
+                raise LookupError(
+                    f"broadcast {self.broadcast_id!r} not cached in this "
+                    "process — the driver must send payloads before (or "
+                    "with) the first task that references them"
+                ) from None
+
+
+class RemoteBroadcastTransport:
+    """Driver-side publish hook handed to ``publish_broadcast``.
+
+    Bound to a :class:`~repro.cluster.backend.ClusterBackend` rather
+    than one pool instance so publishes always target the live fleet.
+    """
+
+    def __init__(self, backend: "ClusterBackend"):
+        self._backend = backend
+
+    def publish(self, value: Any) -> PublishedBroadcast | None:
+        pool = self._backend._get_fleet()
+        if pool is None:
+            return None
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        broadcast_id = f"bc-{os.getpid()}-{next(_IDS)}"
+        pool.register_broadcast(broadcast_id, payload)
+        # Seed the driver-local cache too: inline fallback execution
+        # (whole-fleet loss) and lineage replays resolve the same ref.
+        store_broadcast(broadcast_id, value)
+
+        def _release() -> None:
+            pool.release_broadcast(broadcast_id)
+            free_broadcast(broadcast_id)
+
+        return PublishedBroadcast(
+            ref=RemoteBroadcast(broadcast_id, nbytes=len(payload)),
+            published_bytes=len(payload),
+            on_release=_release,
+        )

@@ -1,0 +1,126 @@
+"""Cluster-backend configuration knobs.
+
+Resolved with the repository's usual precedence (explicit argument >
+environment > built-in default):
+
+``REPRO_CLUSTER_WORKERS`` / ``workers=``
+    How many localhost worker daemons the driver self-launches when a
+    :class:`~repro.cluster.worker_pool.WorkerPool` is created without
+    externally managed workers.  Default 3 (the CI fleet size).  Set to
+    ``0`` to launch none and rely on workers started by hand with
+    ``python -m repro worker --connect HOST:PORT``.
+
+``REPRO_CLUSTER_HEARTBEAT_S`` / ``heartbeat_s=``
+    Interval at which worker daemons send ``PING`` frames (the
+    skywriting ``last_ping`` model).  Default 0.5 s — cheap (a ping is
+    one small frame) and fine-grained enough that ``FaultStats``
+    telemetry sees liveness during long map tasks.
+
+``REPRO_CLUSTER_HEARTBEAT_TIMEOUT_S`` / ``heartbeat_timeout_s=``
+    Staleness bound: a worker whose ``last_ping`` is older than this is
+    declared lost and its in-flight tasks fail with
+    :class:`~repro.exec.faults.WorkerLostError` (crash-class, so the
+    retry machinery re-runs them on survivors).  Hard connection drops
+    (EOF, reset) are detected immediately regardless; the timeout only
+    matters for wedged-but-connected workers, so the default of 15 s is
+    deliberately conservative.
+
+``REPRO_CLUSTER_SPAWN_TIMEOUT_S`` / ``spawn_timeout_s=``
+    How long to wait for self-launched daemons to complete their
+    registration handshake before giving up.  Default 30 s.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "ENV_CLUSTER_WORKERS",
+    "ENV_HEARTBEAT_S",
+    "ENV_HEARTBEAT_TIMEOUT_S",
+    "ENV_SPAWN_TIMEOUT_S",
+    "resolve_cluster_workers",
+    "resolve_heartbeat_s",
+    "resolve_heartbeat_timeout_s",
+    "resolve_spawn_timeout_s",
+]
+
+ENV_CLUSTER_WORKERS = "REPRO_CLUSTER_WORKERS"
+ENV_HEARTBEAT_S = "REPRO_CLUSTER_HEARTBEAT_S"
+ENV_HEARTBEAT_TIMEOUT_S = "REPRO_CLUSTER_HEARTBEAT_TIMEOUT_S"
+ENV_SPAWN_TIMEOUT_S = "REPRO_CLUSTER_SPAWN_TIMEOUT_S"
+
+DEFAULT_WORKERS = 3
+DEFAULT_HEARTBEAT_S = 0.5
+DEFAULT_HEARTBEAT_TIMEOUT_S = 15.0
+DEFAULT_SPAWN_TIMEOUT_S = 30.0
+
+
+def _env_float(name: str, default: float, *, minimum: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValidationError(f"{name} must be a number, got {raw!r}") from None
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def resolve_cluster_workers(value: int | None = None) -> int:
+    """Self-launched daemon count: argument > env > 3.  ``0`` = external."""
+    if value is None:
+        raw = os.environ.get(ENV_CLUSTER_WORKERS)
+        if raw is None or not raw.strip():
+            return DEFAULT_WORKERS
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValidationError(
+                f"{ENV_CLUSTER_WORKERS} must be an integer, got {raw!r}"
+            ) from None
+    value = int(value)
+    if value < 0:
+        raise ValidationError(
+            f"cluster workers must be >= 0, got {value} "
+            f"(via workers= or ${ENV_CLUSTER_WORKERS})"
+        )
+    return value
+
+
+def resolve_heartbeat_s(value: float | None = None) -> float:
+    """Worker ping interval in seconds: argument > env > 0.5."""
+    if value is not None:
+        value = float(value)
+        if value <= 0:
+            raise ValidationError(f"heartbeat_s must be > 0, got {value}")
+        return value
+    return _env_float(ENV_HEARTBEAT_S, DEFAULT_HEARTBEAT_S, minimum=0.05)
+
+
+def resolve_heartbeat_timeout_s(value: float | None = None) -> float:
+    """Staleness bound before a worker is declared lost: arg > env > 15."""
+    if value is not None:
+        value = float(value)
+        if value <= 0:
+            raise ValidationError(
+                f"heartbeat_timeout_s must be > 0, got {value}"
+            )
+        return value
+    return _env_float(
+        ENV_HEARTBEAT_TIMEOUT_S, DEFAULT_HEARTBEAT_TIMEOUT_S, minimum=0.1
+    )
+
+
+def resolve_spawn_timeout_s(value: float | None = None) -> float:
+    """Registration-handshake deadline for self-launched daemons."""
+    if value is not None:
+        value = float(value)
+        if value <= 0:
+            raise ValidationError(f"spawn_timeout_s must be > 0, got {value}")
+        return value
+    return _env_float(ENV_SPAWN_TIMEOUT_S, DEFAULT_SPAWN_TIMEOUT_S, minimum=1.0)

@@ -1,0 +1,158 @@
+"""Length-prefixed framed wire protocol between driver and workers.
+
+Every frame is an 8-byte header (magic ``RP``, 4-byte big-endian payload
+length) followed by one pickled message dict.  Framing is deliberately
+dumb: the interesting guarantees live one level up (send-once broadcast
+bookkeeping, task ids, heartbeats) and a transparent byte framing keeps
+them testable in isolation.
+
+Two properties matter for fault tolerance:
+
+* :func:`send_frame` pickles the whole message *before* writing any
+  bytes, so a pickling failure can never leave a half frame on the
+  stream — the sender can catch it and send a fallback frame instead
+  (see :class:`RemoteTaskError`).
+* :func:`recv_frame` distinguishes a clean EOF at a frame boundary
+  (:class:`ConnectionClosed`) from a torn frame or corrupt header
+  (:class:`ProtocolError`); both are treated by the pool as worker
+  loss, but tests pin the distinction.
+
+Message types (all dicts with a ``"type"`` key):
+
+``HELLO``     worker → driver: ``{pid, host}`` registration request.
+``WELCOME``   driver → worker: ``{index, chunk_bytes, heartbeat_s,
+              data_root}`` — the worker configures itself as a serial
+              leaf with the driver's engine chunking so bits match.
+``TASK``      driver → worker: ``{id, fn, args, bc, free}`` where
+              ``bc`` is a list of ``(broadcast_id, payload_bytes)``
+              pairs the worker has not cached yet (send-once) and
+              ``free`` lists broadcast ids to drop from its cache.
+``RESULT``    worker → driver: ``{id, ok, value, traceback?}``.
+``PING``      worker → driver heartbeat: ``{index}``.
+``SHUTDOWN``  driver → worker: clean exit request.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+__all__ = [
+    "MAGIC",
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "HELLO",
+    "WELCOME",
+    "TASK",
+    "RESULT",
+    "PING",
+    "SHUTDOWN",
+    "ProtocolError",
+    "ConnectionClosed",
+    "RemoteTaskError",
+    "send_frame",
+    "send_payload",
+    "recv_frame",
+]
+
+MAGIC = 0x5250  # "RP"
+HEADER = struct.Struct(">HxxI")
+#: Sanity bound on one frame — a corrupt header must not make the
+#: receiver try to allocate terabytes.
+MAX_FRAME_BYTES = 1 << 30
+
+HELLO = "hello"
+WELCOME = "welcome"
+TASK = "task"
+RESULT = "result"
+PING = "ping"
+SHUTDOWN = "shutdown"
+
+
+class ProtocolError(Exception):
+    """Corrupt or out-of-contract bytes on a cluster connection."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (EOF)."""
+
+
+class RemoteTaskError(Exception):
+    """Stand-in for a remote task outcome that could not be pickled.
+
+    When a worker's task raises an exception (or returns a value) that
+    the wire cannot carry, the worker replies with one of these instead
+    of tearing down the connection — the task fails fast on the driver
+    with the remote repr and traceback text, and the worker stays
+    usable.  Not crash-class: an unpicklable outcome is a task bug.
+    """
+
+    def __init__(self, message: str, *, remote_traceback: str = ""):
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+    def __reduce__(self):
+        return (_rebuild_remote_task_error, (str(self), self.remote_traceback))
+
+
+def _rebuild_remote_task_error(message: str, tb: str) -> "RemoteTaskError":
+    return RemoteTaskError(message, remote_traceback=tb)
+
+
+def send_payload(sock: socket.socket, payload: bytes) -> int:
+    """Write one already-pickled frame; returns bytes put on the wire."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    header = HEADER.pack(MAGIC, len(payload))
+    sock.sendall(header + payload)
+    return len(header) + len(payload)
+
+
+def send_frame(sock: socket.socket, message: dict) -> int:
+    """Pickle ``message`` and write it as one frame.
+
+    Pickling happens before any byte is written: a ``PicklingError``
+    here leaves the stream clean for a fallback frame.
+    """
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return send_payload(sock, payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(min(n - len(buf), 1 << 20))
+        if not chunk:
+            if buf:
+                raise ProtocolError(
+                    f"connection dropped mid-frame with {n - len(buf)} "
+                    "bytes outstanding"
+                )
+            raise ConnectionClosed("peer closed the connection")
+        buf += chunk
+    return bytes(buf)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Read one frame and return the unpickled message dict."""
+    raw = _recv_exact(sock, HEADER.size)
+    magic, length = HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic 0x{magic:04x}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame header announces {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    payload = _recv_exact(sock, length)
+    try:
+        message = pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 — any unpickling failure
+        raise ProtocolError(f"frame payload failed to unpickle: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("frame payload is not a typed message dict")
+    return message

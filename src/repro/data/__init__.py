@@ -21,6 +21,7 @@ from repro.data.io import dataset_cache_path, ensure_mmap_npy, load_dataset, sav
 from repro.data.kddcup import KDDCupConfig, make_kddcup
 from repro.data.sampling import reservoir_sample, uniform_sample
 from repro.data.spambase import SpambaseConfig, make_spambase
+from repro.data.remote import HttpSplitSource, RangeFileServer
 from repro.data.splits import (
     ArraySplitSource,
     MmapSplitSource,
@@ -55,5 +56,7 @@ __all__ = [
     "SplitSource",
     "ArraySplitSource",
     "MmapSplitSource",
+    "HttpSplitSource",
+    "RangeFileServer",
     "as_split_source",
 ]

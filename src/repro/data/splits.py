@@ -47,7 +47,52 @@ __all__ = [
     "MmapSplitDescriptor",
     "ShardedSplitDescriptor",
     "as_split_source",
+    "ENV_DATA_ROOT",
+    "portable_data_path",
+    "resolve_data_path",
 ]
+
+#: Root directory dataset paths are made relative to in descriptors, so
+#: a cluster worker mounting the same data at a different prefix can
+#: resolve them against *its* root.  Unset = absolute paths (one box).
+ENV_DATA_ROOT = "REPRO_DATA_ROOT"
+
+
+def _data_root() -> str | None:
+    raw = os.environ.get(ENV_DATA_ROOT)
+    if raw is None or not raw.strip():
+        return None
+    return os.path.abspath(raw.strip())
+
+
+def portable_data_path(path: str | os.PathLike) -> str:
+    """The form of ``path`` a descriptor should carry across machines.
+
+    With ``REPRO_DATA_ROOT`` set and ``path`` inside it, the returned
+    path is *relative to the root*; a worker with a different mount of
+    the same data resolves it against its own root (the WELCOME frame
+    forwards the driver's root to self-launched localhost daemons, so
+    the round trip is the identity there).  Everything else — no root
+    configured, or a path outside it — stays absolute, the historical
+    driver-absolute behavior.
+    """
+    abs_path = os.path.abspath(os.fspath(path))
+    root = _data_root()
+    if root is None:
+        return abs_path
+    rel = os.path.relpath(abs_path, root)
+    if rel == os.pardir or rel.startswith(os.pardir + os.sep):
+        return abs_path  # outside the root: not portable, keep absolute
+    return rel
+
+
+def resolve_data_path(path: str | os.PathLike) -> str:
+    """Resolve a (possibly data-root-relative) descriptor path locally."""
+    path = os.fspath(path)
+    if os.path.isabs(path):
+        return path
+    root = _data_root()
+    return os.path.join(root, path) if root is not None else os.path.abspath(path)
 
 
 class SplitDescriptor(abc.ABC):
@@ -89,11 +134,12 @@ _MMAP_CACHE: dict[str, tuple[int, np.ndarray]] = {}
 
 
 def _cached_mmap(path: str) -> np.ndarray:
-    entry = _MMAP_CACHE.get(path)
+    resolved = resolve_data_path(path)
+    entry = _MMAP_CACHE.get(resolved)
     pid = os.getpid()
     if entry is None or entry[0] != pid:
-        entry = (pid, np.load(path, mmap_mode="r"))
-        _MMAP_CACHE[path] = entry
+        entry = (pid, np.load(resolved, mmap_mode="r"))
+        _MMAP_CACHE[resolved] = entry
     return entry[1]
 
 
@@ -104,7 +150,10 @@ class MmapSplitDescriptor(SplitDescriptor):
     Pickles as just the path and the range; ``load()`` memory-maps the
     file (once per process, cached) and slices it, so a worker process
     faults in only its own split's pages — out-of-core datasets stay
-    out-of-core across the process boundary.
+    out-of-core across the process boundary.  ``path`` may be relative
+    to the data root (see :func:`portable_data_path`): ``load()``
+    resolves it against the local ``REPRO_DATA_ROOT``, so descriptors
+    stay valid on cluster workers with a different mount.
     """
 
     path: str
@@ -227,7 +276,9 @@ class MmapSplitSource(SplitSource):
         return self._mmap
 
     def descriptor(self, start: int, stop: int) -> SplitDescriptor:
-        return MmapSplitDescriptor(str(self.npy_path), int(start), int(stop))
+        return MmapSplitDescriptor(
+            portable_data_path(self.npy_path), int(start), int(stop)
+        )
 
 
 @dataclass(frozen=True)
@@ -479,7 +530,7 @@ class ShardedSplitSource(SplitSource):
 
     def descriptor(self, start: int, stop: int) -> SplitDescriptor:
         pieces = tuple(
-            MmapSplitDescriptor(str(self.paths[i]), lo, hi)
+            MmapSplitDescriptor(portable_data_path(self.paths[i]), lo, hi)
             for i, lo, hi in self._pieces(start, stop)
         )
         if len(pieces) == 1:
@@ -490,13 +541,19 @@ class ShardedSplitSource(SplitSource):
 def as_split_source(data) -> SplitSource:
     """Coerce ``data`` into a :class:`SplitSource`.
 
-    Accepts an existing source (returned unchanged), a 2-d array, or a
+    Accepts an existing source (returned unchanged), a 2-d array, an
+    ``http(s)://`` URL of a remote ``.npy`` (range-fetched and cached
+    locally — see :class:`repro.data.remote.HttpSplitSource`), or a
     filesystem path (``str`` / ``PathLike``): a ``.npy``/``.npz`` file
     becomes a memory-mapped :class:`MmapSplitSource`, a *directory*
     becomes a :class:`ShardedSplitSource` over its ``*.npy`` shards.
     """
     if isinstance(data, SplitSource):
         return data
+    if isinstance(data, str) and data.startswith(("http://", "https://")):
+        from repro.data.remote import HttpSplitSource
+
+        return HttpSplitSource(data)
     if isinstance(data, (str, os.PathLike)):
         if pathlib.Path(data).is_dir():
             return ShardedSplitSource(data)
@@ -504,6 +561,7 @@ def as_split_source(data) -> SplitSource:
     if isinstance(data, np.ndarray):
         return ArraySplitSource(data)
     raise ValidationError(
-        "expected an ndarray, a SplitSource, or a path to a .npy/.npz file "
-        f"or a directory of .npy shards, got {type(data).__name__}"
+        "expected an ndarray, a SplitSource, an http(s):// .npy URL, or a "
+        "path to a .npy/.npz file or a directory of .npy shards, got "
+        f"{type(data).__name__}"
     )

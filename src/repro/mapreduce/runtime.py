@@ -629,6 +629,11 @@ class LocalMapReduceRuntime:
         # out as descriptors and comes back as resident markers.
         crosses = backend.crosses_processes
         transport_shared = self.shared_broadcast and crosses
+        # Remote workers (the cluster backend) cannot attach the driver's
+        # shared-memory segments: broadcasts go through the backend's
+        # send-once transport instead, and split state stays on the
+        # legacy pickle path (descriptors would dangle across machines).
+        state_resident = transport_shared and not backend.remote
         affinity_spec = (
             AffinitySpec(
                 [i % self.workers for i in range(self.n_splits)], self.workers
@@ -657,8 +662,14 @@ class LocalMapReduceRuntime:
             self._state.drain_counters()
             # Publish inside the guarded region: whatever fails between
             # here and the reduce, the ``finally`` frees the segment.
-            published = publish_broadcast(job.broadcast, shared=transport_shared)
-            ship_job = job if published.segment is None else replace(
+            published = publish_broadcast(
+                job.broadcast,
+                shared=transport_shared,
+                transport=(
+                    backend.broadcast_transport() if transport_shared else None
+                ),
+            )
+            ship_job = job if published.inline else replace(
                 job, broadcast=published.ref
             )
             # ---- map (+ per-split combine) phase: fan out via the backend ----
@@ -671,7 +682,7 @@ class LocalMapReduceRuntime:
             # per-task payload left is O(1)-sized.
             state_args: list[Any] = (
                 [self._state.spec(i) for i in range(self.n_splits)]
-                if transport_shared
+                if state_resident
                 else self._state.states
             )
             calls = [
@@ -693,7 +704,7 @@ class LocalMapReduceRuntime:
                 # this split, then re-issue the task with a fresh RNG.
                 return self._recover_map_call(
                     index, ship_job, rng_blobs[index], spill_spec,
-                    transport_shared, fault_stats,
+                    state_resident, fault_stats,
                 )
 
             run_kwargs: dict[str, Any] = dict(
@@ -729,6 +740,17 @@ class LocalMapReduceRuntime:
             # depend on this order — it is what makes results identical
             # across backends and worker counts) ----
             for i, result in enumerate(task_results):
+                if result.manifest is not None and not os.path.exists(
+                    result.manifest.path
+                ):
+                    # The worker that spilled this split died between
+                    # settling its result and ingest (its spill dir died
+                    # with it — a remote worker's local disk): recover
+                    # the map output via lineage, inline and unspilled.
+                    result = self._recover_lost_manifest(
+                        i, ship_job, rng_blobs[i], state_resident,
+                        fault_stats,
+                    )
                 if result.manifest is not None:
                     store.add_manifest(result.manifest)
                 else:
@@ -969,6 +991,52 @@ class LocalMapReduceRuntime:
             spill_spec,
         )
 
+    def _recover_lost_manifest(
+        self,
+        split_id: int,
+        ship_job: MapReduceJob,
+        rng_blob: bytes,
+        state_resident: bool,
+        fault_stats: FaultStats,
+        *,
+        upto: int | None = None,
+        sink: Any = None,
+    ) -> _MapTaskResult:
+        """Re-run a map task whose spill manifest vanished before ingest.
+
+        The map phase settled successfully, but by ingest time the
+        split's spill file is gone — the worker that wrote it died
+        holding the directory (on a real remote worker the file was on
+        *its* disk).  The fix is the same lineage discipline as a task
+        crash, applied one phase later: rebuild the split's pre-job
+        state, replay the owning map task inline on the driver with
+        ``spill_spec=None`` (so the recovered emissions stay in memory),
+        and re-install the resulting post-job state.  Everything is
+        deterministic, so the replayed emissions and state are
+        bit-identical to what the lost manifest froze.
+        """
+        fault_stats.bump("manifests_recovered")
+        args = self._recover_map_call(
+            split_id, ship_job, rng_blob, None, state_resident, fault_stats,
+            upto=upto, sink=sink,
+        )
+        replay = _execute_map_task(*args)
+        # ``_recover_map_call`` installed the *pre*-job state; the map
+        # phase's settle loop already installed the post-job state this
+        # replay reproduces — put it back (counters snapshot/restored so
+        # ``state_bytes_*`` telemetry stays bit-identical).
+        tally = self._state if sink is None else sink
+        with self._recover_lock:
+            shipped0 = tally.shipped_bytes
+            resident0 = tally.resident_bytes
+            if replay.state_update is not None:
+                self._state.apply(replay.state_update, sink=sink)
+            else:
+                self._state.install(split_id, replay.state)
+            tally.shipped_bytes = shipped0
+            tally.resident_bytes = resident0
+        return replay
+
     # ------------------------------------------------------------------
     # Async dataflow: jobs as futures over a shared DAG frontier.
 
@@ -1155,6 +1223,12 @@ class _AsyncJob:
         self.transport_shared = (
             runtime.shared_broadcast and self.backend.crosses_processes
         )
+        # Remote workers cannot attach driver shm: state stays on the
+        # pickle path and broadcasts ride the backend's transport (see
+        # the sync path's ``state_resident`` for the full rationale).
+        self.state_resident = (
+            self.transport_shared and not self.backend.remote
+        )
         self.store = make_shuffle_store(
             runtime.shuffle_budget, combiner_factory=job.combiner_factory
         )
@@ -1268,11 +1342,17 @@ class _AsyncJob:
         runtime = self.runtime
         with runtime._recover_lock:  # shm create vs worker forks
             self.published = publish_broadcast(
-                self.job.broadcast, shared=self.transport_shared
+                self.job.broadcast,
+                shared=self.transport_shared,
+                transport=(
+                    self.backend.broadcast_transport()
+                    if self.transport_shared
+                    else None
+                ),
             )
         self.ship_job = (
             self.job
-            if self.published.segment is None
+            if self.published.inline
             else replace(self.job, broadcast=self.published.ref)
         )
 
@@ -1287,7 +1367,7 @@ class _AsyncJob:
         with self._lock:
             state_arg = self._state_args.get(i, _MISSING)
             if state_arg is _MISSING:
-                if self.transport_shared:
+                if self.state_resident:
                     with runtime._recover_lock:
                         state_arg = runtime._state.spec(i, sink=self._sink)
                 else:
@@ -1316,7 +1396,7 @@ class _AsyncJob:
                 self.ship_job,
                 self.rng_blobs[i],
                 self.spill_spec,
-                self.transport_shared,
+                self.state_resident,
                 self.fault_stats,
                 upto=self.lineage_index,
                 sink=self._sink,
@@ -1356,6 +1436,16 @@ class _AsyncJob:
 
     def _ingest(self, i: int) -> None:
         result = self._map_results[i]
+        if result.manifest is not None and not os.path.exists(
+            result.manifest.path
+        ):
+            # Spill manifest lost between map settle and ingest (the
+            # spilling worker died): lineage-replay the map task inline,
+            # unspilled — see the sync path's ingest loop.
+            result = self.runtime._recover_lost_manifest(
+                i, self.ship_job, self.rng_blobs[i], self.state_resident,
+                self.fault_stats, upto=self.lineage_index, sink=self._sink,
+            )
         if result.manifest is not None:
             self.store.add_manifest(result.manifest)
         else:

@@ -1,0 +1,55 @@
+"""Shared fixtures for the cluster backend tests.
+
+Every test here launches real localhost worker daemons over TCP, so the
+suite is POSIX-gated (worker-kill tests need signals) and leak-checked:
+no daemon process, shm segment, or spill directory may outlive a test.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.plane.shm import SEGMENT_PREFIX, release_all_segments
+
+collect_ignore_glob: list[str] = []
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="cluster daemon tests are POSIX-only"
+)
+
+_DEV_SHM = pathlib.Path("/dev/shm")
+
+
+def shm_leftovers() -> list[str]:
+    if not _DEV_SHM.is_dir():
+        return []
+    return sorted(p.name for p in _DEV_SHM.glob(f"{SEGMENT_PREFIX}*"))
+
+
+def spill_leftovers() -> list[str]:
+    tmp = pathlib.Path(tempfile.gettempdir())
+    return sorted(p.name for p in tmp.glob("repro-shuffle-*"))
+
+
+@pytest.fixture(autouse=True)
+def _no_leaks():
+    release_all_segments()
+    shm_before, spill_before = shm_leftovers(), spill_leftovers()
+    yield
+    release_all_segments()
+    assert shm_leftovers() == shm_before
+    assert spill_leftovers() == spill_before
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(200, 4))
+    path = tmp_path_factory.mktemp("cluster") / "data.npy"
+    np.save(path, X)
+    return str(path)

@@ -1,0 +1,94 @@
+"""Units for the framed wire protocol: framing, tearing, error frames."""
+
+from __future__ import annotations
+
+import pickle
+import socket
+
+import pytest
+
+from repro.cluster.protocol import (
+    HEADER,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    ProtocolError,
+    RemoteTaskError,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pair):
+        a, b = pair
+        message = {"type": "task", "id": 7, "args": (1, 2.5, "x")}
+        sent = send_frame(a, message)
+        assert sent == HEADER.size + len(
+            pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert recv_frame(b) == message
+
+    def test_multiple_frames_in_order(self, pair):
+        a, b = pair
+        for i in range(5):
+            send_frame(a, {"type": "ping", "i": i})
+        assert [recv_frame(b)["i"] for i in range(5)] == list(range(5))
+
+    def test_clean_eof_is_connection_closed(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            recv_frame(b)
+
+    def test_torn_frame_is_protocol_error(self, pair):
+        a, b = pair
+        payload = pickle.dumps({"type": "task"})
+        a.sendall(HEADER.pack(MAGIC, len(payload)) + payload[: len(payload) // 2])
+        a.close()
+        with pytest.raises(ProtocolError) as excinfo:
+            recv_frame(b)
+        assert not isinstance(excinfo.value, ConnectionClosed)
+
+    def test_bad_magic_rejected(self, pair):
+        a, b = pair
+        a.sendall(HEADER.pack(0xDEAD, 4) + b"\x00" * 4)
+        with pytest.raises(ProtocolError, match="magic"):
+            recv_frame(b)
+
+    def test_oversized_header_rejected_without_allocating(self, pair):
+        a, b = pair
+        a.sendall(HEADER.pack(MAGIC, MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="cap"):
+            recv_frame(b)
+
+    def test_non_dict_payload_rejected(self, pair):
+        a, b = pair
+        payload = pickle.dumps([1, 2, 3])
+        a.sendall(HEADER.pack(MAGIC, len(payload)) + payload)
+        with pytest.raises(ProtocolError, match="typed message"):
+            recv_frame(b)
+
+    def test_pickling_failure_leaves_stream_clean(self, pair):
+        a, b = pair
+        with pytest.raises(Exception):
+            send_frame(a, {"type": "task", "fn": lambda: None})
+        # No partial frame was written: the next frame parses fine.
+        send_frame(a, {"type": "ping"})
+        assert recv_frame(b) == {"type": "ping"}
+
+
+class TestRemoteTaskError:
+    def test_pickles_with_traceback(self):
+        err = RemoteTaskError("boom", remote_traceback="Traceback ...")
+        clone = pickle.loads(pickle.dumps(err))
+        assert str(clone) == "boom"
+        assert clone.remote_traceback == "Traceback ..."

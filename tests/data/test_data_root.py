@@ -1,0 +1,103 @@
+"""Regression: split descriptors are portable across data-root mounts.
+
+Satellite of the cluster-backend PR: descriptors used to embed the
+driver's absolute paths, so a worker mounting the same dataset under a
+different prefix could never open them.  With ``REPRO_DATA_ROOT`` set,
+descriptors carry root-relative paths and ``load()`` re-resolves them
+against the *local* root.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.splits import (
+    MmapSplitDescriptor,
+    MmapSplitSource,
+    ShardedSplitSource,
+    portable_data_path,
+    resolve_data_path,
+)
+
+
+@pytest.fixture
+def rooted_npy(tmp_path, monkeypatch):
+    X = np.random.default_rng(2).normal(size=(50, 3))
+    path = tmp_path / "root_a" / "points.npy"
+    path.parent.mkdir()
+    np.save(path, X)
+    monkeypatch.setenv("REPRO_DATA_ROOT", str(tmp_path / "root_a"))
+    return path, X, tmp_path
+
+
+class TestPortablePaths:
+    def test_inside_root_goes_relative(self, rooted_npy):
+        path, _, _ = rooted_npy
+        assert portable_data_path(path) == "points.npy"
+
+    def test_outside_root_stays_absolute(self, rooted_npy, tmp_path):
+        other = tmp_path / "elsewhere.npy"
+        assert portable_data_path(other) == str(other)
+
+    def test_no_root_stays_absolute(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_DATA_ROOT", raising=False)
+        assert portable_data_path(tmp_path / "x.npy") == str(tmp_path / "x.npy")
+        # Empty string means unset, matching the config idiom.
+        monkeypatch.setenv("REPRO_DATA_ROOT", "")
+        assert portable_data_path(tmp_path / "x.npy") == str(tmp_path / "x.npy")
+
+    def test_resolve_joins_relative_against_local_root(self, rooted_npy):
+        path, _, _ = rooted_npy
+        assert resolve_data_path("points.npy") == str(path)
+        assert resolve_data_path(str(path)) == str(path)  # absolute untouched
+
+
+class TestDescriptorPortability:
+    def test_mmap_descriptor_survives_a_remount(self, rooted_npy, monkeypatch):
+        path, X, tmp_path = rooted_npy
+        source = MmapSplitSource(path)
+        desc = source.descriptor(10, 30)
+        assert desc.path == "points.npy"  # no driver prefix embedded
+        blob = pickle.dumps(desc)
+
+        # "Another machine": same file under a different mount point.
+        root_b = tmp_path / "root_b"
+        root_b.mkdir()
+        os.link(path, root_b / "points.npy")
+        monkeypatch.setenv("REPRO_DATA_ROOT", str(root_b))
+        np.testing.assert_array_equal(pickle.loads(blob).load(), X[10:30])
+
+    def test_sharded_descriptor_survives_a_remount(self, tmp_path, monkeypatch):
+        X = np.random.default_rng(4).normal(size=(40, 2))
+        root_a = tmp_path / "shard_root_a"
+        root_a.mkdir()
+        np.save(root_a / "shard-00.npy", X[:25])
+        np.save(root_a / "shard-01.npy", X[25:])
+        monkeypatch.setenv("REPRO_DATA_ROOT", str(root_a))
+        source = ShardedSplitSource(root_a)
+        desc = source.descriptor(20, 35)  # straddles the shard boundary
+        assert all(not os.path.isabs(p.path) for p in desc.pieces)
+        blob = pickle.dumps(desc)
+
+        root_b = tmp_path / "shard_root_b"
+        root_b.mkdir()
+        for name in ("shard-00.npy", "shard-01.npy"):
+            os.link(root_a / name, root_b / name)
+        monkeypatch.setenv("REPRO_DATA_ROOT", str(root_b))
+        np.testing.assert_array_equal(pickle.loads(blob).load(), X[20:35])
+
+    def test_absolute_descriptors_unchanged_without_root(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_DATA_ROOT", raising=False)
+        X = np.random.default_rng(6).normal(size=(20, 2))
+        path = tmp_path / "plain.npy"
+        np.save(path, X)
+        desc = MmapSplitSource(path).descriptor(0, 20)
+        assert isinstance(desc, MmapSplitDescriptor)
+        assert os.path.isabs(desc.path)  # historical behavior preserved
+        np.testing.assert_array_equal(desc.load(), X)

@@ -1,0 +1,115 @@
+"""HTTP split source: range fetches, local caching, descriptor shipping."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.remote import HttpSplitDescriptor, HttpSplitSource, RangeFileServer
+from repro.data.splits import as_split_source
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    root = tmp_path_factory.mktemp("http-data")
+    X = np.random.default_rng(5).normal(size=(120, 6))
+    np.save(root / "points.npy", X)
+    np.save(root / "one_d.npy", np.arange(8.0))
+    with RangeFileServer(root) as server:
+        yield server, X
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return str(tmp_path / "http-cache")
+
+
+class TestHttpSplitSource:
+    def test_header_only_construction(self, served, cache):
+        server, X = served
+        before = server.requests
+        source = HttpSplitSource(server.url_for("points.npy"), cache_dir=cache)
+        assert source.shape == (120, 6)
+        assert source.dtype == np.float64
+        # Construction reads only the header — a handful of tiny ranges,
+        # never the data body.
+        assert server.requests - before <= 3
+        assert server.range_requests == server.requests
+
+    def test_blocks_match_and_cache(self, served, cache):
+        server, X = served
+        source = HttpSplitSource(server.url_for("points.npy"), cache_dir=cache)
+        np.testing.assert_array_equal(source.block(10, 40), X[10:40])
+        before = server.requests
+        np.testing.assert_array_equal(source.block(10, 40), X[10:40])
+        assert server.requests == before  # second load: pure cache hit
+
+    def test_descriptor_is_small_and_self_fetching(self, served, cache):
+        server, X = served
+        source = HttpSplitSource(server.url_for("points.npy"), cache_dir=cache)
+        desc = source.descriptor(30, 75)
+        blob = pickle.dumps(desc)
+        assert len(blob) < 1024  # no dataset bytes in the descriptor
+        clone = pickle.loads(blob)
+        np.testing.assert_array_equal(clone.load(), X[30:75])
+
+    def test_empty_range_costs_no_request(self, served, cache):
+        server, X = served
+        source = HttpSplitSource(server.url_for("points.npy"), cache_dir=cache)
+        before = server.requests
+        rows = source.descriptor(50, 50).load()
+        assert rows.shape == (0, 6)
+        assert server.requests == before
+
+    def test_as_split_source_dispatches_urls(self, served, cache):
+        server, _ = served
+        source = as_split_source(server.url_for("points.npy"))
+        assert isinstance(source, HttpSplitSource)
+
+    def test_rejects_non_2d(self, served):
+        server, _ = served
+        with pytest.raises(ValidationError, match="2-d"):
+            HttpSplitSource(server.url_for("one_d.npy"))
+
+    def test_rejects_non_npy(self, served, tmp_path):
+        server, _ = served
+        (server.root / "junk.npy").write_bytes(b"this is not numpy data!!")
+        with pytest.raises(ValidationError, match="magic"):
+            HttpSplitSource(server.url_for("junk.npy"))
+
+    def test_truncated_body_detected(self, served, cache):
+        server, X = served
+        source = HttpSplitSource(server.url_for("points.npy"), cache_dir=cache)
+        desc = source.descriptor(0, 10)
+        # Lie about the geometry: more rows than the file holds.
+        bad = HttpSplitDescriptor(
+            url=desc.url, start=0, stop=10_000, n_cols=desc.n_cols,
+            dtype_str=desc.dtype_str, data_offset=desc.data_offset,
+            cache_dir=desc.cache_dir,
+        )
+        with pytest.raises(ValidationError, match="expected"):
+            bad.load()
+
+
+class TestRangeFileServer:
+    def test_serves_ranges(self, served):
+        server, _ = served
+        import urllib.request
+
+        req = urllib.request.Request(
+            server.url_for("points.npy"), headers={"Range": "bytes=0-5"}
+        )
+        with urllib.request.urlopen(req) as resp:
+            assert resp.status == 206
+            assert resp.read() == b"\x93NUMPY"
+
+    def test_404_outside_root(self, served):
+        server, _ = served
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError):
+            urllib.request.urlopen(server.url_for("missing.npy"))
