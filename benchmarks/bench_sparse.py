@@ -1,0 +1,303 @@
+#!/usr/bin/env python
+"""Sparse (CSR) vs dense data path: wall clock + peak RSS density sweep.
+
+One full Lloyd round — ``assign_labels`` (with distances) +
+``cluster_sums`` + ``cluster_sizes`` — over the same floats stored both
+ways, at density {1%, 5%, 20%, dense}.  Wall clock is measured in
+process (best-of ``--repeat``); peak memory is measured in a *child*
+process per path, with the kernel's peak-RSS counter reset after setup
+(``/proc/self/clear_refs``, read back as ``VmHWM``) so the measurement
+covers the workload's own working set — a forked child starts with the
+parent's high-water mark, and the interpreter/import floor is reported
+separately as ``baseline_rss_kb``.
+
+Every sweep point is identity-gated before it is reported: sparse
+labels may differ from the densified computation only inside the
+documented slack band (runner-up margin ≤ 2·``sparse_d2_slack``),
+costs must agree to the same contract, and ``cluster_sums`` on the
+sparse labels must be **bitwise** equal between representations.
+
+    PYTHONPATH=src python benchmarks/bench_sparse.py           # full sweep
+    PYTHONPATH=src python benchmarks/bench_sparse.py --quick   # CI smoke
+
+Output (``benchmarks/results/BENCH_sparse.json``): per-density wall
+seconds and peak-RSS for both paths plus ``speedup`` /
+``rss_ratio`` headline ratios, and the acceptance flags
+``identity_ok`` per point.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_OUT = HERE / "results" / "BENCH_sparse.json"
+
+#: Density sweep; ``None`` means "keep the matrix dense too" (the
+#: crossover row: CSR overhead with nothing to skip).
+DENSITIES = (0.01, 0.05, 0.20, None)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=100_000, help="rows")
+    parser.add_argument("--d", type=int, default=1000, help="dimensions")
+    parser.add_argument("--k", type=int, default=64, help="centers")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="wall-clock repetitions; best-of is reported")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument("--skip-rss", action="store_true",
+                        help="skip the child-process peak-memory runs")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: n=8000, d=128, k=16, 1 repetition, densities {5%%, dense}",
+    )
+    # Internal: child-process mode for the peak-RSS measurement.
+    parser.add_argument("--_child", type=pathlib.Path, help=argparse.SUPPRESS)
+    return parser
+
+
+def _lloyd_round(X, C):
+    """The measured workload: one full assignment + accumulation pass."""
+    from repro.linalg.centroids import cluster_sizes, cluster_sums
+    from repro.linalg.distances import assign_labels
+
+    labels, d2 = assign_labels(X, C, return_sq_dists=True)
+    sums = cluster_sums(X, labels, C.shape[0])
+    counts = cluster_sizes(labels, C.shape[0])
+    return labels, float(d2.sum()), sums, counts
+
+
+def _make_centers(d, k, seed):
+    import numpy as np
+
+    return np.random.default_rng(seed + 1).normal(scale=2.0, size=(k, d))
+
+
+def _reset_peak_rss() -> None:
+    """Reset the kernel's peak-RSS counter to the current RSS (Linux).
+
+    A forked child inherits the parent's resident pages, so both
+    ``ru_maxrss`` and ``VmHWM`` start at the *parent's* high-water mark
+    — useless for measuring the child's own workload. Writing ``5`` to
+    ``/proc/self/clear_refs`` resets the mark to the current value.
+    """
+    with open("/proc/self/clear_refs", "w") as fh:
+        fh.write("5")
+
+
+def _peak_rss_kb() -> int:
+    with open("/proc/self/status", encoding="ascii") as fh:
+        for line in fh:
+            if line.startswith("VmHWM:"):
+                return int(line.split()[1])
+    raise RuntimeError("VmHWM not found in /proc/self/status")
+
+
+def child_main(path: pathlib.Path, k: int, seed: int) -> int:
+    """Load ``path`` (a ``.npy`` or a CSR directory), run one round, report.
+
+    Reports the interpreter baseline (RSS after imports and mmap setup,
+    before any page of the data is touched) alongside the workload peak,
+    so the parent can compare the data paths' working sets without the
+    ~100 MB python/numpy/scipy floor common to both.
+    """
+    import numpy
+
+    from repro.data.splits import is_csr_dir, load_csr_dir
+
+    if is_csr_dir(path):
+        X = load_csr_dir(path)
+    else:
+        X = numpy.load(path, mmap_mode="r")
+    C = _make_centers(X.shape[1], k, seed)
+    _reset_peak_rss()
+    baseline_kb = _peak_rss_kb()
+    t0 = time.perf_counter()
+    _, cost, _, _ = _lloyd_round(X, C)
+    wall = time.perf_counter() - t0
+    print(json.dumps({
+        "wall_s": wall,
+        "peak_rss_kb": _peak_rss_kb(),
+        "baseline_rss_kb": baseline_kb,
+        "cost": cost,
+    }))
+    return 0
+
+
+def _child_rss(path: pathlib.Path, k: int, seed: int) -> dict:
+    proc = subprocess.run(
+        [sys.executable, str(pathlib.Path(__file__).resolve()),
+         "--_child", str(path), "--k", str(k), "--seed", str(seed)],
+        capture_output=True, text=True, check=True,
+    )
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def _identity_gate(Xd, Xs, C, labels_dense, labels_sparse, cost_dense,
+                   cost_sparse) -> dict:
+    """Check the slack contract; returns the gate report (ok + details)."""
+    import numpy as np
+
+    from repro.linalg.centroids import cluster_sums
+    from repro.linalg.sparse import sparse_d2_slack
+
+    n, d = Xd.shape
+    x_norms = np.einsum("ij,ij->i", Xd, Xd)
+    c_norms = np.einsum("ij,ij->i", C, C)
+    slack = sparse_d2_slack(x_norms, c_norms, d, np.float64)
+
+    mismatched = np.flatnonzero(labels_dense != labels_sparse)
+    in_band = True
+    if mismatched.size:
+        sub = np.asarray(Xd[mismatched])
+        full = (
+            x_norms[mismatched][:, None] - 2.0 * (sub @ C.T) + c_norms[None, :]
+        )
+        np.maximum(full, 0.0, out=full)
+        part = np.partition(full, 1, axis=1)
+        in_band = bool((part[:, 1] - part[:, 0] <= 2.0 * slack).all())
+
+    cost_ok = abs(cost_dense - cost_sparse) <= 2.0 * slack * n
+    sums_ok = bool(
+        (cluster_sums(Xs, labels_sparse, C.shape[0])
+         == cluster_sums(Xd, labels_sparse, C.shape[0])).all()
+    )
+    return {
+        "identity_ok": bool(in_band and cost_ok and sums_ok),
+        "labels_mismatched": int(mismatched.size),
+        "mismatches_within_slack": in_band,
+        "cost_within_slack": bool(cost_ok),
+        "cluster_sums_bitwise": sums_ok,
+    }
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args._child is not None:
+        return child_main(args._child, args.k, args.seed)
+
+    try:
+        import scipy.sparse as scipy_sparse  # noqa: F401
+    except ImportError:
+        print("scipy not available; sparse bench skipped", file=sys.stderr)
+        return 0
+
+    import numpy as np
+
+    from repro.data.splits import save_csr_dir
+    from repro.linalg.sparse import csr_nbytes, to_csr
+
+    densities = list(DENSITIES)
+    if args.quick:
+        args.n, args.d, args.k, args.repeat = 8000, 128, 16, 1
+        densities = [0.05, None]
+
+    rng = np.random.default_rng(args.seed)
+    C = _make_centers(args.d, args.k, args.seed)
+    points: list[dict] = []
+    gate_green = True
+
+    for density in densities:
+        tag = "dense" if density is None else f"{density:.0%}"
+        print(f"density {tag}: generating n={args.n} d={args.d} ...",
+              flush=True)
+        Xd = rng.normal(size=(args.n, args.d))
+        if density is not None:
+            Xd[rng.random((args.n, args.d)) >= density] = 0.0
+        Xs = to_csr(scipy_sparse.csr_matrix(Xd))
+
+        walls: dict[str, float] = {"dense": float("inf"),
+                                   "sparse": float("inf")}
+        results: dict[str, tuple] = {}
+        for _ in range(args.repeat):
+            for name, X in (("dense", Xd), ("sparse", Xs)):
+                t0 = time.perf_counter()
+                labels, cost, sums, counts = _lloyd_round(X, C)
+                walls[name] = min(walls[name], time.perf_counter() - t0)
+                results[name] = (labels, cost)
+
+        gate = _identity_gate(
+            Xd, Xs, C,
+            results["dense"][0], results["sparse"][0],
+            results["dense"][1], results["sparse"][1],
+        )
+        gate_green &= gate["identity_ok"]
+
+        point = {
+            "density": 1.0 if density is None else density,
+            "nnz": int(Xs.nnz),
+            "csr_nbytes": int(csr_nbytes(Xs)),
+            "dense_nbytes": int(Xd.nbytes),
+            "dense_wall_s": walls["dense"],
+            "sparse_wall_s": walls["sparse"],
+            "speedup": walls["dense"] / walls["sparse"],
+            **gate,
+        }
+
+        if not args.skip_rss:
+            with tempfile.TemporaryDirectory() as tmp:
+                dense_path = pathlib.Path(tmp) / "X.npy"
+                np.save(dense_path, Xd)
+                csr_path = pathlib.Path(tmp) / "X.csr"
+                save_csr_dir(Xs, csr_path)
+                dense_child = _child_rss(dense_path, args.k, args.seed)
+                sparse_child = _child_rss(csr_path, args.k, args.seed)
+            point["dense_peak_rss_kb"] = dense_child["peak_rss_kb"]
+            point["sparse_peak_rss_kb"] = sparse_child["peak_rss_kb"]
+            point["baseline_rss_kb"] = sparse_child["baseline_rss_kb"]
+            # Ratio of the data paths' working sets: peak above each
+            # child's own interpreter baseline (the python/numpy/scipy
+            # floor is identical on both sides and says nothing about
+            # the representation being measured).
+            dense_ws = max(
+                1, dense_child["peak_rss_kb"] - dense_child["baseline_rss_kb"]
+            )
+            sparse_ws = max(
+                1, sparse_child["peak_rss_kb"] - sparse_child["baseline_rss_kb"]
+            )
+            point["rss_ratio"] = dense_ws / sparse_ws
+
+        points.append(point)
+        extra = (f" rss_ratio={point['rss_ratio']:.2f}x"
+                 if "rss_ratio" in point else "")
+        print(
+            f"  dense {walls['dense']:.3f}s  sparse {walls['sparse']:.3f}s  "
+            f"speedup={point['speedup']:.2f}x{extra}  "
+            f"identity_ok={gate['identity_ok']}",
+            flush=True,
+        )
+
+    payload = {
+        "meta": {
+            "n": args.n, "d": args.d, "k": args.k, "repeat": args.repeat,
+            "workload": "assign_labels + cluster_sums + cluster_sizes",
+            "numpy": np.__version__, "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "sweep": {
+            ("dense" if p["density"] == 1.0 else f"density_{p['density']:g}"): p
+            for p in points
+        },
+        "identity_gate_green": bool(gate_green),
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {args.out}")
+    if not gate_green:
+        print("identity gate FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,6 +96,7 @@ def condense(raw: dict, *, workers: int | None) -> dict:
 # none of these fall back to their shallow numeric fields.
 _HEADLINE_KEYS = (
     "speedup",
+    "rss_ratio",
     "qps",
     "p99_ms",
     "mean_s",

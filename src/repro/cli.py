@@ -257,12 +257,14 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Run the full k-means|| (or the Random baseline) MapReduce "
             "pipeline over a .npy/.npz dataset (or a directory of .npy "
-            "shards), memory-mapping the input so splits stream from disk — "
+            "shards, or a CSR directory written by 'repro data --sparse'), "
+            "memory-mapping the input so splits stream from disk — "
             "datasets larger than RAM work for both forms (driver-side "
             "scans over a float64 shard directory stream per-shard "
             "sections without materializing the concatenation; non-float64 "
             "shards fall back to one full driver-side copy when the "
-            "kernels promote dtypes). Add "
+            "kernels promote dtypes). A CSR directory routes every kernel "
+            "through the sparse (SpMM / stored-entry) siblings. Add "
             "--shuffle-budget-mib to cap driver-held shuffle bytes too "
             "(spill-to-disk shuffle)."
         ),
@@ -273,7 +275,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=(
             "dataset to cluster: a .npy array, a save_dataset() .npz bundle, "
-            "or a directory of 2-d .npy shards read as one dataset"
+            "a directory of 2-d .npy shards read as one dataset, or a CSR "
+            "directory (data.npy/indices.npy/indptr.npy, as written by "
+            "'repro data --sparse' / save_csr_dir) clustered sparsely"
         ),
     )
     mr_p.add_argument("-k", type=int, required=True, help="number of clusters")
@@ -363,7 +367,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep-versions", type=int, default=2, metavar="V",
         help="retired model versions retained by the registry (default: 2)",
     )
+    serve_p.add_argument(
+        "--sparse",
+        action="store_true",
+        help=(
+            "issue the query stream as scipy CSR blocks, exercising the "
+            "sparse serving path (labels stay bit-identical to the dense "
+            "queries; requires scipy)"
+        ),
+    )
     serve_p.add_argument("--seed", type=int, default=0, help="master seed")
+
+    data_p = sub.add_parser(
+        "data",
+        help="generate a dataset and save it for mr/serve",
+        description=(
+            "Generate one of the paper's datasets (or their synthetic "
+            "stand-ins) and save it under --out as a save_dataset() bundle "
+            "(<out>.npz + <out>.json). With --sparse the points are kept "
+            "as a CSR matrix and land in an additional <out>.X.csr/ "
+            "directory (data.npy/indices.npy/indptr.npy) that "
+            "'repro mr --splits-from <out>.X.csr' consumes directly, "
+            "streaming splits from the memory-mapped triple."
+        ),
+    )
+    data_p.add_argument(
+        "dataset",
+        choices=("spam", "kddcup", "gauss"),
+        help="which generator to run",
+    )
+    data_p.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="output base path (suffixes .npz/.json/.X.csr are appended)",
+    )
+    data_p.add_argument(
+        "--sparse",
+        action="store_true",
+        help="keep X as a CSR matrix and write the <out>.X.csr/ directory",
+    )
+    data_p.add_argument(
+        "--n", type=int, default=None, metavar="N",
+        help="rows to generate (default: the generator's own default)",
+    )
+    data_p.add_argument("--d", type=int, default=16, help="gauss only: dimensions (default: 16)")
+    data_p.add_argument("-k", type=int, default=64, help="gauss only: mixture components (default: 64)")
+    data_p.add_argument("--R", type=float, default=10.0, help="gauss only: mixture spread (default: 10)")
+    data_p.add_argument("--seed", type=int, default=0, help="master seed")
     return parser
 
 
@@ -542,6 +591,55 @@ def _run_mr(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_data(args: argparse.Namespace) -> int:
+    """The ``data`` subcommand: generate + save a dataset for mr/serve."""
+    from repro.data.io import _strip_known_suffix, _with_suffix, save_dataset
+
+    size = {} if args.n is None else {"n": args.n}
+    if args.dataset == "spam":
+        from repro.data.spambase import make_spambase
+
+        ds = make_spambase(seed=args.seed, sparse=args.sparse, **size)
+    elif args.dataset == "kddcup":
+        from repro.data.kddcup import make_kddcup
+
+        ds = make_kddcup(seed=args.seed, sparse=args.sparse, **size)
+    else:
+        from repro.data.dataset import Dataset
+        from repro.data.gauss_mixture import make_gauss_mixture
+
+        ds = make_gauss_mixture(
+            seed=args.seed, d=args.d, k=args.k, R=args.R, **size
+        )
+        if args.sparse:
+            # A Gaussian mixture has no zeros — the CSR form is legal but
+            # larger than dense; honored for pipeline testing.
+            from repro.exceptions import ValidationError
+            from repro.linalg import sparse as _sparse
+
+            if not _sparse.HAVE_SCIPY:
+                raise ValidationError(
+                    "--sparse requires scipy, which is not installed"
+                )
+            from scipy.sparse import csr_matrix
+
+            ds = Dataset(
+                name=ds.name,
+                X=_sparse.to_csr(csr_matrix(ds.X)),
+                labels=ds.labels,
+                true_centers=ds.true_centers,
+                metadata={**ds.metadata, "sparse": True},
+            )
+    npz_path = save_dataset(ds, args.out)
+    print(ds.describe())
+    print(f"wrote {npz_path} (+ sidecar .json)")
+    if args.sparse:
+        csr_dir = _with_suffix(_strip_known_suffix(args.out), ".X.csr")
+        print(f"wrote {csr_dir}{os.sep} (CSR triple)")
+        print(f"cluster it sparsely with: repro mr --splits-from {csr_dir} -k <K>")
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: model registry + micro-batched queries."""
     import threading
@@ -573,18 +671,34 @@ def _run_serve(args: argparse.Namespace) -> int:
             seed=args.seed, n=args.n, d=args.d, k=args.k, R=args.R
         ).X
 
+    from repro.linalg import sparse as _sparse
+
+    # The sequential trainer works on dense rows; a CSR dataset (loaded
+    # from a sparse bundle) densifies once here, while the query stream
+    # below stays sparse.
+    X_train = _sparse.densify_rows(X) if _sparse.is_sparse(X) else X
     t0 = time.perf_counter()
     model = KMeans(
         n_clusters=args.k, init="k-means||", max_iter=20, seed=args.seed
-    ).fit(X)
+    ).fit(X_train)
     train_s = time.perf_counter() - t0
     centers = model.cluster_centers_
     print(f"trained k={args.k} on {X.shape[0]}x{X.shape[1]} in {train_s:.2f}s "
           f"(cost {model.inertia_:.4g})")
 
     rng = np.random.default_rng(args.seed + 1)
+    query_pool = X
+    if args.sparse:
+        from repro.exceptions import ValidationError
+
+        if not _sparse.HAVE_SCIPY:
+            raise ValidationError("--sparse requires scipy, which is not installed")
+        if not _sparse.is_sparse(query_pool):
+            from scipy.sparse import csr_matrix
+
+            query_pool = _sparse.to_csr(csr_matrix(np.asarray(query_pool)))
     queries = [
-        X[rng.integers(0, X.shape[0], size=args.query_points)]
+        query_pool[rng.integers(0, X.shape[0], size=args.query_points)]
         for _ in range(args.queries)
     ]
 
@@ -696,6 +810,13 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         try:
             return _run_serve(args)
+        except ValidationError as exc:
+            parser.error(str(exc))
+    if args.command == "data":
+        from repro.exceptions import ValidationError
+
+        try:
+            return _run_data(args)
         except ValidationError as exc:
             parser.error(str(exc))
     # Deferred import: keep `repro --version` fast and allow `list` to work

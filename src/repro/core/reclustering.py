@@ -20,6 +20,7 @@ import enum
 import numpy as np
 
 from repro.exceptions import InsufficientCentersError
+from repro.linalg import sparse as _sparse
 from repro.types import FloatArray, RandomState
 
 __all__ = [
@@ -156,4 +157,5 @@ def apply_top_up(
     if policy is TopUpPolicy.TRUNCATE:
         return centers
     extra_idx = rng.choice(X.shape[0], size=k - m, replace=False)
-    return np.vstack([centers, X[extra_idx]])
+    # Centers are always dense even when X is a CSR matrix.
+    return np.vstack([centers, _sparse.densify_rows(X[extra_idx])])

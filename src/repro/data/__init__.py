@@ -24,9 +24,14 @@ from repro.data.spambase import SpambaseConfig, make_spambase
 from repro.data.remote import HttpSplitSource, RangeFileServer
 from repro.data.splits import (
     ArraySplitSource,
+    CsrSplitDescriptor,
+    CsrSplitSource,
     MmapSplitSource,
     SplitSource,
     as_split_source,
+    is_csr_dir,
+    load_csr_dir,
+    save_csr_dir,
 )
 from repro.data.synthetic import (
     make_anisotropic_blobs,
@@ -56,7 +61,12 @@ __all__ = [
     "SplitSource",
     "ArraySplitSource",
     "MmapSplitSource",
+    "CsrSplitSource",
+    "CsrSplitDescriptor",
     "HttpSplitSource",
     "RangeFileServer",
     "as_split_source",
+    "save_csr_dir",
+    "load_csr_dir",
+    "is_csr_dir",
 ]

@@ -89,6 +89,12 @@ class Dataset:
     def describe(self) -> str:
         """One-line summary for logs and reports."""
         extras = []
+        density = self.metadata.get("density")
+        if hasattr(self.X, "nnz"):  # scipy sparse: show the true density
+            density = self.X.nnz / float(self.n * self.d) if self.n and self.d else 0.0
+            extras.append(f"sparse density={density:.1%}")
+        elif density is not None:
+            extras.append(f"density={float(density):.1%}")
         if self.labels is not None:
             extras.append(f"components={int(self.labels.max()) + 1}")
         if self.true_centers is not None:

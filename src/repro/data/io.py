@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import ValidationError
+from repro.linalg import sparse as _sparse
 
 __all__ = ["save_dataset", "load_dataset", "dataset_cache_path", "ensure_mmap_npy"]
 
@@ -52,17 +53,36 @@ def save_dataset(dataset: Dataset, path: str | pathlib.Path) -> pathlib.Path:
     A trailing ``.npz``/``.json`` on ``path`` is normalized away; any other
     dotted segment is preserved as part of the filename. Parent directories
     are created.
+
+    A dataset whose ``X`` is a scipy CSR matrix keeps its points sparse
+    on disk: ``X`` goes to a ``<path>.X.csr/`` directory (the
+    ``data.npy``/``indices.npy``/``indptr.npy`` triple of
+    :func:`repro.data.splits.save_csr_dir`, which the split sources
+    memory-map) while labels / true centers / metadata stay in the
+    ``.npz`` + ``.json`` pair.  The same dotted-safe suffix rules apply,
+    so cache filenames with dots (``gauss__l=0.5``) stay intact.
     """
     base = _strip_known_suffix(path)
     base.parent.mkdir(parents=True, exist_ok=True)
-    arrays: dict[str, np.ndarray] = {"X": dataset.X}
+    sparse_x = _sparse.is_sparse(dataset.X)
+    arrays: dict[str, np.ndarray] = {}
+    if sparse_x:
+        from repro.data.splits import save_csr_dir
+
+        save_csr_dir(dataset.X, _with_suffix(base, ".X.csr"))
+    else:
+        arrays["X"] = dataset.X
     if dataset.labels is not None:
         arrays["labels"] = dataset.labels
     if dataset.true_centers is not None:
         arrays["true_centers"] = dataset.true_centers
     npz_path = _with_suffix(base, ".npz")
     np.savez_compressed(npz_path, **arrays)
-    sidecar = {"name": dataset.name, "metadata": dataset.metadata}
+    sidecar = {
+        "name": dataset.name,
+        "metadata": dataset.metadata,
+        "sparse_x": sparse_x,
+    }
     _with_suffix(base, ".json").write_text(
         json.dumps(sidecar, indent=2, default=str), encoding="utf-8"
     )
@@ -70,16 +90,30 @@ def save_dataset(dataset: Dataset, path: str | pathlib.Path) -> pathlib.Path:
 
 
 def load_dataset(path: str | pathlib.Path) -> Dataset:
-    """Load a dataset previously written by :func:`save_dataset`."""
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    A sparse bundle (``<path>.X.csr/`` next to the ``.npz``) comes back
+    with a memory-mapped CSR ``X`` — pages fault in as kernels touch
+    them, so loading never materializes the dense rectangle.
+    """
     base = _strip_known_suffix(path)
     npz_path = _with_suffix(base, ".npz")
     json_path = _with_suffix(base, ".json")
     if not npz_path.exists():
         raise ValidationError(f"no dataset at {npz_path}")
     with np.load(npz_path) as bundle:
-        X = bundle["X"]
+        X = bundle["X"] if "X" in bundle else None
         labels = bundle["labels"] if "labels" in bundle else None
         true_centers = bundle["true_centers"] if "true_centers" in bundle else None
+    if X is None:
+        from repro.data.splits import is_csr_dir, load_csr_dir
+
+        csr_dir = _with_suffix(base, ".X.csr")
+        if not is_csr_dir(csr_dir):
+            raise ValidationError(
+                f"{npz_path} has no X member and no {csr_dir} CSR directory"
+            )
+        X = load_csr_dir(csr_dir)
     if json_path.exists():
         sidecar = json.loads(json_path.read_text(encoding="utf-8"))
         name = sidecar.get("name", base.name)

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import ValidationError
+from repro.linalg import sparse as _sparse
 from repro.types import RandomState, SeedLike
 from repro.utils.rng import ensure_generator
 
@@ -194,9 +195,15 @@ def make_kddcup(
     config: KDDCupConfig | None = None,
     *,
     seed: SeedLike = None,
+    sparse: bool = False,
     **overrides,
 ) -> Dataset:
     """Generate the synthetic KDDCup1999 twin as a :class:`Dataset`.
+
+    ``sparse=True`` returns ``X`` as a scipy CSR matrix (requires
+    scipy); the zero-inflated counters and the flood components' pinned
+    zero columns make the instance naturally sparse.  The metadata
+    records the density either way.
 
     Examples
     --------
@@ -235,14 +242,24 @@ def make_kddcup(
         stop = min(start + config.block_rows, config.n)
         _fill_block(rng, X[start:stop], comps[start:stop], means, tightness)
 
+    density = float(np.count_nonzero(X)) / float(X.size)
+    X_out = X
+    if sparse:
+        if not _sparse.HAVE_SCIPY:
+            raise ValidationError("sparse=True requires scipy, which is not installed")
+        from scipy.sparse import csr_matrix
+
+        X_out = _sparse.to_csr(csr_matrix(X))
     return Dataset(
         name="kddcup99",
-        X=X,
+        X=X_out,
         labels=labels,
         true_centers=None,  # component means are known but k != m in the paper
         metadata={
             "n": config.n,
             "d": d,
+            "density": density,
+            "sparse": bool(sparse),
             "components": m,
             "paper_n": 4_800_000,
             "synthetic_stand_in_for": "KDD Cup 1999 (offline environment)",

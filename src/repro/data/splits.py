@@ -28,6 +28,7 @@ shipping the rows themselves.
 from __future__ import annotations
 
 import abc
+import json
 import os
 import pathlib
 from dataclasses import dataclass
@@ -35,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.linalg import sparse as _sparse
 
 __all__ = [
     "SplitSource",
@@ -42,11 +44,16 @@ __all__ = [
     "MmapSplitSource",
     "ShardedSplitSource",
     "ShardedRowReader",
+    "CsrSplitSource",
     "SplitDescriptor",
     "RowsSplitDescriptor",
     "MmapSplitDescriptor",
     "ShardedSplitDescriptor",
+    "CsrSplitDescriptor",
     "as_split_source",
+    "save_csr_dir",
+    "load_csr_dir",
+    "is_csr_dir",
     "ENV_DATA_ROOT",
     "portable_data_path",
     "resolve_data_path",
@@ -538,30 +545,302 @@ class ShardedSplitSource(SplitSource):
         return ShardedSplitDescriptor(pieces)
 
 
+# ----------------------------------------------------------------------
+# Sparse (CSR) split sources.
+
+#: Member files of an on-disk CSR dataset directory (the standard CSR
+#: triple).  Plain ``.npy`` files so every member memory-maps directly
+#: (and resolves through :func:`repro.data.io.ensure_mmap_npy`, the same
+#: machinery the dense sources use).
+CSR_MEMBERS = ("data.npy", "indices.npy", "indptr.npy")
+#: Sidecar recording the logical shape (``indices`` need not reach the
+#: last column, so ``n_cols`` cannot be inferred from the arrays).
+CSR_META = "csr-meta.json"
+
+
+def is_csr_dir(path: str | os.PathLike) -> bool:
+    """True when ``path`` is a directory holding an on-disk CSR triple."""
+    p = pathlib.Path(path)
+    return p.is_dir() and all((p / member).exists() for member in CSR_MEMBERS)
+
+
+def save_csr_dir(matrix, directory: str | os.PathLike) -> pathlib.Path:
+    """Write a scipy sparse matrix as an on-disk CSR directory.
+
+    Layout: ``data.npy`` / ``indices.npy`` / ``indptr.npy`` (indices and
+    indptr widened to int64 so the format is size-independent) plus a
+    ``csr-meta.json`` sidecar with the logical shape.  The result is
+    what :func:`as_split_source` and ``python -m repro mr --splits-from``
+    accept as a CSR dataset, and every member is a plain ``.npy`` the
+    loaders memory-map — a worker faults in only its own split's pages.
+    """
+    csr = _sparse.to_csr(matrix)
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    np.save(directory / "data.npy", np.asarray(csr.data))
+    np.save(directory / "indices.npy", np.asarray(csr.indices, dtype=np.int64))
+    np.save(directory / "indptr.npy", np.asarray(csr.indptr, dtype=np.int64))
+    (directory / CSR_META).write_text(
+        json.dumps(
+            {
+                "format": "csr",
+                "shape": [int(csr.shape[0]), int(csr.shape[1])],
+                "nnz": int(csr.nnz),
+            },
+            indent=2,
+        ),
+        encoding="utf-8",
+    )
+    return directory
+
+
+#: Per-process cache of open CSR directories:
+#: resolved dir -> (pid, data, indices, indptr, shape).
+_CSR_CACHE: dict[str, tuple] = {}
+
+
+def _cached_csr_dir(directory: str) -> tuple[np.ndarray, np.ndarray, np.ndarray, tuple[int, int]]:
+    """Memory-map (once per process) the member arrays of a CSR directory."""
+    resolved = resolve_data_path(directory)
+    pid = os.getpid()
+    entry = _CSR_CACHE.get(resolved)
+    if entry is None or entry[0] != pid:
+        from repro.data.io import ensure_mmap_npy
+
+        base = pathlib.Path(resolved)
+        if not is_csr_dir(base):
+            raise ValidationError(
+                f"{base} is not a CSR split directory (need {CSR_MEMBERS})"
+            )
+        data = np.load(ensure_mmap_npy(base / "data.npy"), mmap_mode="r")
+        indices = np.load(ensure_mmap_npy(base / "indices.npy"), mmap_mode="r")
+        indptr = np.load(ensure_mmap_npy(base / "indptr.npy"), mmap_mode="r")
+        meta_path = base / CSR_META
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            shape = (int(meta["shape"][0]), int(meta["shape"][1]))
+        else:
+            # Legacy triple without a sidecar: infer the tightest shape.
+            n = int(indptr.shape[0]) - 1
+            d = int(indices.max()) + 1 if indices.shape[0] else 1
+            shape = (n, d)
+        if indptr.shape[0] != shape[0] + 1:
+            raise ValidationError(
+                f"{base}: indptr has {indptr.shape[0]} entries, "
+                f"expected n+1={shape[0] + 1}"
+            )
+        if data.shape[0] != indices.shape[0]:
+            raise ValidationError(
+                f"{base}: data has {data.shape[0]} entries but indices "
+                f"has {indices.shape[0]}"
+            )
+        entry = (pid, data, indices, indptr, shape)
+        _CSR_CACHE[resolved] = entry
+    return entry[1], entry[2], entry[3], entry[4]
+
+
+def load_csr_dir(directory: str | os.PathLike):
+    """The whole CSR directory as one memory-mapped CSR matrix."""
+    _require_scipy()
+    _, _, _, shape = _cached_csr_dir(os.fspath(directory))
+    return _csr_rows(os.fspath(directory), 0, shape[0])
+
+
+def _require_scipy() -> None:
+    if not _sparse.HAVE_SCIPY:
+        raise ValidationError(
+            "scipy is required for CSR split sources but is not installed"
+        )
+
+
+def _csr_rows(directory: str, start: int, stop: int):
+    """Rows ``[start, stop)`` of an on-disk CSR directory as a CSR block.
+
+    The data/indices slices stay memmap views — scipy wraps them without
+    copying, so a map task faults in only its own split's stored
+    entries; just the small local ``indptr`` (one int64 per row) copies.
+    """
+    from scipy.sparse import csr_matrix
+
+    data, indices, indptr, shape = _cached_csr_dir(directory)
+    start, stop = int(start), int(stop)
+    lo, hi = int(indptr[start]), int(indptr[stop])
+    local_indptr = np.asarray(indptr[start : stop + 1], dtype=np.int64) - lo
+    return csr_matrix(
+        (data[lo:hi], indices[lo:hi], local_indptr),
+        shape=(stop - start, shape[1]),
+        copy=False,
+    )
+
+
+@dataclass(frozen=True)
+class CsrSplitDescriptor(SplitDescriptor):
+    """Descriptor for rows ``[start, stop)`` of an on-disk CSR directory.
+
+    Pickles as the (data-root-portable) directory path plus the row
+    range; ``load()`` memory-maps the member triple (once per process,
+    cached) and wraps the split's slice as a CSR block — out-of-core
+    sparse datasets stay out-of-core across the process boundary, and a
+    cluster worker mounting the data elsewhere resolves the path against
+    its own ``REPRO_DATA_ROOT`` (see :func:`portable_data_path`).
+    """
+
+    directory: str
+    start: int
+    stop: int
+
+    def load(self):
+        _require_scipy()
+        return _csr_rows(self.directory, self.start, self.stop)
+
+
+class CsrSplitSource(SplitSource):
+    """Splits over CSR data: a scipy matrix in memory or a saved directory.
+
+    The sparse twin of :class:`ArraySplitSource` / :class:`MmapSplitSource`:
+    blocks are CSR matrices (which every kernel in :mod:`repro.linalg`
+    accepts via sparse dispatch), descriptors of an on-disk source ship
+    only ``(directory, start, stop)``, and scan-byte accounting charges
+    the split's *stored* bytes — ``nnz``-proportional, not ``rows * d``
+    — so the simulated cluster's scan term reflects what a sparse scan
+    actually reads.
+    """
+
+    def __init__(self, data):
+        _require_scipy()
+        if isinstance(data, (str, os.PathLike)):
+            self.directory: pathlib.Path | None = pathlib.Path(data)
+            self._X = None
+            # Validate eagerly (shape, member agreement) like the other
+            # file-backed sources do.
+            _cached_csr_dir(os.fspath(self.directory))
+        else:
+            if not _sparse.is_sparse(data):
+                raise ValidationError(
+                    "CsrSplitSource needs a scipy sparse matrix or a CSR "
+                    f"directory, got {type(data).__name__}"
+                )
+            self.directory = None
+            self._X = _sparse.to_csr(data)
+        self._validate()
+
+    # -- geometry ------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        if self._X is not None:
+            return (int(self._X.shape[0]), int(self._X.shape[1]))
+        return _cached_csr_dir(os.fspath(self.directory))[3]
+
+    @property
+    def dtype(self) -> np.dtype:
+        if self._X is not None:
+            return self._X.dtype
+        return _cached_csr_dir(os.fspath(self.directory))[0].dtype
+
+    @property
+    def nnz(self) -> int:
+        """Stored entries of the whole dataset."""
+        if self._X is not None:
+            return int(self._X.nnz)
+        return int(_cached_csr_dir(os.fspath(self.directory))[0].shape[0])
+
+    @property
+    def density(self) -> float:
+        """``nnz / (n * d)`` — the fraction of the rectangle actually stored."""
+        n, d = self.shape
+        return self.nnz / float(n * d) if n and d else 0.0
+
+    def _indptr(self) -> np.ndarray:
+        if self._X is not None:
+            return self._X.indptr
+        return _cached_csr_dir(os.fspath(self.directory))[2]
+
+    # -- data access ---------------------------------------------------
+    def block(self, start: int, stop: int):
+        if self._X is not None:
+            return self._X[start:stop]
+        return _csr_rows(os.fspath(self.directory), start, stop)
+
+    def as_array(self):
+        """The full dataset as one CSR matrix (mmap-backed on disk).
+
+        Driver-side sections (seed-cost scan, top-up sampling) hand this
+        to the chunked kernels, which dispatch sparse — an on-disk
+        source still streams, because the SpMM per row chunk touches
+        only that chunk's pages.
+        """
+        if self._X is not None:
+            return self._X
+        n, _ = self.shape
+        return _csr_rows(os.fspath(self.directory), 0, n)
+
+    def descriptor(self, start: int, stop: int) -> SplitDescriptor:
+        if self._X is not None:
+            return RowsSplitDescriptor(self._X[start:stop])
+        return CsrSplitDescriptor(
+            portable_data_path(self.directory), int(start), int(stop)
+        )
+
+    def block_nbytes(self, start: int, stop: int) -> int:
+        """Bytes a sparse scan of rows ``[start, stop)`` actually reads:
+        the range's stored values + column indices + its indptr slice."""
+        indptr = self._indptr()
+        nnz = int(indptr[stop]) - int(indptr[start])
+        if self._X is not None:
+            index_itemsize = self._X.indices.dtype.itemsize
+            indptr_itemsize = indptr.dtype.itemsize
+        else:
+            data, indices, indptr_arr, _ = _cached_csr_dir(os.fspath(self.directory))
+            index_itemsize = indices.dtype.itemsize
+            indptr_itemsize = indptr_arr.dtype.itemsize
+        return (
+            nnz * (self.dtype.itemsize + index_itemsize)
+            + (stop - start + 1) * indptr_itemsize
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n, d = self.shape
+        where = "memory" if self._X is not None else os.fspath(self.directory)
+        return (
+            f"CsrSplitSource(shape=({n}, {d}), dtype={self.dtype}, "
+            f"nnz={self.nnz}, source={where!r})"
+        )
+
+
 def as_split_source(data) -> SplitSource:
     """Coerce ``data`` into a :class:`SplitSource`.
 
-    Accepts an existing source (returned unchanged), a 2-d array, an
-    ``http(s)://`` URL of a remote ``.npy`` (range-fetched and cached
-    locally — see :class:`repro.data.remote.HttpSplitSource`), or a
-    filesystem path (``str`` / ``PathLike``): a ``.npy``/``.npz`` file
-    becomes a memory-mapped :class:`MmapSplitSource`, a *directory*
-    becomes a :class:`ShardedSplitSource` over its ``*.npy`` shards.
+    Accepts an existing source (returned unchanged), a 2-d array, a
+    scipy sparse matrix (canonicalized to CSR — see
+    :class:`CsrSplitSource`), an ``http(s)://`` URL of a remote ``.npy``
+    (range-fetched and cached locally — see
+    :class:`repro.data.remote.HttpSplitSource`), or a filesystem path
+    (``str`` / ``PathLike``): a ``.npy``/``.npz`` file becomes a
+    memory-mapped :class:`MmapSplitSource`, a *directory* becomes a
+    :class:`CsrSplitSource` when it holds the on-disk CSR triple
+    (``data.npy`` / ``indices.npy`` / ``indptr.npy``, as written by
+    :func:`save_csr_dir`) and a :class:`ShardedSplitSource` over its
+    ``*.npy`` shards otherwise.
     """
     if isinstance(data, SplitSource):
         return data
+    if _sparse.is_sparse(data):
+        return CsrSplitSource(data)
     if isinstance(data, str) and data.startswith(("http://", "https://")):
         from repro.data.remote import HttpSplitSource
 
         return HttpSplitSource(data)
     if isinstance(data, (str, os.PathLike)):
         if pathlib.Path(data).is_dir():
+            if is_csr_dir(data):
+                return CsrSplitSource(data)
             return ShardedSplitSource(data)
         return MmapSplitSource(data)
     if isinstance(data, np.ndarray):
         return ArraySplitSource(data)
     raise ValidationError(
-        "expected an ndarray, a SplitSource, an http(s):// .npy URL, or a "
-        "path to a .npy/.npz file or a directory of .npy shards, got "
+        "expected an ndarray, a scipy sparse matrix, a SplitSource, an "
+        "http(s):// .npy URL, or a path to a .npy/.npz file or a directory "
+        "of .npy shards / a CSR triple, got "
         f"{type(data).__name__}"
     )

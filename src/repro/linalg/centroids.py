@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.linalg import sparse as _sparse
 from repro.linalg.engine import get_engine
 from repro.utils.chunking import DEFAULT_CHUNK_BYTES
 
@@ -43,7 +44,17 @@ def cluster_sums(
     independent of both worker count and the engine's tunable budget;
     only an explicit ``chunk_bytes`` argument changes the fold
     boundaries.
+
+    A scipy CSR ``X`` folds only its stored entries over the *same*
+    fixed block boundaries — bit-identical to the dense fold on the
+    same values (skipping exact ``+0.0`` additions cannot change an
+    IEEE partial sum); see :func:`repro.linalg.sparse.sparse_cluster_sums`.
     """
+    if _sparse.is_sparse(X):
+        return _sparse.sparse_cluster_sums(
+            X, labels, k, weights=weights,
+            sums_chunk_bytes=_SUMS_CHUNK_BYTES, chunk_bytes=chunk_bytes,
+        )
     if labels.shape[0] != X.shape[0]:
         raise ValueError(f"labels length {labels.shape[0]} != n={X.shape[0]}")
     if labels.size and (labels.min() < 0 or labels.max() >= k):

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.linalg import sparse as _sparse
 from repro.linalg.engine import get_engine
 from repro.utils.validation import check_matching_dims
 
@@ -55,7 +56,14 @@ def row_norms_sq(X: np.ndarray) -> np.ndarray:
 
     Public so hot loops can compute the norms once and pass them back in
     through the ``x_norms_sq`` argument of every kernel below.
+
+    A scipy CSR input folds only its stored entries (see
+    :func:`repro.linalg.sparse.sparse_row_norms_sq`); every kernel below
+    likewise dispatches to its CSR sibling when handed sparse data, so
+    call sites stay representation-agnostic.
     """
+    if _sparse.is_sparse(X):
+        return _sparse.sparse_row_norms_sq(X)
     return np.einsum("ij,ij->i", X, X)
 
 
@@ -106,8 +114,12 @@ def block_sq_dists(
     reference kernels for the same operands.  ``block`` and ``C`` must
     already be in a common working dtype (see :func:`_as_working`);
     ``x_norms_sq`` / ``c_norms_sq`` are the precomputed row norms of the
-    block and of ``C``.
+    block and of ``C``.  A CSR ``block`` routes through the SpMM sibling
+    (same expansion, same clamp; see the tolerance contract in
+    :mod:`repro.linalg.sparse`).
     """
+    if _sparse.is_sparse(block):
+        return _sparse.sparse_block_sq_dists(block, C, x_norms_sq, c_norms_sq)
     d2 = x_norms_sq[:, None] - 2.0 * (block @ C.T) + c_norms_sq[None, :]
     np.maximum(d2, 0.0, out=d2)
     return d2
@@ -137,6 +149,14 @@ def pairwise_sq_dists(
     numpy.ndarray
         ``D`` with ``D[i, j] = ||X[i] - C[j]||^2 >= 0``.
     """
+    if _sparse.is_sparse(X):
+        X = _sparse.to_csr(X)
+        C = np.atleast_2d(np.asarray(C))
+        _sparse._check_dims(X, C)
+        X, C = _sparse._as_working_sparse(X, C)
+        if x_norms_sq is None:
+            x_norms_sq = _sparse.sparse_row_norms_sq(X)
+        return _sparse.sparse_block_sq_dists(X, C, x_norms_sq, row_norms_sq(C))
     check_matching_dims(X, C)
     X, C = _as_working(X, C)
     _check_norms(x_norms_sq, X.shape[0])
@@ -161,6 +181,15 @@ def sq_dists_to_point(
     float32 ``X`` against a float64 ``c`` — or vice versa — cannot run the
     GEMM expansion in silently mismatched precision.
     """
+    if _sparse.is_sparse(X):
+        X = _sparse.to_csr(X)
+        c = np.asarray(c).reshape(1, -1)
+        _sparse._check_dims(X, c)
+        X, c = _sparse._as_working_sparse(X, c)
+        norms = _check_norms(x_norms_sq, X.shape[0])
+        if norms is None:
+            norms = _sparse.sparse_row_norms_sq(X)
+        return _sparse.sparse_block_sq_dists(X, c, norms, row_norms_sq(c)).ravel()
     X = np.asarray(X)
     if X.ndim != 2:
         raise ValueError(f"X must be 2-dimensional, got shape {X.shape}")
@@ -191,6 +220,10 @@ def min_sq_dists(
     This is the quantity the paper calls ``d^2(x, C)`` (Section 3.1) and is
     the workhorse of both ``k-means++`` and ``k-means||`` sampling.
     """
+    if _sparse.is_sparse(X):
+        return _sparse.sparse_min_sq_dists(
+            X, C, x_norms_sq=x_norms_sq, chunk_bytes=chunk_bytes
+        )
     check_matching_dims(X, C)
     X, C = _as_working(X, C)
     norms = _check_norms(x_norms_sq, X.shape[0])
@@ -225,6 +258,11 @@ def update_min_sq_dists(
 
     ``current`` is modified in place and also returned for chaining.
     """
+    if _sparse.is_sparse(X):
+        return _sparse.sparse_update_min_sq_dists(
+            X, new_centers, current,
+            x_norms_sq=x_norms_sq, chunk_bytes=chunk_bytes,
+        )
     if new_centers.ndim == 1:
         new_centers = new_centers.reshape(1, -1)
     if new_centers.shape[0] == 0:
@@ -269,6 +307,11 @@ def update_min_sq_dists_argmin(
 
     Both ``current`` and ``nearest`` are updated in place and returned.
     """
+    if _sparse.is_sparse(X):
+        return _sparse.sparse_update_min_sq_dists_argmin(
+            X, new_centers, current, nearest, offset=offset,
+            x_norms_sq=x_norms_sq, chunk_bytes=chunk_bytes,
+        )
     if new_centers.ndim == 1:
         new_centers = new_centers.reshape(1, -1)
     if new_centers.shape[0] == 0:
@@ -315,6 +358,11 @@ def assign_labels(
         When true, also return the squared distance to that nearest center
         (what Lloyd's iteration needs to track the potential for free).
     """
+    if _sparse.is_sparse(X):
+        return _sparse.sparse_assign_labels(
+            X, C, x_norms_sq=x_norms_sq, chunk_bytes=chunk_bytes,
+            return_sq_dists=return_sq_dists,
+        )
     check_matching_dims(X, C)
     X, C = _as_working(X, C)
     norms = _check_norms(x_norms_sq, X.shape[0])

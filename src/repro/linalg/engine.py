@@ -148,7 +148,20 @@ class Engine:
         disjoint slice ``sl`` — that is what makes the parallel schedule
         race-free and bitwise equal to the serial one.
         """
-        slices = self._slices(n_rows, row_scratch_bytes, chunk_bytes)
+        return self.run_slices(
+            self._slices(n_rows, row_scratch_bytes, chunk_bytes), work
+        )
+
+    def run_slices(self, slices: list[slice], work: Callable[[slice], Any]) -> int:
+        """:meth:`run_chunks` over *caller-supplied* row ranges.
+
+        The entry point for kernels whose block cost is not uniform per
+        row — the CSR kernels cut ranges by stored entries
+        (:func:`repro.linalg.sparse.nnz_chunk_slices`) and schedule them
+        here, so backends, the worker budget, and fault retry apply to
+        sparse blocks exactly as to dense ones.  Slices must be disjoint;
+        callers wanting determinism must derive them from data alone.
+        """
         if self.workers == 1 or len(slices) <= 1:
             for sl in slices:
                 work(sl)
@@ -173,7 +186,12 @@ class Engine:
         Callers that fold the partials (e.g. per-cluster sums) therefore
         see one fixed reduction order regardless of worker count.
         """
-        slices = self._slices(n_rows, row_scratch_bytes, chunk_bytes)
+        return self.map_slices(
+            self._slices(n_rows, row_scratch_bytes, chunk_bytes), work
+        )
+
+    def map_slices(self, slices: list[slice], work: Callable[[slice], T]) -> list[T]:
+        """:meth:`map_chunks` over caller-supplied row ranges (kept in order)."""
         if self.workers == 1 or len(slices) <= 1:
             return [work(sl) for sl in slices]
         from repro.exec import get_backend
@@ -200,9 +218,20 @@ class Engine:
         float results deterministic.  ``n_rows`` must be positive (there
         is nothing to fold otherwise).
         """
-        slices = self._slices(n_rows, row_scratch_bytes, chunk_bytes)
+        return self.reduce_slices(
+            self._slices(n_rows, row_scratch_bytes, chunk_bytes), work
+        )
+
+    def reduce_slices(self, slices: list[slice], work: Callable[[slice], T]) -> T:
+        """:meth:`reduce_chunks` over caller-supplied row ranges.
+
+        The fold order is the slice order regardless of worker count;
+        identical slices therefore produce bitwise-identical folds on
+        every backend (the sparse cluster sums rely on this to match the
+        dense kernel's fixed boundaries).
+        """
         if not slices:
-            raise ValidationError("reduce_chunks needs at least one row")
+            raise ValidationError("reduce_slices needs at least one row")
         if self.workers == 1 or len(slices) <= 1:
             it = iter(slices)
             total = work(next(it))

@@ -25,6 +25,7 @@ from typing import Any, Hashable, Iterable
 import numpy as np
 
 from repro.exceptions import JobSpecError
+from repro.linalg import sparse as _sparse
 from repro.linalg.centroids import cluster_sizes, cluster_sums
 from repro.linalg.distances import assign_labels, row_norms_sq
 from repro.mapreduce.job import BlockMapper, KeyValue, MapReduceJob, Reducer
@@ -105,7 +106,11 @@ class LloydMapper(BlockMapper):
             for j in np.flatnonzero(counts):
                 yield (AGG_KEY, int(j)), np.concatenate([sums[j], counts[j : j + 1]])
         else:
-            for x, j in zip(block, labels):
+            # Point granularity ships one dense (d+1,) record per point by
+            # construction (the combiner ablation measures exactly that),
+            # so CSR rows densify at emit.
+            for i, j in enumerate(labels):
+                x = _sparse.densify_rows(block[i : i + 1])[0]
                 yield (AGG_KEY, int(j)), np.concatenate([x, [1.0]])
 
 

@@ -15,6 +15,7 @@ from typing import Any, Hashable, Iterable
 import numpy as np
 
 from repro.exceptions import MapReduceError
+from repro.linalg import sparse as _sparse
 from repro.mapreduce.job import BlockMapper, KeyValue, MapReduceJob, Reducer
 
 __all__ = ["make_uniform_sample_job", "SAMPLE_KEY"]
@@ -39,7 +40,8 @@ class _BottomKMapper(BlockMapper):
         keep = min(self.k, n)
         idx = np.argpartition(tags, keep - 1)[:keep] if keep < n else np.arange(n)
         # Emit (tag, row) pairs so the reducer can take the global bottom-k.
-        yield SAMPLE_KEY, (tags[idx].copy(), block[idx].copy())
+        # Rows densify here (centers are dense) — at most k per split.
+        yield SAMPLE_KEY, (tags[idx].copy(), _sparse.densify_rows(block[idx]))
 
 
 class _BottomKReducer(Reducer):

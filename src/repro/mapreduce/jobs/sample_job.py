@@ -17,6 +17,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.exceptions import MapReduceError
+from repro.linalg import sparse as _sparse
 from repro.mapreduce.job import BlockMapper, KeyValue, MapReduceJob
 from repro.mapreduce.jobs.common import STATE_D2, ConcatReducer
 
@@ -55,7 +56,9 @@ class BernoulliSampleMapper(BlockMapper):
         picked = int(mask.sum())
         self.ctx.counters.increment("sample", "selected", picked)
         if picked:
-            yield CANDIDATES_KEY, block[mask].copy()
+            # Candidate centers are always dense, whatever the data
+            # representation — only O(l) rows per round ever densify.
+            yield CANDIDATES_KEY, _sparse.densify_rows(block[mask])
 
 
 def make_sample_job(l: float, phi: float) -> MapReduceJob:

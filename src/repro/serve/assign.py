@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.lloyd_fast import expansion_slack
 from repro.exceptions import ValidationError
+from repro.linalg import sparse as _sparse
 from repro.linalg.distances import (
     _as_working,
     _row_scratch,
@@ -82,8 +83,18 @@ def assign_serve(
     for any micro-batch split of ``X`` and any engine worker count.
     ``sq_dists`` (when requested) agrees with the naive kernel to
     round-off for pruned points and exactly for fallback points.
+
+    ``X`` may be a scipy CSR matrix; the bound arithmetic stays dense
+    (norms, rep distances) while every distance block runs through the
+    sparse SpMM kernel, and the identity above holds against
+    ``assign_labels`` *on the same CSR input* (row subsetting preserves
+    per-row stored-entry order, so fallback rows are bitwise equal to
+    the reference sparse kernel's).
     """
-    X = np.asarray(X)
+    if _sparse.is_sparse(X):
+        X = _sparse.to_csr(X)
+    else:
+        X = np.asarray(X)
     if X.ndim != 2:
         raise ValidationError(f"X must be 2-dimensional, got shape {X.shape}")
     if X.shape[1] != model.d:
@@ -103,7 +114,10 @@ def assign_serve(
             n_pruned=0,
         )
 
-    Xw, Cw = _as_working(X, centers)
+    if _sparse.is_sparse(X):
+        Xw, Cw = _sparse._as_working_sparse(X, centers)
+    else:
+        Xw, Cw = _as_working(X, centers)
     index = model.index_for(Xw.dtype) if prune else None
     if index is None:
         labels, best = assign_labels(Xw, Cw, return_sq_dists=True)

@@ -28,6 +28,7 @@ import threading
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.linalg import sparse as _sparse
 from repro.linalg.centroids import cluster_sizes, cluster_sums
 from repro.linalg.distances import assign_labels
 from repro.serve.assign import assign_serve
@@ -142,7 +143,10 @@ class StreamingRefresher:
         against :attr:`model`, i.e. the version this refresher last
         published or was created from.
         """
-        X = np.asarray(batch)
+        if _sparse.is_sparse(batch):
+            X = _sparse.to_csr(batch)
+        else:
+            X = np.asarray(batch)
         if X.ndim != 2:
             raise ValidationError(
                 f"batch must be 2-dimensional, got shape {X.shape}"

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.linalg import sparse as _sparse
 from repro.serve.assign import assign_serve
 from repro.serve.registry import ModelRegistry
 from repro.types import FloatArray, IntArray
@@ -138,9 +139,12 @@ class AssignmentService:
         Thread-safe; concurrent callers are coalesced.  Each call is
         served in one piece against one model version.
         """
-        X = np.asarray(points)
-        if X.ndim == 1:
-            X = X[None, :]
+        if _sparse.is_sparse(points):
+            X = _sparse.to_csr(points)
+        else:
+            X = np.asarray(points)
+            if X.ndim == 1:
+                X = X[None, :]
         if X.ndim != 2:
             raise ValidationError(
                 f"points must be 1- or 2-dimensional, got shape {X.shape}"
@@ -221,17 +225,30 @@ class AssignmentService:
         # Requests may arrive in different dtypes; group them (order
         # preserved within a group) so each sub-batch is one clean GEMM
         # in its own working dtype — mixing would silently upcast all.
+        # Sparse and dense requests batch separately too: each group must
+        # stack into one matrix of its own representation.
         groups: dict[object, list[int]] = {}
         for i, request in enumerate(batch):
-            groups.setdefault(
-                np.result_type(request.points.dtype, np.float32).str, []
-            ).append(i)
+            key = (
+                _sparse.is_sparse(request.points),
+                np.result_type(request.points.dtype, np.float32).str,
+            )
+            groups.setdefault(key, []).append(i)
 
         responses: list[ServeResponse | None] = [None] * len(batch)
         evals = pruned = 0
         for members in groups.values():
             if len(members) == 1:
                 X = batch[members[0]].points
+            elif _sparse.is_sparse(batch[members[0]].points):
+                # CSR vstack keeps each row's stored-entry order, so the
+                # coalescing-invariance of labels holds for sparse
+                # requests exactly as for dense ones.
+                from scipy import sparse as scipy_sparse
+
+                X = scipy_sparse.vstack(
+                    [batch[i].points for i in members], format="csr"
+                )
             else:
                 X = np.concatenate([batch[i].points for i in members], axis=0)
             result = assign_serve(

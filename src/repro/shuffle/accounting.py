@@ -28,6 +28,8 @@ from typing import Any, Hashable
 
 import numpy as np
 
+from repro.linalg import sparse as _sparse
+
 __all__ = ["estimate_nbytes", "record_nbytes"]
 
 #: Framing charged per record / container slot (length prefix + tag).
@@ -44,6 +46,14 @@ def estimate_nbytes(value: Any) -> int:
     """
     if isinstance(value, np.ndarray):
         return int(value.nbytes)
+    if _sparse.is_sparse(value):
+        # A scipy sparse matrix ships its stored triple, not the dense
+        # rectangle: data + indices + indptr.  Charging the rectangle
+        # would make every sparse record look ``1/density`` times
+        # heavier than what actually moves.
+        if hasattr(value, "indptr"):  # CSR/CSC carry the triple directly
+            return _sparse.csr_nbytes(value)
+        return _sparse.csr_nbytes(_sparse.to_csr(value))
     if isinstance(value, np.generic):
         # NumPy scalars (np.float64, np.complex128, ...) know their true
         # width; the old code fell through to the 8-byte default and

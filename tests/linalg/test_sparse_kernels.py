@@ -1,0 +1,234 @@
+"""Unit tests for the CSR kernel siblings and nnz-charged chunking.
+
+The dense chunked kernels each have a sparse twin that routes through
+the same engine; this file pins their contracts at the kernel level:
+dispatch from the public dense entry points, expansion-identity accuracy
+within the documented slack, bitwise chunk/worker invariance (CSR row
+subsetting preserves stored-entry order, so SpMM is the same arithmetic
+whatever the chunking), and the nnz-charged chunk geometry itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+
+from repro.linalg import use_engine
+from repro.linalg.centroids import cluster_sums
+from repro.linalg.distances import (
+    assign_labels,
+    block_sq_dists,
+    min_sq_dists,
+    pairwise_sq_dists,
+    row_norms_sq,
+    sq_dists_to_point,
+    update_min_sq_dists,
+    update_min_sq_dists_argmin,
+)
+from repro.linalg.sparse import (
+    NNZ_SCRATCH_BYTES,
+    csr_nbytes,
+    densify_rows,
+    nnz_chunk_slices,
+    sparse_d2_slack,
+    sparse_row_norms_sq,
+    to_csr,
+)
+
+
+def _pair(seed=0, n=80, d=12, density=0.3, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    X = np.where(
+        rng.random((n, d)) < density, rng.normal(size=(n, d)), 0.0
+    ).astype(dtype)
+    return X, scipy_sparse.csr_matrix(X)
+
+
+def _slack(X, C):
+    xn = np.einsum("ij,ij->i", X, X, dtype=np.float64)
+    cn = np.einsum("ij,ij->i", C, C, dtype=np.float64)
+    return sparse_d2_slack(xn, cn, X.shape[1], np.result_type(X, C))
+
+
+class TestDispatchAccuracy:
+    """Every public dense entry point accepts CSR and lands within slack."""
+
+    def test_row_norms_sq(self):
+        X, Xs = _pair(0)
+        np.testing.assert_allclose(
+            row_norms_sq(Xs), row_norms_sq(X), rtol=1e-12
+        )
+
+    def test_min_sq_dists(self):
+        X, Xs = _pair(1)
+        C = np.random.default_rng(10).normal(size=(7, X.shape[1]))
+        assert np.abs(min_sq_dists(Xs, C) - min_sq_dists(X, C)).max() <= 2 * _slack(X, C)
+
+    def test_block_and_pairwise(self):
+        X, Xs = _pair(2)
+        C = np.random.default_rng(11).normal(size=(5, X.shape[1]))
+        tol = 2 * _slack(X, C)
+        xn, cn = row_norms_sq(X), row_norms_sq(C)
+        assert np.abs(
+            block_sq_dists(Xs, C, xn, cn) - block_sq_dists(X, C, xn, cn)
+        ).max() <= tol
+        assert np.abs(
+            pairwise_sq_dists(Xs, C) - pairwise_sq_dists(X, C)
+        ).max() <= tol
+
+    def test_sq_dists_to_point(self):
+        X, Xs = _pair(3)
+        p = np.random.default_rng(12).normal(size=X.shape[1])
+        assert np.abs(
+            sq_dists_to_point(Xs, p) - sq_dists_to_point(X, p)
+        ).max() <= 2 * _slack(X, p[None, :])
+
+    def test_update_min_sq_dists(self):
+        X, Xs = _pair(4)
+        rng = np.random.default_rng(13)
+        C = rng.normal(size=(4, X.shape[1]))
+        start = rng.random(X.shape[0]) * 50.0
+        dense = update_min_sq_dists(X, C, start.copy())
+        sparse = update_min_sq_dists(Xs, C, start.copy())
+        assert np.abs(dense - sparse).max() <= 2 * _slack(X, C)
+
+    def test_update_min_sq_dists_argmin_offset(self):
+        X, Xs = _pair(5)
+        rng = np.random.default_rng(14)
+        C = rng.normal(size=(6, X.shape[1]))
+        n = X.shape[0]
+        cur = np.full(n, np.inf)
+        near = np.full(n, -1, dtype=np.int64)
+        update_min_sq_dists_argmin(Xs, C, cur, near, offset=100)
+        # Every point improved from inf, so every label carries the offset.
+        assert (near >= 100).all() and (near < 106).all()
+        expected = assign_labels(Xs, C)
+        np.testing.assert_array_equal(near - 100, expected)
+
+    def test_assign_labels_return_sq_dists(self):
+        X, Xs = _pair(6)
+        C = np.random.default_rng(15).normal(size=(9, X.shape[1]))
+        labels, d2 = assign_labels(Xs, C, return_sq_dists=True)
+        np.testing.assert_array_equal(labels, assign_labels(Xs, C))
+        np.testing.assert_allclose(d2, min_sq_dists(Xs, C), rtol=0, atol=0)
+
+    def test_float32_inputs_stay_float32_scale(self):
+        X, Xs = _pair(7, dtype=np.float32)
+        C = np.random.default_rng(16).normal(size=(5, X.shape[1])).astype(
+            np.float32
+        )
+        tol = 2 * _slack(X.astype(np.float64), C.astype(np.float64))
+        # f32 slack is ~1e7x the f64 slack; just require f32-appropriate
+        # agreement with the densified f32 computation.
+        dense = min_sq_dists(X, C)
+        sparse = min_sq_dists(Xs, C)
+        np.testing.assert_allclose(sparse, dense, rtol=1e-4, atol=1e-4)
+        assert tol < 1e-10  # sanity: the f64 slack really is tiny
+
+
+class TestChunkInvariance:
+    """Sparse kernels are bitwise chunk- and worker-invariant."""
+
+    @pytest.mark.parametrize("chunk_bytes", [None, 1, 4096])
+    def test_min_sq_dists_chunk_invariant(self, chunk_bytes):
+        from repro.linalg.sparse import sparse_min_sq_dists
+
+        _, Xs = _pair(8, n=120)
+        C = np.random.default_rng(17).normal(size=(6, Xs.shape[1]))
+        ref = sparse_min_sq_dists(Xs, C)
+        got = sparse_min_sq_dists(Xs, C, chunk_bytes=chunk_bytes)
+        assert (got == ref).all()
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_assign_labels_worker_invariant(self, workers):
+        _, Xs = _pair(9, n=150)
+        C = np.random.default_rng(18).normal(size=(8, Xs.shape[1]))
+        ref = assign_labels(Xs, C)
+        with use_engine(workers=workers):
+            assert (assign_labels(Xs, C) == ref).all()
+
+    def test_cluster_sums_bitwise_dense_and_chunked(self):
+        X, Xs = _pair(10, n=200)
+        labels = np.random.default_rng(19).integers(0, 5, X.shape[0])
+        ref = cluster_sums(X, labels, 5)
+        assert (cluster_sums(Xs, labels, 5) == ref).all()
+        # Tiny chunk budget: many chunks, same bits.
+        from repro.linalg.sparse import sparse_cluster_sums
+
+        tiny = sparse_cluster_sums(
+            Xs, labels, 5, weights=None, sums_chunk_bytes=1, chunk_bytes=1
+        )
+        assert (tiny == ref).all()
+
+
+class TestNnzChunkSlices:
+    def test_partitions_all_rows(self):
+        _, Xs = _pair(11, n=100)
+        slices = nnz_chunk_slices(Xs.indptr, 64, 2048)
+        assert slices[0].start == 0
+        assert slices[-1].stop == 100
+        for prev, cur in zip(slices, slices[1:]):
+            assert prev.stop == cur.start
+
+    def test_budget_respected_for_multirow_chunks(self):
+        _, Xs = _pair(12, n=100)
+        indptr = np.asarray(Xs.indptr, dtype=np.int64)
+        row_scratch, budget = 64, 2048
+        for sl in nnz_chunk_slices(Xs.indptr, row_scratch, budget):
+            rows = sl.stop - sl.start
+            nnz = int(indptr[sl.stop] - indptr[sl.start])
+            if rows > 1:
+                assert nnz * NNZ_SCRATCH_BYTES + rows * row_scratch <= budget
+
+    def test_deterministic(self):
+        _, Xs = _pair(13)
+        a = nnz_chunk_slices(Xs.indptr, 8, 512)
+        b = nnz_chunk_slices(Xs.indptr, 8, 512)
+        assert a == b
+
+    def test_megadense_row_gets_own_chunk(self):
+        # One row whose nnz alone exceeds the budget must still advance.
+        indptr = np.array([0, 1000, 1001, 1002], dtype=np.int64)
+        slices = nnz_chunk_slices(indptr, 8, 256)
+        assert slices[0] == slice(0, 1)
+        assert slices[-1].stop == 3
+
+    def test_empty(self):
+        assert nnz_chunk_slices(np.array([0], dtype=np.int64), 8, 256) == []
+
+
+class TestHelpers:
+    def test_csr_nbytes(self):
+        _, Xs = _pair(14)
+        assert csr_nbytes(Xs) == (
+            Xs.data.nbytes + Xs.indices.nbytes + Xs.indptr.nbytes
+        )
+
+    def test_to_csr_canonicalizes(self):
+        coo = scipy_sparse.coo_matrix(
+            (np.array([1.0, 2.0]), (np.array([0, 0]), np.array([3, 3]))),
+            shape=(1, 5),
+        )
+        out = to_csr(coo)
+        assert out.format == "csr"
+        assert out.nnz == 1  # duplicates summed
+        assert out.has_sorted_indices
+
+    def test_densify_rows(self):
+        X, Xs = _pair(15)
+        got = densify_rows(Xs[4:9])
+        assert isinstance(got, np.ndarray)
+        np.testing.assert_array_equal(got, X[4:9])
+
+    def test_sparse_row_norms_sq_matches_dense(self):
+        X, Xs = _pair(16)
+        np.testing.assert_allclose(
+            sparse_row_norms_sq(Xs),
+            np.einsum("ij,ij->i", X, X),
+            rtol=1e-12,
+        )
+        # Empty rows get exactly zero.
+        empty = scipy_sparse.csr_matrix((3, 4))
+        assert (sparse_row_norms_sq(empty) == 0.0).all()

@@ -111,6 +111,26 @@ class TestEstimateNbytes:
         # byte budget must not depend on which one a mapper emitted.
         assert record_nbytes(np.int64(3), 1.0) == record_nbytes(3, 1.0)
 
+    # -- regression: scipy sparse used to weigh 8 bytes ----------------
+    def test_csr_charges_stored_triple(self):
+        sparse = pytest.importorskip("scipy.sparse")
+        m = sparse.random(50, 40, density=0.1, format="csr", dtype=np.float64)
+        expected = m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+        # Used to fall through to the 8-byte scalar default.
+        assert estimate_nbytes(m) == expected
+        # And must charge nnz-proportional bytes, not the rectangle.
+        assert estimate_nbytes(m) < m.shape[0] * m.shape[1] * 8
+
+    def test_csc_and_coo_charge_like_their_csr_form(self):
+        sparse = pytest.importorskip("scipy.sparse")
+        m = sparse.random(50, 40, density=0.1, format="csr", dtype=np.float64)
+        assert estimate_nbytes(m.tocsc()) == (
+            m.tocsc().data.nbytes
+            + m.tocsc().indices.nbytes
+            + m.tocsc().indptr.nbytes
+        )
+        assert estimate_nbytes(m.tocoo()) == estimate_nbytes(m)
+
 
 class TestShuffleKeyAccounting:
     """Shuffle volume must charge key payload, not a flat per-record rate."""
